@@ -1,0 +1,59 @@
+"""Benchmarks for the ablation studies around the paper's conclusions.
+
+* spread sweep (Section I's +/-20-30% design-margin range)
+* decoder-policy sweep (how much of Fig. 5 is decoding policy)
+* static-timing / max-frequency study (Section III's 5 GHz point)
+* heavier-code cost roll-up (Section II's BCH remark, Ref. [14])
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_spread_sweep(benchmark, paper_report):
+    result = benchmark.pedantic(
+        ablations.run_spread_sweep,
+        kwargs=dict(spreads=(0.10, 0.15, 0.20, 0.25, 0.30), n_chips=400, seed=7),
+        rounds=1, iterations=1,
+    )
+    paper_report("Ablation — spread sweep", ablations.render_spread_sweep(result))
+    # Designed-margin behaviour: clean below +/-20%, collapse above.
+    for scheme, values in result.anchors.items():
+        assert values[0] == 1.0          # +/-10%: inside every margin
+        assert values[-1] < 0.10         # +/-30%: far outside
+
+    at_20 = {s: v[2] for s, v in result.anchors.items()}
+    assert at_20["none"] < at_20["rm13"] < at_20["hamming84"]
+
+
+def test_decoder_policy_sweep(benchmark, paper_report):
+    result = benchmark.pedantic(
+        ablations.run_decoder_sweep, kwargs=dict(n_chips=400, seed=11),
+        rounds=1, iterations=1,
+    )
+    paper_report("Ablation — decoder policy", ablations.render_decoder_sweep(result))
+    anchors = result.anchors
+    # The SEC-DED detect+fallback policy beats complete (ML) decoding of
+    # the same (8,4,4) code under PPV — the reason the paper pairs
+    # Hamming(8,4) with a flagging decoder.
+    assert anchors["hamming84/paper-default"] >= anchors["hamming84/ml"]
+
+
+def test_frequency_study(benchmark, paper_report):
+    result = benchmark(ablations.run_frequency_study)
+    paper_report("Ablation — static timing", ablations.render_frequency_study(result))
+    for scheme, f_max in result.max_frequency.items():
+        assert f_max > 5.0, f"{scheme} cannot run at the paper's 5 GHz"
+
+
+def test_code_cost_study(benchmark, paper_report):
+    result = benchmark.pedantic(
+        ablations.run_code_cost_study, rounds=1, iterations=1
+    )
+    paper_report("Ablation — heavier-code cost", ablations.render_code_cost_study(result))
+    jj = {row[0]: row[3] for row in result.rows}
+    # Section II's claim: BCH-class encoders are materially heavier than
+    # the lightweight three at these block lengths.
+    assert jj["BCH(15,7)"] > 2 * jj["Hamming(8,4)"]
+    assert jj["BCH(15,11)"] > 2 * jj["Hamming(8,4)"]

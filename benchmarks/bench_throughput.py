@@ -1,0 +1,63 @@
+"""Implementation-health benchmarks: encode/decode and simulator throughput.
+
+Not a paper artefact — these guard the reproduction's own performance,
+since the Fig. 5 Monte-Carlo leans on the vectorised paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import get_code, get_decoder
+from repro.encoders.designs import hamming84_encoder_design
+from repro.ppv.margins import MarginModel
+from repro.ppv.spread import SpreadSpec
+from repro.sfq.faults import FaultSimulator
+
+BATCH = 10_000
+
+
+@pytest.fixture(scope="module")
+def message_batch():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 2, size=(BATCH, 4)).astype(np.uint8)
+
+
+@pytest.mark.parametrize("scheme", ["hamming74", "hamming84", "rm13"])
+def test_encode_batch_throughput(benchmark, scheme, message_batch):
+    code = get_code(scheme)
+    out = benchmark(code.encode_batch, message_batch)
+    assert out.shape == (BATCH, code.n)
+
+
+@pytest.mark.parametrize("scheme", ["hamming74", "hamming84", "rm13"])
+def test_decode_batch_throughput(benchmark, scheme, message_batch):
+    code = get_code(scheme)
+    decoder = get_decoder(code)
+    words = code.encode_batch(message_batch)
+    # one corrupted bit per word
+    rng = np.random.default_rng(1)
+    words[np.arange(BATCH), rng.integers(0, code.n, BATCH)] ^= 1
+    decoded = benchmark(decoder.decode_batch, words)
+    assert (decoded == message_batch).all()
+
+
+def test_fault_simulator_clean_throughput(benchmark, message_batch):
+    simulator = FaultSimulator(hamming84_encoder_design().netlist)
+    out = benchmark(simulator.run, message_batch)
+    assert out.shape == (BATCH, 8)
+
+
+def test_chip_sampling_throughput(benchmark):
+    design = hamming84_encoder_design()
+    model = MarginModel()
+    spread = SpreadSpec(0.20)
+
+    def sample_100():
+        from repro.ppv.montecarlo import sample_chip_population
+
+        return sample_chip_population(design.netlist, spread, 100, model, 3)
+
+    chips = benchmark(sample_100)
+    assert len(chips) == 100

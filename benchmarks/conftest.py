@@ -1,0 +1,39 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates a paper artefact and prints the same rows
+or series the paper reports (run with ``pytest benchmarks/
+--benchmark-only -s`` to see them inline; without ``-s`` the reports
+are still emitted once via the ``paper_report`` fixture at teardown).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_REPORTS: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def paper_report():
+    """Collect a rendered paper artefact to print after the run."""
+
+    def _record(title: str, text: str) -> None:
+        _REPORTS.append((title, text))
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _REPORTS:
+        return
+    capman = session.config.pluginmanager.getplugin("capturemanager")
+    if capman:
+        capman.suspend_global_capture(in_=True)
+    print("\n" + "=" * 78)
+    print("PAPER ARTEFACT REPRODUCTIONS")
+    print("=" * 78)
+    for title, text in _REPORTS:
+        print(f"\n--- {title} ---")
+        print(text)
+    if capman:
+        capman.resume_global_capture()

@@ -1,0 +1,59 @@
+"""Build an SFQ encoder for your own code and export it to JoSIM.
+
+Shows the generic pipeline the paper's Section III applies by hand:
+generator matrix -> XOR equations -> shared subexpressions ->
+path-balanced, splitter-legalised, clock-tree'd netlist -> Table II
+style cost roll-up -> JoSIM deck.
+
+The example code is the [6,3,3] shortened Hamming code (3 message
+bits, 6 channels) — something a 3-bit SFQ sensor interface might use.
+
+Run:  python examples/custom_code_encoder.py
+"""
+
+from repro.coding.linear import LinearBlockCode
+from repro.encoders.builder import build_encoder_for_code
+from repro.encoders.verification import verify_encoder_netlist
+from repro.gf2.matrix import GF2Matrix
+from repro.sfq.josim import export_josim_deck
+from repro.sfq.physical import summarize_circuit
+from repro.sfq.timing import max_frequency_ghz
+
+
+def main() -> None:
+    # --- define a code by its generator matrix -------------------------
+    generator = GF2Matrix([
+        [1, 0, 0, 1, 1, 0],
+        [0, 1, 0, 1, 0, 1],
+        [0, 0, 1, 0, 1, 1],
+    ])
+    code = LinearBlockCode(generator, name="Shortened(6,3)",
+                           message_positions=[0, 1, 2])
+    print(f"{code!r}  dmin={code.minimum_distance} "
+          f"(corrects {code.guaranteed_correction()}, "
+          f"detects {code.guaranteed_detection()})")
+
+    # --- synthesise the SFQ encoder ------------------------------------
+    design = build_encoder_for_code(code)
+    ok, mismatches = verify_encoder_netlist(design.netlist, code)
+    assert ok, mismatches
+    summary = summarize_circuit(design.netlist)
+    print(f"cells   : {summary.standard_cells_description()}")
+    print(f"JJs     : {summary.jj_count}")
+    print(f"power   : {summary.static_power_uw:.1f} uW")
+    print(f"area    : {summary.area_mm2:.3f} mm2")
+    print(f"latency : {design.netlist.max_logic_depth()} cycles")
+    print(f"max clk : {max_frequency_ghz(design.netlist):.1f} GHz")
+
+    # --- hand the netlist to the real superconductor SPICE tool --------
+    deck = export_josim_deck(design.netlist, spread=0.20)
+    with open("custom_encoder.cir", "w") as handle:
+        handle.write(deck)
+    print("\nJoSIM deck (with +/-20% spread clause) -> custom_encoder.cir")
+    print("first lines:")
+    for line in deck.splitlines()[:6]:
+        print("   ", line)
+
+
+if __name__ == "__main__":
+    main()

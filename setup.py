@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so the legacy
+editable-install path (``pip install -e . --no-use-pep517``) works in
+offline environments where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Lightweight Error-Correction Code Encoders in
+Superconducting Electronic Systems" (SOCC 2025, arXiv:2509.00962).
+
+The package implements, from scratch:
+
+* the three lightweight ECC encoders of the paper — Hamming(7,4),
+  extended Hamming(8,4) and Reed-Muller RM(1,3) — both as algebra
+  (:mod:`repro.coding`) and as synthesised RSFQ netlists
+  (:mod:`repro.encoders`, :mod:`repro.sfq`);
+* the SFQ circuit substrate: calibrated cell library, netlist graph,
+  logic synthesis with path balancing and splitter/clock-tree insertion,
+  an event-driven pulse simulator, and a waveform layer standing in for
+  JoSIM;
+* process-parameter-variation modelling (:mod:`repro.ppv`) and the
+  cryogenic output data link of the paper's Fig. 1 (:mod:`repro.link`,
+  :mod:`repro.system`);
+* experiment drivers regenerating every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import get_code, get_decoder
+    code = get_code("hamming84")
+    cw = code.encode("1011")          # -> 01100110, as in the paper's Fig. 3
+    decoder = get_decoder(code)
+    result = decoder.decode(cw)
+"""
+
+from repro._version import __version__
+from repro.coding import (
+    LinearBlockCode,
+    get_code,
+    get_decoder,
+    hamming74_paper,
+    hamming84_paper,
+    rm13_paper,
+)
+
+__all__ = [
+    "__version__",
+    "LinearBlockCode",
+    "get_code",
+    "get_decoder",
+    "hamming74_paper",
+    "hamming84_paper",
+    "rm13_paper",
+]

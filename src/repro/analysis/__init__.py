@@ -1,0 +1,15 @@
+"""Statistics helpers shared by the Monte-Carlo experiments."""
+
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    bootstrap_confidence_interval,
+    empirical_cdf,
+    summarize_counts,
+)
+
+__all__ = [
+    "binomial_confidence_interval",
+    "bootstrap_confidence_interval",
+    "empirical_cdf",
+    "summarize_counts",
+]

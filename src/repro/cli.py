@@ -1,0 +1,160 @@
+"""Command-line entry points: regenerate every paper artefact.
+
+``repro table1|table2|fig3|fig5|ablations`` (or the per-experiment
+console scripts) print the same rows/series the paper reports; ``--csv``
+additionally writes machine-readable curves next to the report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Lightweight Error-Correction Code Encoders in "
+            "Superconducting Electronic Systems' (SOCC 2025)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: detected/corrected error capabilities")
+    sub.add_parser("table2", help="Table II: circuit-level encoder comparison")
+
+    fig3 = sub.add_parser("fig3", help="Fig. 3: Hamming(8,4) waveforms at 5 GHz")
+    fig3.add_argument("--frequency", type=float, default=5.0, metavar="GHZ")
+    fig3.add_argument("--message", action="append", default=None,
+                      help="4-bit message(s), e.g. --message 1011 (repeatable)")
+    fig3.add_argument("--csv", metavar="PATH", default=None,
+                      help="write the voltage traces as CSV")
+
+    fig5 = sub.add_parser("fig5", help="Fig. 5: PPV Monte-Carlo CDF")
+    fig5.add_argument("--chips", type=int, default=1000)
+    fig5.add_argument("--messages", type=int, default=100)
+    fig5.add_argument("--spread", type=float, default=0.20)
+    fig5.add_argument("--seed", type=int, default=20250831)
+    fig5.add_argument("--csv", metavar="PATH", default=None,
+                      help="write the CDF curves as CSV")
+
+    abl = sub.add_parser("ablations", help="spread/decoder/frequency/code-cost studies")
+    abl.add_argument("--chips", type=int, default=400)
+    abl.add_argument("--seed", type=int, default=7)
+
+    josim = sub.add_parser("export-josim", help="emit a JoSIM deck for an encoder")
+    josim.add_argument("scheme", choices=["rm13", "hamming74", "hamming84", "none"])
+    josim.add_argument("--spread", type=float, default=0.0)
+    josim.add_argument("--output", metavar="PATH", default=None)
+
+    report = sub.add_parser(
+        "report", help="regenerate every artefact into a directory"
+    )
+    report.add_argument("--output", metavar="DIR", default="artifacts")
+    report.add_argument("--chips", type=int, default=1000)
+    report.add_argument("--seed", type=int, default=20250831)
+    report.add_argument("--no-ablations", action="store_true")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "table1":
+        from repro.experiments import table1
+
+        print(table1.render(table1.run()))
+    elif args.command == "table2":
+        from repro.experiments import table2
+
+        print(table2.render(table2.run()))
+    elif args.command == "fig3":
+        from repro.experiments import fig3
+
+        result = fig3.run(messages=args.message, frequency_ghz=args.frequency)
+        print(fig3.render(result))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(result.waveforms.to_csv())
+            print(f"voltage traces written to {args.csv}")
+    elif args.command == "fig5":
+        from repro.experiments import fig5
+        from repro.ppv.spread import SpreadSpec
+        from repro.system.experiment import Fig5Config
+
+        config = Fig5Config(
+            n_chips=args.chips,
+            n_messages=args.messages,
+            spread=SpreadSpec(args.spread),
+            seed=args.seed,
+        )
+        report = fig5.run(config)
+        print(fig5.render(report))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(fig5.cdf_csv(report, max_n=args.messages))
+            print(f"CDF curves written to {args.csv}")
+    elif args.command == "ablations":
+        from repro.experiments import ablations
+
+        print(ablations.render(ablations.run(n_chips=args.chips, seed=args.seed)))
+    elif args.command == "export-josim":
+        from repro.encoders.designs import design_for_scheme
+        from repro.sfq.josim import export_josim_deck
+
+        deck = export_josim_deck(
+            design_for_scheme(args.scheme).netlist, spread=args.spread
+        )
+        if args.output:
+            with open(args.output, "w") as handle:
+                handle.write(deck)
+            print(f"JoSIM deck written to {args.output}")
+        else:
+            print(deck)
+    elif args.command == "report":
+        from repro.experiments.report import generate_full_report
+
+        manifest = generate_full_report(
+            args.output,
+            n_chips=args.chips,
+            seed=args.seed,
+            include_ablations=not args.no_ablations,
+        )
+        print(f"artefacts written to {manifest.output_dir}/")
+        for name, ok in manifest.checks.items():
+            print(f"  {name}: {'PASS' if ok else 'FAIL'}")
+        if not manifest.all_checks_pass:
+            return 1
+    return 0
+
+
+def _single(command: str) -> int:
+    return main([command] + sys.argv[1:])
+
+
+def main_table1() -> int:
+    return _single("table1")
+
+
+def main_table2() -> int:
+    return _single("table2")
+
+
+def main_fig3() -> int:
+    return _single("fig3")
+
+
+def main_fig5() -> int:
+    return _single("fig5")
+
+
+def main_ablations() -> int:
+    return _single("ablations")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,56 @@
+"""Coding-theory layer: the lightweight codes of the paper.
+
+Public surface:
+
+* code constructors — :func:`~repro.coding.hamming.hamming74_paper`,
+  :func:`~repro.coding.hamming.hamming84_paper`,
+  :func:`~repro.coding.reed_muller.rm13_paper`, plus the generic
+  Hamming / Reed-Muller / BCH families for ablations;
+* :class:`~repro.coding.linear.LinearBlockCode` — the common machinery;
+* decoders in :mod:`repro.coding.decoders`;
+* the exhaustive Table-I analysis in :mod:`repro.coding.analysis`;
+* the name registry in :mod:`repro.coding.registry`.
+"""
+
+from repro.coding.linear import LinearBlockCode
+from repro.coding.hamming import (
+    hamming74_paper,
+    hamming84_paper,
+    hamming_code,
+    extend_with_overall_parity,
+)
+from repro.coding.reed_muller import reed_muller, rm13_paper, plotkin_combine
+from repro.coding.bch import bch_code, bch_15_7, bch_15_11
+from repro.coding.repetition import repetition_code, bitwise_repetition_code
+from repro.coding.parity import parity_check_code
+from repro.coding.registry import (
+    available_codes,
+    available_decoders,
+    get_code,
+    get_decoder,
+    PAPER_SCHEMES,
+    DISPLAY_NAMES,
+)
+
+__all__ = [
+    "LinearBlockCode",
+    "hamming74_paper",
+    "hamming84_paper",
+    "hamming_code",
+    "extend_with_overall_parity",
+    "reed_muller",
+    "rm13_paper",
+    "plotkin_combine",
+    "bch_code",
+    "bch_15_7",
+    "bch_15_11",
+    "repetition_code",
+    "bitwise_repetition_code",
+    "parity_check_code",
+    "available_codes",
+    "available_decoders",
+    "get_code",
+    "get_decoder",
+    "PAPER_SCHEMES",
+    "DISPLAY_NAMES",
+]

@@ -1,0 +1,103 @@
+"""Classical bounds on binary block codes.
+
+Section II of the paper leans on several structural facts — Hamming
+codes are *perfect* (Ref. [30], Tietäväinen), the extended code is
+quasi-perfect, short BCH codes buy little distance for their cost.
+This module makes those claims checkable: packing (Hamming), Singleton,
+Plotkin and Griesmer upper bounds on code size/length, the
+Gilbert–Varshamov existence bound, and classification helpers.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import Dict, Optional
+
+from repro.coding.linear import LinearBlockCode
+
+
+def hamming_bound_max_codewords(n: int, dmin: int) -> int:
+    """Sphere-packing bound: max |C| for length n, distance dmin."""
+    if n < 1 or dmin < 1:
+        raise ValueError("n and dmin must be positive")
+    t = (dmin - 1) // 2
+    ball = sum(comb(n, w) for w in range(t + 1))
+    return (1 << n) // ball
+
+
+def singleton_bound_max_dimension(n: int, dmin: int) -> int:
+    """Singleton bound: k <= n - d + 1."""
+    if dmin > n:
+        raise ValueError("dmin cannot exceed n")
+    return n - dmin + 1
+
+
+def plotkin_bound_max_codewords(n: int, dmin: int) -> Optional[int]:
+    """Plotkin bound, applicable when ``2*dmin > n`` (paper Ref. [33]).
+
+    Returns ``None`` when the bound does not apply.
+    """
+    if 2 * dmin > n:
+        return 2 * (dmin // (2 * dmin - n))
+    return None
+
+
+def griesmer_bound_min_length(k: int, dmin: int) -> int:
+    """Griesmer bound: shortest possible length of a [n, k, d] code."""
+    if k < 1 or dmin < 1:
+        raise ValueError("k and dmin must be positive")
+    length = 0
+    for i in range(k):
+        length += -(-dmin // (1 << i))  # ceil division
+    return length
+
+
+def gilbert_varshamov_exists(n: int, k: int, dmin: int) -> bool:
+    """GV condition guaranteeing a linear [n, k, >=d] code exists."""
+    if k > n:
+        raise ValueError("k cannot exceed n")
+    volume = sum(comb(n - 1, w) for w in range(dmin - 1))
+    return volume < (1 << (n - k))
+
+
+def meets_hamming_bound(code: LinearBlockCode) -> bool:
+    """True iff the code is perfect (packing bound met with equality)."""
+    t = code.guaranteed_correction()
+    ball = sum(comb(code.n, w) for w in range(t + 1))
+    return (1 << code.k) * ball == (1 << code.n)
+
+
+def is_quasi_perfect(code: LinearBlockCode) -> bool:
+    """Quasi-perfect: covering radius = packing radius + 1.
+
+    The paper calls the extended Hamming(8,4) code "quasi-perfect"
+    (Section II-A); this verifies it from the coset structure.
+    """
+    return code.covering_radius == code.guaranteed_correction() + 1
+
+
+def is_mds(code: LinearBlockCode) -> bool:
+    """Maximum distance separable: meets Singleton with equality."""
+    return code.k == singleton_bound_max_dimension(code.n, code.minimum_distance)
+
+
+def bound_report(code: LinearBlockCode) -> Dict[str, object]:
+    """All bound checks for one code, for reports and tests."""
+    n, k, d = code.n, code.k, code.minimum_distance
+    plotkin = plotkin_bound_max_codewords(n, d)
+    return {
+        "name": code.name,
+        "n": n,
+        "k": k,
+        "dmin": d,
+        "hamming_bound_max": hamming_bound_max_codewords(n, d),
+        "meets_hamming_bound": meets_hamming_bound(code),
+        "quasi_perfect": is_quasi_perfect(code),
+        "singleton_max_k": singleton_bound_max_dimension(n, d),
+        "mds": is_mds(code),
+        "plotkin_max": plotkin,
+        "meets_plotkin": plotkin is not None and (1 << k) == plotkin,
+        "griesmer_min_n": griesmer_bound_min_length(k, d),
+        "meets_griesmer": griesmer_bound_min_length(k, d) == n,
+        "gv_guaranteed": gilbert_varshamov_exists(n, k, d),
+    }

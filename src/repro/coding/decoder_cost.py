@@ -1,0 +1,121 @@
+"""Gate-level cost model of the room-temperature decoders.
+
+The paper's Fig. 1 places the decoder on the CMOS chip, and Section II
+argues Hamming/RM codes are preferable to BCH partly on *decoding*
+complexity.  This module prices each decoder strategy in CMOS
+two-input-gate equivalents so that claim is quantified:
+
+* syndrome computation — one XOR tree per parity-check row
+  (``popcount(row) - 1`` two-input XORs each);
+* complete/bounded syndrome decoding — a syndrome-indexed lookup
+  (2^(n-k) x n table) plus n correction XORs;
+* SEC-DED — the syndrome logic plus a comparator per codeword position
+  and the detect flag;
+* FHT (Green machine) — m * 2^m add/subtract butterflies at
+  (2^m)-wide operands, plus the argmax tree;
+* exhaustive ML — 2^k n-bit distance computations (the strawman).
+
+The absolute numbers are generic-gate estimates, not a synthesis run;
+they support *relative* comparisons (BCH vs Hamming, soft vs hard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Dict
+
+from repro.coding.linear import LinearBlockCode
+
+
+@dataclass(frozen=True)
+class DecoderCost:
+    """Two-input-gate-equivalent cost breakdown of one decoder."""
+
+    strategy: str
+    xor_gates: int
+    logic_gates: int     # AND/OR/MUX equivalents
+    memory_bits: int     # lookup tables
+
+    @property
+    def total_gate_equivalents(self) -> int:
+        """Gates + a 4-gates-per-memory-bit SRAM-ish conversion."""
+        return self.xor_gates + self.logic_gates + ceil(self.memory_bits / 4)
+
+
+def _syndrome_xor_gates(code: LinearBlockCode) -> int:
+    h = code.parity_check.to_array()
+    return int(sum(max(0, int(row.sum()) - 1) for row in h))
+
+
+def syndrome_decoder_cost(code: LinearBlockCode) -> DecoderCost:
+    """Complete coset-leader decoding via a syndrome-indexed table."""
+    r = code.redundancy
+    table_bits = (1 << r) * code.n
+    # n correction XORs + an r-bit table address decode (~r gates/entry).
+    return DecoderCost(
+        strategy="syndrome",
+        xor_gates=_syndrome_xor_gates(code) + code.n,
+        logic_gates=(1 << r) * r,
+        memory_bits=table_bits,
+    )
+
+
+def sec_ded_decoder_cost(code: LinearBlockCode) -> DecoderCost:
+    """Correct-1/detect-2 decoding: column comparators, no leader table."""
+    r = code.redundancy
+    # Per position: r-bit equality comparator (r XNOR + (r-1) AND).
+    comparators = code.n * (2 * r - 1)
+    return DecoderCost(
+        strategy="sec-ded",
+        xor_gates=_syndrome_xor_gates(code) + code.n,
+        logic_gates=comparators + r,  # + zero-syndrome detect
+        memory_bits=0,
+    )
+
+
+def fht_decoder_cost(code: LinearBlockCode) -> DecoderCost:
+    """Green-machine decoding of RM(1, m).
+
+    m * 2^(m-1) butterflies, each an add/sub pair on (m+2)-bit words
+    (~2*(m+2) gate equivalents per add), plus a 2^m-leaf argmax tree of
+    (m+2)-bit comparators.
+    """
+    n = code.n
+    m = int(log2(n))
+    width = m + 2
+    butterflies = m * (n // 2)
+    adder_gates = butterflies * 2 * (5 * width)  # ripple add ~5 gates/bit
+    compare_gates = (n - 1) * (2 * width)
+    return DecoderCost(
+        strategy="fht",
+        xor_gates=0,
+        logic_gates=adder_gates + compare_gates,
+        memory_bits=0,
+    )
+
+
+def ml_decoder_cost(code: LinearBlockCode) -> DecoderCost:
+    """Exhaustive nearest-codeword search (upper bound strawman)."""
+    comparisons = (1 << code.k)
+    popcount_gates = comparisons * 5 * code.n
+    return DecoderCost(
+        strategy="ml",
+        xor_gates=comparisons * code.n,
+        logic_gates=popcount_gates,
+        memory_bits=(1 << code.k) * code.n,
+    )
+
+
+def decoder_cost_report(code: LinearBlockCode) -> Dict[str, DecoderCost]:
+    """All applicable strategies for one code."""
+    report = {
+        "syndrome": syndrome_decoder_cost(code),
+        "ml": ml_decoder_cost(code),
+    }
+    if code.minimum_distance >= 4:
+        report["sec-ded"] = sec_ded_decoder_cost(code)
+    n = code.n
+    if n & (n - 1) == 0 and code.k == int(log2(n)) + 1:
+        report["fht"] = fht_decoder_cost(code)
+    return report

@@ -1,0 +1,55 @@
+"""Decoders for the lightweight codes.
+
+The paper's Fig. 1 decoder sits on the room-temperature CMOS side, so
+unlike the encoders it is implemented algorithmically (no SFQ netlist).
+Four strategies are provided:
+
+* :class:`~repro.coding.decoders.syndrome.SyndromeDecoder` — standard
+  array / coset-leader decoding for any short code (always corrects).
+* :class:`~repro.coding.decoders.extended_hamming.ExtendedHammingDecoder`
+  — correct-single / detect-double with a systematic-fallback policy,
+  the industry SEC-DED behaviour for dmin=4 codes.
+* :class:`~repro.coding.decoders.reed.ReedDecoder` — majority-logic
+  decoding of RM(1, m) (the paper's Ref. [31]).
+* :class:`~repro.coding.decoders.fht.FhtDecoder` — fast-Hadamard
+  (Green machine) maximum-likelihood decoding of RM(1, m) with a
+  deterministic tie-break, which corrects "certain 2-bit error
+  patterns" (paper Section II-B, Ref. [35]).
+* :class:`~repro.coding.decoders.ml.MaximumLikelihoodDecoder` —
+  exhaustive nearest-codeword reference.
+"""
+
+from repro.coding.decoders.base import Decoder, DecodeResult
+from repro.coding.decoders.syndrome import SyndromeDecoder
+from repro.coding.decoders.extended_hamming import ExtendedHammingDecoder
+from repro.coding.decoders.reed import ReedDecoder
+from repro.coding.decoders.fht import FhtDecoder
+from repro.coding.decoders.ml import MaximumLikelihoodDecoder
+from repro.coding.decoders.soft import SoftFhtDecoder
+
+__all__ = [
+    "Decoder",
+    "DecodeResult",
+    "SyndromeDecoder",
+    "ExtendedHammingDecoder",
+    "ReedDecoder",
+    "FhtDecoder",
+    "MaximumLikelihoodDecoder",
+    "SoftFhtDecoder",
+]
+
+
+def default_decoder_for(code) -> Decoder:
+    """Pick the decoder the paper pairs with each code.
+
+    * Hamming(7,4) -> syndrome decoder (perfect code, always corrects)
+    * Hamming(8,4) -> extended-Hamming SEC-DED decoder
+    * RM(1,3)      -> FHT decoder
+    * anything else -> syndrome decoder
+    """
+    name = getattr(code, "name", "")
+    if name.startswith("RM(1,"):
+        return FhtDecoder(code)
+    if code.minimum_distance == 4 and name.startswith("Hamming"):
+        return ExtendedHammingDecoder(code)
+    return SyndromeDecoder(code)

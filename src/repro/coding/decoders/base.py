@@ -1,0 +1,83 @@
+"""Decoder interface and result record."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.coding.linear import LinearBlockCode
+from repro.errors import DimensionError
+from repro.gf2.vectors import as_bit_array
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of decoding one received word.
+
+    Attributes
+    ----------
+    message:
+        The decoder's best estimate of the k message bits.  Always
+        populated — when the pattern is detected-uncorrectable the
+        decoder applies its fallback policy (see each decoder's docs)
+        rather than returning nothing, because the paper's Fig. 5 counts
+        *erroneous messages*, which requires a message estimate.
+    codeword:
+        The codeword estimate aligned with ``message`` (``None`` when the
+        decoder only re-extracted message bits without committing to a
+        codeword).
+    corrected_errors:
+        Number of bit corrections the decoder applied.
+    detected_uncorrectable:
+        True when the decoder knows the word is in error but could not
+        correct it — the paper's "error flag" output in Fig. 1.
+    """
+
+    message: np.ndarray
+    codeword: Optional[np.ndarray]
+    corrected_errors: int
+    detected_uncorrectable: bool
+
+    @property
+    def error_flag(self) -> bool:
+        """Fig. 1 'error flags' line: any detected anomaly."""
+        return self.detected_uncorrectable or self.corrected_errors > 0
+
+
+class Decoder(ABC):
+    """Base class for hard-decision decoders of a specific code."""
+
+    #: Short identifier used in reports and the decoder-policy ablation.
+    strategy_name: str = "abstract"
+
+    def __init__(self, code: LinearBlockCode):
+        self.code = code
+
+    @abstractmethod
+    def decode(self, received: Sequence[int]) -> DecodeResult:
+        """Decode one received n-bit word."""
+
+    def decode_batch(self, received: np.ndarray) -> np.ndarray:
+        """Decode a ``(batch, n)`` array; returns ``(batch, k)`` messages.
+
+        Subclasses override this when a vectorised path exists; the
+        default loops over :meth:`decode`.
+        """
+        words = np.asarray(received, dtype=np.uint8)
+        if words.ndim != 2 or words.shape[1] != self.code.n:
+            raise DimensionError(
+                f"expected (batch, {self.code.n}) received words, got {words.shape}"
+            )
+        out = np.empty((words.shape[0], self.code.k), dtype=np.uint8)
+        for i, word in enumerate(words):
+            out[i] = self.decode(word).message
+        return out
+
+    def _check_received(self, received: Sequence[int]) -> np.ndarray:
+        return as_bit_array(received, length=self.code.n)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} for {self.code.name}>"

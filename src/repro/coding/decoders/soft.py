@@ -1,0 +1,117 @@
+"""Soft-decision FHT decoding of RM(1, m).
+
+The paper's Ref. [34] (Be'ery & Snyders) shows first-order Reed-Muller
+codes admit optimal *soft* maximum-likelihood decoding through the fast
+Hadamard transform: feed per-bit confidences (LLR-like reals, positive
+= looks like 0) into the WHT and pick the largest-magnitude
+coefficient.  Against the waveform layer this means decoding straight
+from per-window flux values instead of first slicing to bits — worth
+several dB at the noise levels where the hard slicer starts failing
+(demonstrated in ``tests/test_soft_decoding.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.decoders.base import DecodeResult, Decoder
+from repro.coding.decoders.fht import _check_rm1m, walsh_hadamard_transform
+from repro.coding.linear import LinearBlockCode
+
+
+class SoftFhtDecoder(Decoder):
+    """Soft-input ML decoder for RM(1, m) via the Hadamard spectrum.
+
+    Input confidences follow the BPSK convention: value > 0 means "bit
+    looks like 0", value < 0 means "bit looks like 1", magnitude is the
+    reliability.  ``decode`` accepts hard bits for interface
+    compatibility (they are mapped to ±1); ``decode_soft`` is the real
+    entry point.
+    """
+
+    strategy_name = "soft-fht"
+
+    def __init__(self, code: LinearBlockCode):
+        super().__init__(code)
+        self.m = _check_rm1m(code, "SoftFhtDecoder")
+
+    def decode_soft(self, confidences: Sequence[float]) -> DecodeResult:
+        """Decode one n-vector of real confidences."""
+        values = np.asarray(confidences, dtype=float)
+        if values.shape != (self.code.n,):
+            raise ValueError(
+                f"expected {self.code.n} confidences, got shape {values.shape}"
+            )
+        spectrum = self._wht_real(values)
+        magnitudes = np.abs(spectrum)
+        best = float(magnitudes.max())
+        candidates = np.nonzero(magnitudes == best)[0]
+        index = int(candidates[0])
+        tie = len(candidates) > 1 or best == 0.0
+        m1 = 0 if spectrum[index] >= 0 else 1
+        coefficients = [(index >> j) & 1 for j in range(self.m)]
+        message = np.array([m1] + coefficients, dtype=np.uint8)
+        codeword = self.code.encode(message)
+        hard = (values < 0).astype(np.uint8)
+        return DecodeResult(
+            message=message,
+            codeword=codeword,
+            corrected_errors=int(np.count_nonzero(codeword ^ hard)),
+            detected_uncorrectable=tie,
+        )
+
+    @staticmethod
+    def _wht_real(values: np.ndarray) -> np.ndarray:
+        t = values.astype(float).copy()
+        n = t.size
+        h = 1
+        while h < n:
+            for start in range(0, n, 2 * h):
+                a = t[start : start + h].copy()
+                b = t[start + h : start + 2 * h].copy()
+                t[start : start + h] = a + b
+                t[start + h : start + 2 * h] = a - b
+            h *= 2
+        return t
+
+    def decode(self, received: Sequence[int]) -> DecodeResult:
+        word = self._check_received(received)
+        return self.decode_soft(1.0 - 2.0 * word.astype(float))
+
+    def decode_soft_batch(self, confidences: np.ndarray) -> np.ndarray:
+        """Vectorised soft decoding of a ``(batch, n)`` confidence array."""
+        values = np.asarray(confidences, dtype=float)
+        if values.ndim != 2 or values.shape[1] != self.code.n:
+            raise ValueError(f"expected (batch, {self.code.n}), got {values.shape}")
+        n = self.code.n
+        indices = np.arange(n)
+        parity = np.array(
+            [[bin(a & i).count("1") & 1 for i in indices] for a in range(n)],
+            dtype=np.int64,
+        )
+        hadamard = 1 - 2 * parity
+        spectra = values @ hadamard.T
+        best_index = np.abs(spectra).argmax(axis=1)
+        best_value = spectra[np.arange(len(values)), best_index]
+        out = np.empty((len(values), self.code.k), dtype=np.uint8)
+        out[:, 0] = (best_value < 0).astype(np.uint8)
+        for j in range(self.m):
+            out[:, j + 1] = (best_index >> j) & 1
+        return out
+
+
+def soft_confidences_from_flux(
+    flux_uv_ps: np.ndarray, amplitude_scale: float = 1.0
+) -> np.ndarray:
+    """Map per-window flux integrals to BPSK-style confidences.
+
+    A window carrying a pulse integrates to ~Phi_0 * scale; an empty
+    one to ~0.  Centre and normalise so 0 flux -> +1 (confident zero)
+    and full flux -> -1 (confident one).
+    """
+    from repro.sfq.waveform import PHI0_MV_PS
+
+    full = PHI0_MV_PS * 1000.0 * amplitude_scale
+    return 1.0 - 2.0 * np.asarray(flux_uv_ps, dtype=float) / full

@@ -1,0 +1,104 @@
+"""Standard-array (coset-leader) syndrome decoding.
+
+This is "syndrome decoding concept introduced by Hamming" (paper
+Section II-A): compute the syndrome, look up the minimum-weight coset
+leader, subtract it, and read the message back.  For a perfect code such
+as Hamming(7,4) *every* syndrome maps to a weight<=1 leader, so the
+decoder always corrects and never flags — which is exactly why 2-bit
+errors get miscorrected (Table I worst case).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.coding.decoders.base import DecodeResult, Decoder
+from repro.coding.linear import LinearBlockCode
+
+
+class SyndromeDecoder(Decoder):
+    """Coset-leader decoder for any short linear code.
+
+    Parameters
+    ----------
+    code:
+        The code to decode.
+    max_correctable_weight:
+        If set, leaders heavier than this raise the
+        ``detected_uncorrectable`` flag instead of being applied
+        (bounded-distance decoding).  ``None`` means complete decoding:
+        every syndrome is corrected with its coset leader.
+    """
+
+    strategy_name = "syndrome"
+
+    def __init__(self, code: LinearBlockCode, max_correctable_weight: int | None = None):
+        super().__init__(code)
+        self.max_correctable_weight = max_correctable_weight
+        # Precompute a dense syndrome-indexed table for the batch path.
+        r = code.redundancy
+        self._leader_table = np.zeros((1 << r, code.n), dtype=np.uint8)
+        self._leader_weight = np.zeros(1 << r, dtype=np.int64)
+        for key, leader in code.coset_leaders.items():
+            syn = np.frombuffer(key, dtype=np.uint8)
+            idx = int(np.dot(syn, 1 << np.arange(r - 1, -1, -1, dtype=np.int64)))
+            self._leader_table[idx] = leader
+            self._leader_weight[idx] = int(leader.sum())
+
+    def _syndrome_index(self, syndrome: np.ndarray) -> int:
+        r = self.code.redundancy
+        return int(np.dot(syndrome.astype(np.int64), 1 << np.arange(r - 1, -1, -1, dtype=np.int64)))
+
+    def decode(self, received: Sequence[int]) -> DecodeResult:
+        word = self._check_received(received)
+        syndrome = self.code.syndrome(word)
+        idx = self._syndrome_index(syndrome)
+        leader = self._leader_table[idx]
+        weight = int(self._leader_weight[idx])
+        if self.max_correctable_weight is not None and weight > self.max_correctable_weight:
+            # Bounded-distance mode: flag and fall back to raw extraction.
+            message = self._fallback_message(word)
+            return DecodeResult(
+                message=message,
+                codeword=None,
+                corrected_errors=0,
+                detected_uncorrectable=True,
+            )
+        codeword = word ^ leader
+        message = self.code.extract_message(codeword)
+        return DecodeResult(
+            message=message,
+            codeword=codeword,
+            corrected_errors=weight,
+            detected_uncorrectable=False,
+        )
+
+    def _fallback_message(self, word: np.ndarray) -> np.ndarray:
+        positions = self.code.message_positions
+        if positions is not None:
+            return word[positions].copy()
+        # Without verbatim positions, project onto the nearest codeword's
+        # message via the zero-leader (i.e. trust the received word).
+        try:
+            return self.code.extract_message(word)
+        except Exception:
+            return np.zeros(self.code.k, dtype=np.uint8)
+
+    def decode_batch(self, received: np.ndarray) -> np.ndarray:
+        words = np.asarray(received, dtype=np.uint8)
+        syndromes = self.code.syndrome_batch(words)
+        r = self.code.redundancy
+        weights = 1 << np.arange(r - 1, -1, -1, dtype=np.int64)
+        indices = syndromes.astype(np.int64) @ weights
+        leaders = self._leader_table[indices]
+        if self.max_correctable_weight is not None:
+            heavy = self._leader_weight[indices] > self.max_correctable_weight
+            leaders = leaders.copy()
+            leaders[heavy] = 0  # flagged words fall back to raw extraction
+        codewords = words ^ leaders
+        positions = self.code.message_positions
+        if positions is not None:
+            return codewords[:, positions].copy()
+        return np.array([self.code.extract_message(cw) for cw in codewords], dtype=np.uint8)

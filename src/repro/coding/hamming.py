@@ -1,0 +1,135 @@
+"""Hamming and extended Hamming codes.
+
+The paper uses the specific generator matrices of Section III (its
+Eq. (1) and Eq. (3)), which embed the 4 message bits verbatim at codeword
+positions c3, c5, c6, c7 (1-indexed).  :func:`hamming74_paper` and
+:func:`hamming84_paper` reproduce those exact matrices; the generic
+:func:`hamming_code` builds the whole (2^r - 1, 2^r - 1 - r) family for
+ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.coding.linear import LinearBlockCode
+from repro.gf2.matrix import GF2Matrix
+
+#: Paper Eq. (1): generator of the extended Hamming(8,4) code.  Row i is
+#: the codeword emitted for message bit m_{i+1}; columns are c1..c8.
+PAPER_G_HAMMING84 = [
+    [1, 1, 1, 0, 0, 0, 0, 1],
+    [1, 0, 0, 1, 1, 0, 0, 1],
+    [0, 1, 0, 1, 0, 1, 0, 1],
+    [1, 1, 0, 1, 0, 0, 1, 0],
+]
+
+#: Hamming(7,4) = Hamming(8,4) without the overall parity bit c8
+#: (paper, Section III: "similar ... without the output bit c8").
+PAPER_G_HAMMING74 = [row[:7] for row in PAPER_G_HAMMING84]
+
+#: Codeword positions (0-indexed) where m1..m4 appear verbatim:
+#: c3, c5, c6, c7 in the paper's 1-indexed naming.
+PAPER_MESSAGE_POSITIONS = [2, 4, 5, 6]
+
+
+def hamming74_paper() -> LinearBlockCode:
+    """The paper's Hamming(7,4) code (Eq. (3) without c8).
+
+    Boolean form (paper Eq. (3)):
+
+    * c1 = m1 ^ m2 ^ m4
+    * c2 = m1 ^ m3 ^ m4
+    * c3 = m1
+    * c4 = m2 ^ m3 ^ m4
+    * c5 = m2, c6 = m3, c7 = m4
+    """
+    return LinearBlockCode(
+        GF2Matrix(PAPER_G_HAMMING74),
+        name="Hamming(7,4)",
+        message_positions=PAPER_MESSAGE_POSITIONS,
+    )
+
+
+def hamming84_paper() -> LinearBlockCode:
+    """The paper's extended Hamming(8,4) code (Eq. (1)).
+
+    Adds the overall parity bit c8 = m1 ^ m2 ^ m3, raising dmin from 3
+    to 4 (single-error correction + double-error detection).
+    """
+    return LinearBlockCode(
+        GF2Matrix(PAPER_G_HAMMING84),
+        name="Hamming(8,4)",
+        message_positions=PAPER_MESSAGE_POSITIONS,
+    )
+
+
+def hamming_parity_check(r: int) -> GF2Matrix:
+    """Parity-check matrix of the (2^r - 1, 2^r - 1 - r) Hamming code.
+
+    Column j (1-indexed) is the binary expansion of j, so the syndrome of
+    a single-bit error *is* the 1-indexed error position — Hamming's
+    original construction.
+    """
+    if r < 2:
+        raise ValueError("Hamming codes need r >= 2 parity bits")
+    n = (1 << r) - 1
+    cols = [[(j >> b) & 1 for b in range(r - 1, -1, -1)] for j in range(1, n + 1)]
+    return GF2Matrix(np.array(cols, dtype=np.uint8).T)
+
+
+def hamming_code(r: int) -> LinearBlockCode:
+    """The generic (2^r - 1, 2^r - 1 - r) Hamming code, systematic layout.
+
+    Message bits occupy the non-power-of-two positions, parity bits the
+    power-of-two positions, as in Hamming's 1950 construction.
+    """
+    h = hamming_parity_check(r)
+    n = h.cols
+    k = n - r
+    parity_positions = [(1 << i) - 1 for i in range(r)]  # 0-indexed powers of two
+    message_positions = [j for j in range(n) if j not in parity_positions]
+    harr = h.to_array()
+    g = np.zeros((k, n), dtype=np.uint8)
+    for i, pos in enumerate(message_positions):
+        g[i, pos] = 1
+        # Parity bit p (at position 2^p - 1) covers positions whose
+        # 1-indexed binary expansion has bit p set.
+        for p, ppos in enumerate(parity_positions):
+            if harr[r - 1 - p, pos]:
+                g[i, ppos] = 1
+    return LinearBlockCode(
+        GF2Matrix(g),
+        name=f"Hamming({n},{k})",
+        message_positions=message_positions,
+        parity_check=h,
+    )
+
+
+def extend_with_overall_parity(code: LinearBlockCode) -> LinearBlockCode:
+    """Append an overall parity bit to any code (dmin 3 -> 4 for Hamming)."""
+    g = code.generator.to_array()
+    parity = (g.sum(axis=1) % 2).astype(np.uint8).reshape(-1, 1)
+    extended = np.concatenate([g, parity], axis=1)
+    positions = code.message_positions
+    return LinearBlockCode(
+        GF2Matrix(extended),
+        name=f"extended({code.name})",
+        message_positions=positions,
+    )
+
+
+def paper_codeword_equations() -> List[str]:
+    """The paper's Eq. (3) as readable strings (used in docs and tests)."""
+    return [
+        "c1 = m1 ^ m2 ^ m4",
+        "c2 = m1 ^ m3 ^ m4",
+        "c3 = m1",
+        "c4 = m2 ^ m3 ^ m4",
+        "c5 = m2",
+        "c6 = m3",
+        "c7 = m4",
+        "c8 = m1 ^ m2 ^ m3",
+    ]

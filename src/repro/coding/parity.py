@@ -1,0 +1,22 @@
+"""Single-parity-check codes — detection-only baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.linear import LinearBlockCode
+from repro.gf2.matrix import GF2Matrix
+
+
+def parity_check_code(k: int) -> LinearBlockCode:
+    """The [k+1, k, 2] single-parity-check code (message + XOR of all)."""
+    if k < 1:
+        raise ValueError("message length must be >= 1")
+    g = np.concatenate(
+        [np.eye(k, dtype=np.uint8), np.ones((k, 1), dtype=np.uint8)], axis=1
+    )
+    return LinearBlockCode(
+        GF2Matrix(g),
+        name=f"Parity({k + 1},{k})",
+        message_positions=list(range(k)),
+    )

@@ -1,0 +1,120 @@
+"""Reed-Muller codes RM(r, m) via the Plotkin construction.
+
+The paper's third encoder uses RM(1,3), the [8,4,4] first-order
+Reed-Muller code.  :func:`reed_muller` builds the whole family
+recursively (Plotkin's (u | u+v) construction, the paper's Ref. [33]);
+:func:`rm13_paper` pins down the exact generator used by the encoder
+schematic in Fig. 4, whose rows are the all-ones vector and the three
+coordinate functions, so that:
+
+* c(i) = m1 ^ m2*b0(i) ^ m3*b1(i) ^ m4*b2(i)
+
+with ``b2 b1 b0`` the binary index of output i (0-indexed).  That
+matches output c1 = m1 and c8 = m1^m2^m3^m4 in the schematic.
+"""
+
+from __future__ import annotations
+
+from math import comb
+from typing import List
+
+import numpy as np
+
+from repro.coding.linear import LinearBlockCode
+from repro.gf2.matrix import GF2Matrix
+
+
+def rm_generator(r: int, m: int) -> GF2Matrix:
+    """Generator matrix of RM(r, m) via recursion on monomial degree.
+
+    Rows are the evaluation vectors of all monomials of degree <= r in m
+    boolean variables, ordered by degree then lexicographically; the
+    degree-0 row (all ones) comes first, then x1, x2, ..., matching the
+    classical presentation.
+    """
+    if m < 0:
+        raise ValueError("m must be non-negative")
+    if not 0 <= r <= m:
+        raise ValueError(f"order r must lie in [0, m]={m}, got {r}")
+    n = 1 << m
+    # Coordinate functions: x_j(i) = bit (m-j) of i? Use x1 = LSB so that
+    # the paper's Fig. 4 layout (c2 = m1^m2) holds.
+    coords = np.zeros((m, n), dtype=np.uint8)
+    for j in range(m):
+        for i in range(n):
+            coords[j, i] = (i >> j) & 1
+    rows: List[np.ndarray] = [np.ones(n, dtype=np.uint8)]
+    from itertools import combinations
+
+    for degree in range(1, r + 1):
+        for subset in combinations(range(m), degree):
+            prod = np.ones(n, dtype=np.uint8)
+            for j in subset:
+                prod &= coords[j]
+            rows.append(prod)
+    return GF2Matrix(np.array(rows, dtype=np.uint8))
+
+
+def rm_dimension(r: int, m: int) -> int:
+    """Dimension k = sum_{i<=r} C(m, i) of RM(r, m)."""
+    return sum(comb(m, i) for i in range(r + 1))
+
+
+def reed_muller(r: int, m: int) -> LinearBlockCode:
+    """The Reed-Muller code RM(r, m) as a :class:`LinearBlockCode`.
+
+    dmin = 2^(m-r) (not checked here; verified exhaustively in tests for
+    the small members).
+    """
+    gen = rm_generator(r, m)
+    code = LinearBlockCode(gen, name=f"RM({r},{m})")
+    return code
+
+
+def rm13_paper() -> LinearBlockCode:
+    """The paper's RM(1,3) code, generator aligned with Fig. 4.
+
+    G rows (m1..m4):
+
+    * m1 -> 11111111 (all-ones)
+    * m2 -> 01010101 (x1)
+    * m3 -> 00110011 (x2)
+    * m4 -> 00001111 (x3)
+
+    so c1 = m1, c2 = m1^m2, c3 = m1^m3, c4 = m1^m2^m3, c5 = m1^m4,
+    c6 = m1^m2^m4, c7 = m1^m3^m4, c8 = m1^m2^m3^m4.
+    """
+    return reed_muller(1, 3)
+
+
+def plotkin_combine(u_code: LinearBlockCode, v_code: LinearBlockCode) -> LinearBlockCode:
+    """Plotkin (u | u+v) combination of two equal-length codes.
+
+    Produces a code of length 2n and dimension k_u + k_v; for
+    RM(r, m) = plotkin(RM(r, m-1), RM(r-1, m-1)) this is the recursive
+    construction the paper's Section II-B refers to.
+    """
+    if u_code.n != v_code.n:
+        raise ValueError("Plotkin construction needs equal-length components")
+    n = u_code.n
+    gu = u_code.generator.to_array()
+    gv = v_code.generator.to_array()
+    top = np.concatenate([gu, gu], axis=1)
+    bottom = np.concatenate([np.zeros_like(gv), gv], axis=1)
+    gen = np.concatenate([top, bottom], axis=0)
+    return LinearBlockCode(
+        GF2Matrix(gen),
+        name=f"plotkin({u_code.name},{v_code.name})",
+    )
+
+
+def rm13_message_from_codeword(codeword: np.ndarray) -> np.ndarray:
+    """Recover (m1..m4) from a *valid* RM(1,3) codeword.
+
+    m1 = c1; m2 = c1^c2; m3 = c1^c3; m4 = c1^c5 (0-indexed: 0,1,2,4).
+    """
+    cw = np.asarray(codeword, dtype=np.uint8)
+    if cw.shape != (8,):
+        raise ValueError(f"expected an 8-bit RM(1,3) codeword, got shape {cw.shape}")
+    m1 = cw[0]
+    return np.array([m1, m1 ^ cw[1], m1 ^ cw[2], m1 ^ cw[4]], dtype=np.uint8)

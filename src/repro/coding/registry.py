@@ -1,0 +1,90 @@
+"""Name-based factory for the codes and decoders used in experiments.
+
+The CLI and the experiment configs refer to coding schemes by the short
+names used throughout the paper: ``hamming74``, ``hamming84``, ``rm13``
+and ``none`` (the unencoded 4-bit baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.coding.decoders import (
+    Decoder,
+    ExtendedHammingDecoder,
+    FhtDecoder,
+    MaximumLikelihoodDecoder,
+    ReedDecoder,
+    SyndromeDecoder,
+    default_decoder_for,
+)
+from repro.coding.hamming import hamming74_paper, hamming84_paper
+from repro.coding.linear import LinearBlockCode
+from repro.coding.reed_muller import rm13_paper
+
+_CODE_FACTORIES: Dict[str, Callable[[], LinearBlockCode]] = {
+    "hamming74": hamming74_paper,
+    "hamming84": hamming84_paper,
+    "rm13": rm13_paper,
+}
+
+#: Scheme names in the order the paper's Fig. 5 legend lists them.
+PAPER_SCHEMES: List[str] = ["rm13", "hamming74", "hamming84", "none"]
+
+#: Pretty names matching the paper's figures and tables.
+DISPLAY_NAMES: Dict[str, str] = {
+    "rm13": "RM(1,3)",
+    "hamming74": "Hamming(7,4)",
+    "hamming84": "Hamming(8,4)",
+    "none": "No encoder",
+}
+
+_DECODER_FACTORIES: Dict[str, Callable[[LinearBlockCode], Decoder]] = {
+    "syndrome": SyndromeDecoder,
+    "sec-ded": ExtendedHammingDecoder,
+    "fht": FhtDecoder,
+    "reed-majority": ReedDecoder,
+    "ml": MaximumLikelihoodDecoder,
+}
+
+
+def available_codes() -> List[str]:
+    """Names accepted by :func:`get_code`."""
+    return sorted(_CODE_FACTORIES)
+
+
+def get_code(name: str) -> LinearBlockCode:
+    """Build a paper code by short name (``hamming74``/``hamming84``/``rm13``)."""
+    key = name.lower().replace("-", "").replace("_", "").replace("(", "").replace(")", "").replace(",", "")
+    aliases = {
+        "hamming74": "hamming74",
+        "hamming84": "hamming84",
+        "extendedhamming84": "hamming84",
+        "rm13": "rm13",
+        "reedmuller13": "rm13",
+    }
+    key = aliases.get(key, key)
+    if key not in _CODE_FACTORIES:
+        raise KeyError(f"unknown code {name!r}; available: {available_codes()}")
+    return _CODE_FACTORIES[key]()
+
+
+def available_decoders() -> List[str]:
+    """Names accepted by :func:`get_decoder`."""
+    return sorted(_DECODER_FACTORIES)
+
+
+def get_decoder(code: LinearBlockCode, strategy: Optional[str] = None) -> Decoder:
+    """Build a decoder for ``code``.
+
+    ``strategy=None`` picks the paper's pairing via
+    :func:`~repro.coding.decoders.default_decoder_for`.
+    """
+    if strategy is None:
+        return default_decoder_for(code)
+    key = strategy.lower()
+    if key not in _DECODER_FACTORIES:
+        raise KeyError(
+            f"unknown decoder {strategy!r}; available: {available_decoders()}"
+        )
+    return _DECODER_FACTORIES[key](code)

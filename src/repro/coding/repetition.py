@@ -1,0 +1,37 @@
+"""Repetition codes — the simplest baseline in the design space sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.linear import LinearBlockCode
+from repro.gf2.matrix import GF2Matrix
+
+
+def repetition_code(n: int) -> LinearBlockCode:
+    """The [n, 1, n] repetition code."""
+    if n < 1:
+        raise ValueError("repetition length must be >= 1")
+    return LinearBlockCode(
+        GF2Matrix(np.ones((1, n), dtype=np.uint8)),
+        name=f"Repetition({n},1)",
+        message_positions=[0],
+    )
+
+
+def bitwise_repetition_code(k: int, copies: int) -> LinearBlockCode:
+    """Each of k message bits repeated ``copies`` times (k*copies length).
+
+    A strawman alternative to the paper's encoders: for k=4, copies=2 it
+    fills the same 8 output channels but only *detects* single errors.
+    """
+    if k < 1 or copies < 1:
+        raise ValueError("k and copies must be >= 1")
+    g = np.zeros((k, k * copies), dtype=np.uint8)
+    for i in range(k):
+        g[i, i * copies : (i + 1) * copies] = 1
+    return LinearBlockCode(
+        GF2Matrix(g),
+        name=f"BitRepetition({k * copies},{k})",
+        message_positions=[i * copies for i in range(k)],
+    )

@@ -1,0 +1,26 @@
+"""The paper's encoder circuits, a generic encoder builder, and
+netlist-vs-algebra verification."""
+
+from repro.encoders.designs import (
+    EncoderDesign,
+    hamming74_encoder_design,
+    hamming84_encoder_design,
+    rm13_encoder_design,
+    no_encoder_design,
+    paper_designs,
+    design_for_scheme,
+)
+from repro.encoders.builder import build_encoder_for_code
+from repro.encoders.verification import verify_encoder_netlist
+
+__all__ = [
+    "EncoderDesign",
+    "hamming74_encoder_design",
+    "hamming84_encoder_design",
+    "rm13_encoder_design",
+    "no_encoder_design",
+    "paper_designs",
+    "design_for_scheme",
+    "build_encoder_for_code",
+    "verify_encoder_netlist",
+]

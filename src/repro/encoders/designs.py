@@ -1,0 +1,196 @@
+"""The paper's three encoder circuits plus the no-encoder baseline.
+
+Each design couples the algebraic code with the synthesised netlist of
+the paper's schematic:
+
+* **Hamming(8,4)** (Fig. 2) — subexpression shares ``t1 = m1^m2``
+  (feeding c1 and c8) and ``t2 = m3^m4`` (feeding c2 and c4); message
+  bits ride 2-DFF delay chains to c3/c5/c6/c7 whose mid-chain taps also
+  feed the second-stage XORs.  Inventory: 6 XOR, 8 DFF, 23 splitters
+  (10 data + 13 clock), 8 SFQ-to-DC — Table II row 3.
+* **Hamming(7,4)** — the same circuit without c8 (t1 then feeds only
+  c1): 5 XOR, 8 DFF, 20 splitters, 7 SFQ-to-DC — Table II row 2.
+* **RM(1,3)** (Fig. 4) — shares a = m1^m2, b = m1^m3, d = m1^m4,
+  t = m3^m4 with a second XOR rank for c4/c6/c7/c8: 8 XOR, 7 DFF,
+  26 splitters (12 data + 14 clock), 8 SFQ-to-DC — Table II row 1.
+* **no encoder** — four pass-through channels, driver-only (the
+  baseline curve of Fig. 5).
+
+All pipelines have logic depth 2 (or 0 for the baseline), matching the
+two-clock-cycle latency seen in Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.coding.decoders import Decoder
+from repro.coding.linear import LinearBlockCode
+from repro.coding.registry import DISPLAY_NAMES, get_code, get_decoder
+from repro.sfq.cells import CellLibrary, coldflux_library
+from repro.sfq.netlist import Netlist
+from repro.sfq.synthesis import EncoderSynthesizer, XorEquation
+
+
+@dataclass(frozen=True)
+class EncoderDesign:
+    """A code paired with its SFQ implementation and decoder."""
+
+    scheme: str
+    display_name: str
+    code: Optional[LinearBlockCode]
+    netlist: Netlist
+
+    @property
+    def n_channels(self) -> int:
+        """Output channels toward the higher-temperature stage."""
+        return len(self.netlist.outputs)
+
+    @property
+    def message_bits(self) -> int:
+        return len([i for i in self.netlist.inputs if i != "clk"])
+
+    def decoder(self, strategy: Optional[str] = None) -> Optional[Decoder]:
+        """The room-temperature decoder paired with this design."""
+        if self.code is None:
+            return None
+        return get_decoder(self.code, strategy)
+
+    def __repr__(self) -> str:
+        return f"<EncoderDesign {self.display_name}: {self.netlist!r}>"
+
+
+_MESSAGE_INPUTS = ("m1", "m2", "m3", "m4")
+
+
+def hamming84_encoder_design(library: Optional[CellLibrary] = None) -> EncoderDesign:
+    """Fig. 2: the Hamming(8,4) encoder netlist + code + SEC-DED decoder."""
+    synth = EncoderSynthesizer(library or coldflux_library())
+    equations = [
+        XorEquation("c1", ("m1", "m2", "m4")),
+        XorEquation("c2", ("m1", "m3", "m4")),
+        XorEquation("c3", ("m1",)),
+        XorEquation("c4", ("m2", "m3", "m4")),
+        XorEquation("c5", ("m2",)),
+        XorEquation("c6", ("m3",)),
+        XorEquation("c7", ("m4",)),
+        XorEquation("c8", ("m1", "m2", "m3")),
+    ]
+    shares = {"t1": ("m1", "m2"), "t2": ("m3", "m4")}
+    netlist = synth.synthesize(
+        "hamming84_encoder", _MESSAGE_INPUTS, equations, shared_terms=shares
+    )
+    return EncoderDesign(
+        scheme="hamming84",
+        display_name=DISPLAY_NAMES["hamming84"],
+        code=get_code("hamming84"),
+        netlist=netlist,
+    )
+
+
+def hamming74_encoder_design(library: Optional[CellLibrary] = None) -> EncoderDesign:
+    """The Hamming(7,4) encoder: Fig. 2 without the c8 output."""
+    synth = EncoderSynthesizer(library or coldflux_library())
+    equations = [
+        XorEquation("c1", ("m1", "m2", "m4")),
+        XorEquation("c2", ("m1", "m3", "m4")),
+        XorEquation("c3", ("m1",)),
+        XorEquation("c4", ("m2", "m3", "m4")),
+        XorEquation("c5", ("m2",)),
+        XorEquation("c6", ("m3",)),
+        XorEquation("c7", ("m4",)),
+    ]
+    shares = {"t1": ("m1", "m2"), "t2": ("m3", "m4")}
+    netlist = synth.synthesize(
+        "hamming74_encoder", _MESSAGE_INPUTS, equations, shared_terms=shares
+    )
+    return EncoderDesign(
+        scheme="hamming74",
+        display_name=DISPLAY_NAMES["hamming74"],
+        code=get_code("hamming74"),
+        netlist=netlist,
+    )
+
+
+def rm13_encoder_design(library: Optional[CellLibrary] = None) -> EncoderDesign:
+    """Fig. 4: the RM(1,3) encoder netlist + code + FHT decoder.
+
+    Output bit c_i (1-indexed) realises
+    ``m1 ^ m2*b0 ^ m3*b1 ^ m4*b2`` with ``b2 b1 b0`` = binary(i-1).
+    """
+    synth = EncoderSynthesizer(library or coldflux_library())
+    equations = [
+        XorEquation("c1", ("m1",)),
+        XorEquation("c2", ("m1", "m2")),
+        XorEquation("c3", ("m1", "m3")),
+        XorEquation("c4", ("m1", "m2", "m3")),
+        XorEquation("c5", ("m1", "m4")),
+        XorEquation("c6", ("m1", "m2", "m4")),
+        XorEquation("c7", ("m1", "m3", "m4")),
+        XorEquation("c8", ("m1", "m2", "m3", "m4")),
+    ]
+    # Fig. 4's sharing: first-rank XORs a = c2, b = c3, d = c5 are reused
+    # by the second rank; t = m3^m4 pairs with a for c8 (depth 2).
+    shares = {
+        "a": ("m1", "m2"),
+        "b": ("m1", "m3"),
+        "d": ("m1", "m4"),
+        "t": ("m3", "m4"),
+    }
+    # Rewrite so the second rank consumes the shares explicitly:
+    # c4 = a^m3, c6 = a^m4, c7 = b^m4, c8 = a^t, c2 = a, c3 = b, c5 = d.
+    equations = [
+        XorEquation("c1", ("m1",)),
+        XorEquation("c2", ("a",)),
+        XorEquation("c3", ("b",)),
+        XorEquation("c4", ("a", "m3")),
+        XorEquation("c5", ("d",)),
+        XorEquation("c6", ("a", "m4")),
+        XorEquation("c7", ("b", "m4")),
+        XorEquation("c8", ("a", "t")),
+    ]
+    netlist = synth.synthesize(
+        "rm13_encoder", _MESSAGE_INPUTS, equations, shared_terms=shares
+    )
+    return EncoderDesign(
+        scheme="rm13",
+        display_name=DISPLAY_NAMES["rm13"],
+        code=get_code("rm13"),
+        netlist=netlist,
+    )
+
+
+def no_encoder_design(library: Optional[CellLibrary] = None) -> EncoderDesign:
+    """The paper's 'no encoder' baseline: 4 channels, driver-only."""
+    synth = EncoderSynthesizer(library or coldflux_library())
+    equations = [XorEquation(f"c{i}", (f"m{i}",)) for i in range(1, 5)]
+    netlist = synth.synthesize("no_encoder", _MESSAGE_INPUTS, equations)
+    return EncoderDesign(
+        scheme="none",
+        display_name=DISPLAY_NAMES["none"],
+        code=None,
+        netlist=netlist,
+    )
+
+
+def paper_designs(library: Optional[CellLibrary] = None) -> List[EncoderDesign]:
+    """The three encoders in Table II's row order (RM, H74, H84)."""
+    return [
+        rm13_encoder_design(library),
+        hamming74_encoder_design(library),
+        hamming84_encoder_design(library),
+    ]
+
+
+def design_for_scheme(scheme: str, library: Optional[CellLibrary] = None) -> EncoderDesign:
+    """Factory by scheme name (``rm13``/``hamming74``/``hamming84``/``none``)."""
+    factories = {
+        "rm13": rm13_encoder_design,
+        "hamming74": hamming74_encoder_design,
+        "hamming84": hamming84_encoder_design,
+        "none": no_encoder_design,
+    }
+    if scheme not in factories:
+        raise KeyError(f"unknown scheme {scheme!r}; available: {sorted(factories)}")
+    return factories[scheme](library)

@@ -1,0 +1,10 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module exposes ``run()`` returning a structured result and
+``render(result)`` returning the printable report; the CLI and the
+benchmark harness call both.
+"""
+
+from repro.experiments import ablations, fig3, fig5, report, table1, table2
+
+__all__ = ["table1", "table2", "fig3", "fig5", "ablations", "report"]

@@ -1,0 +1,234 @@
+"""Ablation experiments around the paper's design choices.
+
+Four studies backing the discussion in Sections II and IV:
+
+* **spread sweep** — Fig. 5's P(N = 0) anchors as the PPV spread grows
+  from +/-10 % to +/-30 % (the design-margin range quoted in Section I);
+* **decoder-policy sweep** — the (8,4,4) code decoded three ways
+  (SEC-DED detect+fallback, FHT complete, exhaustive ML) and
+  Hamming(7,4) in bounded-distance mode, quantifying how much of
+  Hamming(8,4)'s Fig. 5 win is decoder policy rather than code;
+* **frequency sweep** — static-timing maximum clock rate per encoder
+  and setup slack at the paper's 5 GHz operating point;
+* **code-cost sweep** — Table II-style roll-ups for heavier codes the
+  paper names as alternatives (BCH(15,7), the (38,32)-style SEC-DED of
+  Ref. [14]) synthesised by the generic builder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.bch import bch_15_7, bch_15_11
+from repro.coding.hamming import extend_with_overall_parity, hamming_code
+from repro.coding.registry import DISPLAY_NAMES
+from repro.encoders.builder import build_encoder_for_code
+from repro.encoders.designs import paper_designs
+from repro.ppv.spread import SpreadSpec
+from repro.sfq.physical import summarize_circuit
+from repro.sfq.timing import analyze_timing, max_frequency_ghz
+from repro.system.experiment import Fig5Config, run_fig5_experiment
+from repro.utils.tables import format_table
+
+
+# ----------------------------------------------------------------------
+# Spread sweep
+# ----------------------------------------------------------------------
+@dataclass
+class SpreadSweepResult:
+    spreads: List[float]
+    anchors: Dict[str, List[float]]  # scheme -> P(N=0) per spread
+
+
+def run_spread_sweep(
+    spreads: Sequence[float] = (0.10, 0.15, 0.20, 0.25, 0.30),
+    n_chips: int = 400,
+    seed: int = 7,
+) -> SpreadSweepResult:
+    anchors: Dict[str, List[float]] = {}
+    for spread in spreads:
+        config = Fig5Config(
+            n_chips=n_chips, spread=SpreadSpec(spread), seed=seed + int(spread * 1000)
+        )
+        result = run_fig5_experiment(config)
+        for scheme, res in result.schemes.items():
+            anchors.setdefault(scheme, []).append(res.probability_zero_errors)
+    return SpreadSweepResult(spreads=list(spreads), anchors=anchors)
+
+
+def render_spread_sweep(result: SpreadSweepResult) -> str:
+    headers = ["Scheme"] + [f"+/-{s * 100:.0f}%" for s in result.spreads]
+    rows = []
+    for scheme, values in result.anchors.items():
+        rows.append([DISPLAY_NAMES.get(scheme, scheme)] + [f"{v:.3f}" for v in values])
+    return format_table(
+        headers, rows,
+        title="Ablation — P(N=0) vs process-parameter spread "
+              "(circuits are designed for +/-20%: expect a cliff beyond it)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Decoder-policy sweep
+# ----------------------------------------------------------------------
+@dataclass
+class DecoderSweepResult:
+    anchors: Dict[str, float]  # "scheme/strategy" -> P(N=0)
+
+
+#: (scheme, decoder strategy) pairs; None = the paper's default pairing.
+DECODER_SWEEP_CASES = (
+    ("hamming84", None),
+    ("hamming84", "syndrome"),
+    ("hamming84", "ml"),
+    ("hamming74", None),
+    ("hamming74", "sec-ded-like"),  # bounded-distance syndrome (flagging)
+    ("rm13", None),
+    ("rm13", "reed-majority"),
+    ("rm13", "sec-ded"),
+)
+
+
+def run_decoder_sweep(n_chips: int = 400, seed: int = 11) -> DecoderSweepResult:
+    from repro.coding.decoders import SyndromeDecoder
+    from repro.coding.registry import get_code
+    from repro.encoders.designs import design_for_scheme
+    from repro.ppv.margins import MarginModel
+    from repro.ppv.montecarlo import ChipSampler
+    from repro.system.datalink import CryogenicDataLink
+
+    anchors: Dict[str, float] = {}
+    spread = SpreadSpec(0.20)
+    model = MarginModel()
+    for scheme, strategy in DECODER_SWEEP_CASES:
+        design = design_for_scheme(scheme)
+        if strategy == "sec-ded-like":
+            link = CryogenicDataLink(design)
+            link.decoder = SyndromeDecoder(design.code, max_correctable_weight=1)
+            label = f"{scheme}/bounded-syndrome"
+        else:
+            link = CryogenicDataLink(design, decoder_strategy=strategy)
+            label = f"{scheme}/{strategy or 'paper-default'}"
+        sampler = ChipSampler(design.netlist, spread, model)
+        zero = 0
+        for chip in sampler.sample(n_chips, seed):
+            msgs = chip.rng.integers(0, 2, size=(100, 4)).astype(np.uint8)
+            if link.transmit(msgs, chip.faults, chip.rng).n_erroneous == 0:
+                zero += 1
+        anchors[label] = zero / n_chips
+    return DecoderSweepResult(anchors=anchors)
+
+
+def render_decoder_sweep(result: DecoderSweepResult) -> str:
+    rows = [[label, f"{p:.3f}"] for label, p in result.anchors.items()]
+    return format_table(
+        ["code/decoder policy", "P(N=0)"], rows,
+        title="Ablation — decoder policy at +/-20% spread "
+              "(same netlists, decoding swapped)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Frequency sweep
+# ----------------------------------------------------------------------
+@dataclass
+class FrequencyResult:
+    max_frequency: Dict[str, float]
+    setup_slack_at_5ghz: Dict[str, float]
+
+
+def run_frequency_study() -> FrequencyResult:
+    max_freq: Dict[str, float] = {}
+    slack: Dict[str, float] = {}
+    for design in paper_designs():
+        report = analyze_timing(design.netlist)
+        max_freq[design.scheme] = max_frequency_ghz(design.netlist)
+        slack[design.scheme] = report.setup_slack_ps(5.0)
+    return FrequencyResult(max_frequency=max_freq, setup_slack_at_5ghz=slack)
+
+
+def render_frequency_study(result: FrequencyResult) -> str:
+    rows = []
+    for scheme, freq in result.max_frequency.items():
+        rows.append([
+            DISPLAY_NAMES.get(scheme, scheme),
+            f"{freq:.1f}",
+            f"{result.setup_slack_at_5ghz[scheme]:.1f}",
+        ])
+    return format_table(
+        ["Encoder", "max clock (GHz)", "setup slack at 5 GHz (ps)"], rows,
+        title="Ablation — static timing (paper operates at 5 GHz)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Code-cost sweep
+# ----------------------------------------------------------------------
+@dataclass
+class CodeCostResult:
+    rows: List[List[object]]
+
+
+def run_code_cost_study() -> CodeCostResult:
+    """Price the heavier alternatives the paper argues against."""
+    candidates = [
+        bch_15_11(),
+        bch_15_7(),
+        extend_with_overall_parity(hamming_code(5)),  # (32,26)+parity ~ Ref. [14] style
+    ]
+    rows: List[List[object]] = []
+    for design in paper_designs():
+        summary = summarize_circuit(design.netlist, name=design.display_name)
+        rows.append([
+            summary.name, design.code.n, design.code.k,
+            summary.jj_count, round(summary.static_power_uw, 1),
+            round(summary.area_mm2, 3),
+        ])
+    for code in candidates:
+        encoder = build_encoder_for_code(code)
+        summary = summarize_circuit(encoder.netlist, name=code.name)
+        rows.append([
+            summary.name, code.n, code.k,
+            summary.jj_count, round(summary.static_power_uw, 1),
+            round(summary.area_mm2, 3),
+        ])
+    return CodeCostResult(rows=rows)
+
+
+def render_code_cost_study(result: CodeCostResult) -> str:
+    return format_table(
+        ["Encoder", "n", "k", "JJ", "Power (uW)", "Area (mm2)"],
+        result.rows,
+        title="Ablation — encoder cost of heavier codes "
+              "(BCH per Section II; SEC-DED(33,26) in the spirit of Ref. [14])",
+    )
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class AblationsResult:
+    spread: SpreadSweepResult
+    decoders: DecoderSweepResult
+    frequency: FrequencyResult
+    code_cost: CodeCostResult
+
+
+def run(n_chips: int = 400, seed: int = 7) -> AblationsResult:
+    return AblationsResult(
+        spread=run_spread_sweep(n_chips=n_chips, seed=seed),
+        decoders=run_decoder_sweep(n_chips=n_chips, seed=seed + 1),
+        frequency=run_frequency_study(),
+        code_cost=run_code_cost_study(),
+    )
+
+
+def render(result: AblationsResult) -> str:
+    return "\n\n".join([
+        render_spread_sweep(result.spread),
+        render_decoder_sweep(result.decoders),
+        render_frequency_study(result.frequency),
+        render_code_cost_study(result.code_cost),
+    ])

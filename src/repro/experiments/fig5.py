@@ -1,0 +1,102 @@
+"""Experiment ``fig5``: CDF of erroneous messages under PPV.
+
+Runs the paper's Monte-Carlo (Section IV / Fig. 5): for each coding
+scheme, 1000 virtual chips are sampled at +/-20 % parameter spread;
+each chip transmits 100 random 4-bit messages; the CDF of the per-chip
+erroneous-message count N is reported together with the P(N = 0)
+anchors the paper quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.stats import binomial_confidence_interval
+from repro.system.calibration import PAPER_FIG5_TARGETS
+from repro.system.experiment import (
+    Fig5Config,
+    Fig5Result,
+    run_fig5_experiment,
+)
+from repro.utils.tables import format_cdf_plot, format_table
+
+#: Display order matching the paper's Fig. 5 legend.
+LEGEND_ORDER = ("rm13", "hamming74", "hamming84", "none")
+
+
+@dataclass
+class Fig5Report:
+    result: Fig5Result
+
+    def anchors_close_to_paper(self, tolerance: float = 0.03) -> bool:
+        for scheme, target in PAPER_FIG5_TARGETS.items():
+            got = self.result.schemes[scheme].probability_zero_errors
+            if abs(got - target) > tolerance:
+                return False
+        return True
+
+    def ordering_matches_paper(self) -> bool:
+        anchors = self.result.anchors()
+        return (
+            anchors["none"] < anchors["rm13"] < anchors["hamming74"] < anchors["hamming84"]
+        )
+
+
+def run(config: Optional[Fig5Config] = None) -> Fig5Report:
+    return Fig5Report(result=run_fig5_experiment(config))
+
+
+def cdf_csv(report: Fig5Report, max_n: int = 100) -> str:
+    """CSV dump of the CDF curves (column per scheme)."""
+    lines = ["N," + ",".join(
+        report.result.schemes[s].display_name for s in LEGEND_ORDER
+    )]
+    cdfs = {s: report.result.schemes[s].cdf.values for s in LEGEND_ORDER}
+    for n in range(max_n + 1):
+        row = [str(n)]
+        for s in LEGEND_ORDER:
+            values = cdfs[s]
+            row.append(f"{values[min(n, len(values) - 1)]:.4f}")
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def render(report: Fig5Report) -> str:
+    result = report.result
+    config = result.config
+    lines = [
+        "Fig. 5 — CDF of receiving at most N erroneous messages out of "
+        f"{config.n_messages} transmissions",
+        f"{config.n_chips} chips per scheme, spread {config.spread.describe()}",
+    ]
+    headers = ["Scheme", "P(N=0)", "95% CI", "paper", "diff", "mean N", "max N"]
+    rows = []
+    for scheme in LEGEND_ORDER:
+        res = result.schemes[scheme]
+        p_zero = res.probability_zero_errors
+        zero_count = int((res.counts == 0).sum())
+        lo, hi = binomial_confidence_interval(zero_count, len(res.counts))
+        paper = PAPER_FIG5_TARGETS.get(scheme)
+        rows.append([
+            res.display_name,
+            f"{p_zero:.3f}",
+            f"({lo:.3f},{hi:.3f})",
+            f"{paper:.3f}" if paper is not None else "-",
+            f"{p_zero - paper:+.3f}" if paper is not None else "-",
+            f"{res.counts.mean():.2f}",
+            int(res.counts.max()),
+        ])
+    lines.append(format_table(headers, rows))
+    lines.append(
+        "ordering matches paper (none < RM < H74 < H84): "
+        f"{report.ordering_matches_paper()}"
+    )
+    series = {
+        result.schemes[s].display_name: result.schemes[s].cdf.values[:91]
+        for s in LEGEND_ORDER
+    }
+    lines.append(format_cdf_plot(series, y_min=0.70, x_label="N (erroneous messages)"))
+    return "\n".join(lines)

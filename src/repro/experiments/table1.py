@@ -1,0 +1,118 @@
+"""Experiment ``table1``: detected/corrected error capabilities.
+
+Regenerates the paper's Table I (worst/best case errors detected and
+corrected per code) from exhaustive error-pattern enumeration, plus the
+Section II-C footnote that Hamming(7,4) detects 28 of 35 three-bit
+patterns (80 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.coding.analysis import (
+    Table1Row,
+    correction_profiles,
+    detection_profiles,
+    hamming74_three_bit_detection,
+    table1_row,
+)
+from repro.coding.registry import get_code, get_decoder
+from repro.utils.tables import format_table
+
+#: Table I values as printed in the paper, keyed by scheme.
+PAPER_TABLE1: Dict[str, Dict[str, int]] = {
+    "hamming74": dict(dmin=3, worst_detected=1, worst_corrected=1,
+                      best_detected=3, best_corrected=1),
+    "hamming84": dict(dmin=4, worst_detected=3, worst_corrected=1,
+                      best_detected=3, best_corrected=1),
+    "rm13": dict(dmin=4, worst_detected=3, worst_corrected=1,
+                 best_detected=3, best_corrected=2),
+}
+
+SCHEMES = ("hamming74", "hamming84", "rm13")
+
+
+@dataclass
+class Table1Result:
+    rows: Dict[str, Table1Row]
+    three_bit_detection: Dict[str, float]
+    detection_detail: Dict[str, List]
+    correction_detail: Dict[str, List]
+
+    def matches_paper(self) -> bool:
+        for scheme, row in self.rows.items():
+            paper = PAPER_TABLE1[scheme]
+            got = dict(
+                dmin=row.dmin,
+                worst_detected=row.worst_detected,
+                worst_corrected=row.worst_corrected,
+                best_detected=row.best_detected,
+                best_corrected=row.best_corrected,
+            )
+            if got != paper:
+                return False
+        return True
+
+
+def run() -> Table1Result:
+    """Enumerate all error patterns for the three codes."""
+    rows: Dict[str, Table1Row] = {}
+    detection_detail: Dict[str, List] = {}
+    correction_detail: Dict[str, List] = {}
+    for scheme in SCHEMES:
+        code = get_code(scheme)
+        decoder = get_decoder(code)
+        rows[scheme] = table1_row(code, decoder)
+        detection_detail[scheme] = detection_profiles(code, max_weight=4)
+        correction_detail[scheme] = correction_profiles(code, decoder, max_weight=4)
+    return Table1Result(
+        rows=rows,
+        three_bit_detection=hamming74_three_bit_detection(get_code("hamming74")),
+        detection_detail=detection_detail,
+        correction_detail=correction_detail,
+    )
+
+
+def render(result: Table1Result) -> str:
+    """Text report mirroring Table I with paper-vs-measured columns."""
+    headers = [
+        "Code", "dmin",
+        "W detect", "W correct", "B detect", "B correct", "paper (W d/c, B d/c)",
+    ]
+    table_rows = []
+    for scheme in SCHEMES:
+        row = result.rows[scheme]
+        paper = PAPER_TABLE1[scheme]
+        table_rows.append([
+            row.code_name, row.dmin,
+            row.worst_detected, row.worst_corrected,
+            row.best_detected, row.best_corrected,
+            f"{paper['worst_detected']}/{paper['worst_corrected']}, "
+            f"{paper['best_detected']}/{paper['best_corrected']}",
+        ])
+    lines = [format_table(headers, table_rows,
+                          title="Table I — detected and corrected errors")]
+    det = result.three_bit_detection
+    lines.append(
+        f"Hamming(7,4) 3-bit detection-only: {det['detected']}/{det['total']}"
+        f" = {det['rate'] * 100:.0f}% (paper: 28/35 = 80%)"
+    )
+    lines.append(f"all entries match paper: {result.matches_paper()}")
+    # Per-weight correction-mode detail.
+    for scheme in SCHEMES:
+        profiles = result.correction_detail[scheme]
+        detail_rows = [
+            [p.weight, p.pattern_count, p.corrected + p.corrected_flagged,
+             p.detected, p.silent, p.some_strict_corrected_patterns]
+            for p in profiles
+        ]
+        lines.append(format_table(
+            ["w", "patterns", "msg survives", "flagged wrong", "silent wrong",
+             "patterns strictly correctable"],
+            detail_rows,
+            title=f"correction-mode detail — {result.rows[scheme].code_name} "
+                  "(counts over codeword x pattern pairs)",
+        ))
+    return "\n\n".join(lines)

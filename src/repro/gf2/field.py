@@ -1,0 +1,164 @@
+"""Extension fields GF(2^m) with log/antilog tables.
+
+The BCH comparison code needs GF(2^m) arithmetic to locate the roots of
+its generator polynomial.  Elements are represented as integers in
+``[0, 2^m)`` whose bit i is the coefficient of alpha^i in the polynomial
+basis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.gf2.polynomials import GF2Polynomial
+
+#: Default primitive polynomials (integer masks, bit i = coeff of x^i)
+#: for the field sizes used in this project.
+PRIMITIVE_POLYNOMIALS: Dict[int, int] = {
+    2: 0b111,         # x^2 + x + 1
+    3: 0b1011,        # x^3 + x + 1
+    4: 0b10011,       # x^4 + x + 1
+    5: 0b100101,      # x^5 + x^2 + 1
+    6: 0b1000011,     # x^6 + x + 1
+    7: 0b10001001,    # x^7 + x^3 + 1
+    8: 0b100011101,   # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class GF2mField:
+    """The finite field GF(2^m) built from a primitive polynomial.
+
+    Parameters
+    ----------
+    m:
+        Extension degree (2..8 supported with the default table).
+    primitive_polynomial:
+        Optional integer mask overriding the default primitive polynomial.
+    """
+
+    def __init__(self, m: int, primitive_polynomial: int | None = None):
+        if m < 2:
+            raise ValueError("extension degree m must be >= 2")
+        if primitive_polynomial is None:
+            if m not in PRIMITIVE_POLYNOMIALS:
+                raise ValueError(
+                    f"no default primitive polynomial for m={m}; pass one explicitly"
+                )
+            primitive_polynomial = PRIMITIVE_POLYNOMIALS[m]
+        poly = GF2Polynomial(primitive_polynomial)
+        if poly.degree != m:
+            raise ValueError(
+                f"primitive polynomial degree {poly.degree} does not match m={m}"
+            )
+        if not poly.is_irreducible():
+            raise ValueError("primitive polynomial is reducible")
+        self.m = m
+        self.size = 1 << m
+        self.order = self.size - 1  # multiplicative group order
+        self.primitive_polynomial = poly
+        self._exp: List[int] = [0] * (2 * self.order)
+        self._log: List[int] = [0] * self.size
+        self._build_tables(primitive_polynomial)
+
+    def _build_tables(self, prim_mask: int) -> None:
+        x = 1
+        for i in range(self.order):
+            if i > 0 and x == 1:
+                # x cycled back early: its multiplicative order divides i,
+                # so x does not generate the full group.
+                raise ValueError("polynomial is irreducible but not primitive")
+            self._exp[i] = x
+            self._log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= prim_mask
+        if x != 1:
+            raise ValueError("polynomial is irreducible but not primitive")
+        # Duplicate for overflow-free exponent addition.
+        for i in range(self.order, 2 * self.order):
+            self._exp[i] = self._exp[i - self.order]
+
+    # ------------------------------------------------------------------
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        self._check(a)
+        self._check(b)
+        return a ^ b
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication via log tables."""
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        return self._exp[self._log[a] + self._log[b]]
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse."""
+        self._check(a)
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return self._exp[self.order - self._log[a]]
+
+    def divide(self, a: int, b: int) -> int:
+        """Field division ``a / b``."""
+        return self.multiply(a, self.inverse(b))
+
+    def power(self, a: int, n: int) -> int:
+        """``a**n`` with n possibly negative."""
+        self._check(a)
+        if a == 0:
+            if n <= 0:
+                raise ZeroDivisionError("0 cannot be raised to a non-positive power")
+            return 0
+        exponent = (self._log[a] * n) % self.order
+        return self._exp[exponent]
+
+    def alpha_power(self, n: int) -> int:
+        """The element alpha^n (alpha = the primitive element)."""
+        return self._exp[n % self.order]
+
+    def log_alpha(self, a: int) -> int:
+        """Discrete log base alpha."""
+        self._check(a)
+        if a == 0:
+            raise ValueError("log of 0 is undefined")
+        return self._log[a]
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.size:
+            raise ValueError(f"element {a} outside GF(2^{self.m})")
+
+    # ------------------------------------------------------------------
+    def minimal_polynomial(self, element: int) -> GF2Polynomial:
+        """Minimal polynomial of ``element`` over GF(2).
+
+        Computed as the product of ``(x - c)`` over the conjugacy class
+        ``{element, element^2, element^4, ...}``.
+        """
+        self._check(element)
+        if element == 0:
+            return GF2Polynomial([0, 1])  # x
+        conjugates = []
+        c = element
+        while c not in conjugates:
+            conjugates.append(c)
+            c = self.multiply(c, c)
+        # Expand prod (x + c_i) with coefficients in GF(2^m); the result
+        # must collapse to GF(2) coefficients.
+        coeffs = [1]  # polynomial "1" in GF(2^m) coefficients, LSB-first
+        for conj in conjugates:
+            new = [0] * (len(coeffs) + 1)
+            for i, a in enumerate(coeffs):
+                new[i + 1] ^= a              # x * a x^i
+                new[i] ^= self.multiply(a, conj)  # conj * a x^i
+            coeffs = new
+        if any(c not in (0, 1) for c in coeffs):
+            raise ArithmeticError("minimal polynomial has non-binary coefficients")
+        return GF2Polynomial(coeffs)
+
+    def __repr__(self) -> str:
+        return (
+            f"GF2mField(m={self.m}, "
+            f"primitive_polynomial={self.primitive_polynomial!r})"
+        )

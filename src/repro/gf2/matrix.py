@@ -1,0 +1,281 @@
+"""Dense matrices over GF(2).
+
+:class:`GF2Matrix` wraps a NumPy ``uint8`` array and implements the
+linear algebra the coding layer needs: mod-2 products, row reduction,
+rank, inverse, null space, and conversion to systematic (standard) form.
+Matrices are immutable by convention — operations return new objects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import DimensionError, NotBinaryError, SingularMatrixError
+from repro.gf2.vectors import as_bit_array
+
+ArrayLike = Union[Sequence[Sequence[int]], np.ndarray, "GF2Matrix"]
+
+
+class GF2Matrix:
+    """An ``(rows x cols)`` matrix over GF(2).
+
+    Parameters
+    ----------
+    data:
+        Nested sequence, NumPy array of 0/1 entries, or another
+        :class:`GF2Matrix` (copied).
+    """
+
+    __slots__ = ("_data",)
+
+    def __init__(self, data: ArrayLike):
+        if isinstance(data, GF2Matrix):
+            arr = data._data.copy()
+        else:
+            arr = np.asarray(data, dtype=np.uint8)
+        if arr.ndim == 1:
+            arr = arr.reshape(1, -1)
+        if arr.ndim != 2:
+            raise DimensionError(f"expected a 2-D matrix, got shape {arr.shape}")
+        if arr.size and arr.max() > 1:
+            raise NotBinaryError("matrix contains values other than 0 and 1")
+        arr = arr % 2
+        arr.flags.writeable = False
+        self._data = arr
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zeros(cls, rows: int, cols: int) -> "GF2Matrix":
+        """All-zero matrix."""
+        return cls(np.zeros((rows, cols), dtype=np.uint8))
+
+    @classmethod
+    def identity(cls, n: int) -> "GF2Matrix":
+        """The n x n identity."""
+        return cls(np.eye(n, dtype=np.uint8))
+
+    @classmethod
+    def from_rows(cls, rows: Iterable[Sequence[int]]) -> "GF2Matrix":
+        """Build from an iterable of row vectors."""
+        return cls(np.array([as_bit_array(r) for r in rows], dtype=np.uint8))
+
+    @classmethod
+    def from_strings(cls, rows: Iterable[str]) -> "GF2Matrix":
+        """Build from strings like ``["1101", "0110"]``."""
+        return cls.from_rows([as_bit_array(r) for r in rows])
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._data.shape  # type: ignore[return-value]
+
+    @property
+    def rows(self) -> int:
+        return self._data.shape[0]
+
+    @property
+    def cols(self) -> int:
+        return self._data.shape[1]
+
+    def to_array(self) -> np.ndarray:
+        """Return a writable copy of the underlying ``uint8`` array."""
+        return self._data.copy()
+
+    def row(self, i: int) -> np.ndarray:
+        """Copy of row ``i``."""
+        return self._data[i].copy()
+
+    def column(self, j: int) -> np.ndarray:
+        """Copy of column ``j``."""
+        return self._data[:, j].copy()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GF2Matrix):
+            return NotImplemented
+        return self.shape == other.shape and bool((self._data == other._data).all())
+
+    def __hash__(self) -> int:
+        return hash((self.shape, self._data.tobytes()))
+
+    def __repr__(self) -> str:
+        body = "\n ".join("".join(str(int(b)) for b in row) for row in self._data)
+        return f"GF2Matrix({self.rows}x{self.cols},\n {body})"
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+    def __add__(self, other: "GF2Matrix") -> "GF2Matrix":
+        if self.shape != other.shape:
+            raise DimensionError(f"shape mismatch: {self.shape} + {other.shape}")
+        return GF2Matrix(self._data ^ other._data)
+
+    def __matmul__(self, other: Union["GF2Matrix", np.ndarray]) -> "GF2Matrix":
+        rhs = other._data if isinstance(other, GF2Matrix) else np.asarray(other, dtype=np.uint8)
+        if rhs.ndim == 1:
+            rhs = rhs.reshape(-1, 1)
+        if self.cols != rhs.shape[0]:
+            raise DimensionError(
+                f"inner dimension mismatch: {self.shape} @ {rhs.shape}"
+            )
+        product = (self._data.astype(np.uint32) @ rhs.astype(np.uint32)) % 2
+        return GF2Matrix(product.astype(np.uint8))
+
+    def multiply_vector(self, vector: Sequence[int]) -> np.ndarray:
+        """Compute ``M @ v (mod 2)`` returning a 1-D array."""
+        vec = as_bit_array(vector, length=self.cols)
+        return ((self._data.astype(np.uint32) @ vec.astype(np.uint32)) % 2).astype(np.uint8)
+
+    def left_multiply_vector(self, vector: Sequence[int]) -> np.ndarray:
+        """Compute ``v @ M (mod 2)`` — the codeword-encoding orientation."""
+        vec = as_bit_array(vector, length=self.rows)
+        return ((vec.astype(np.uint32) @ self._data.astype(np.uint32)) % 2).astype(np.uint8)
+
+    def transpose(self) -> "GF2Matrix":
+        return GF2Matrix(self._data.T.copy())
+
+    @property
+    def T(self) -> "GF2Matrix":
+        return self.transpose()
+
+    # ------------------------------------------------------------------
+    # Row reduction and friends
+    # ------------------------------------------------------------------
+    def rref(self) -> Tuple["GF2Matrix", List[int]]:
+        """Reduced row-echelon form and the list of pivot columns."""
+        m = self._data.copy()
+        rows, cols = m.shape
+        pivots: List[int] = []
+        r = 0
+        for c in range(cols):
+            if r >= rows:
+                break
+            pivot_rows = np.nonzero(m[r:, c])[0]
+            if pivot_rows.size == 0:
+                continue
+            pivot = r + int(pivot_rows[0])
+            if pivot != r:
+                m[[r, pivot]] = m[[pivot, r]]
+            # Eliminate every other 1 in this column.
+            hits = np.nonzero(m[:, c])[0]
+            for h in hits:
+                if h != r:
+                    m[h] ^= m[r]
+            pivots.append(c)
+            r += 1
+        return GF2Matrix(m), pivots
+
+    def rank(self) -> int:
+        """Rank over GF(2)."""
+        _, pivots = self.rref()
+        return len(pivots)
+
+    def inverse(self) -> "GF2Matrix":
+        """Inverse of a square, full-rank matrix.
+
+        Raises
+        ------
+        SingularMatrixError
+            If the matrix is not square or not invertible.
+        """
+        if self.rows != self.cols:
+            raise SingularMatrixError(f"matrix is not square: {self.shape}")
+        n = self.rows
+        aug = np.concatenate([self._data.copy(), np.eye(n, dtype=np.uint8)], axis=1)
+        reduced, pivots = GF2Matrix(aug).rref()
+        if pivots[:n] != list(range(n)):
+            raise SingularMatrixError("matrix is singular over GF(2)")
+        return GF2Matrix(reduced.to_array()[:, n:])
+
+    def null_space(self) -> "GF2Matrix":
+        """Basis of the right null space ``{x : M x = 0}``, one row each.
+
+        Returns a ``(cols - rank) x cols`` matrix (possibly 0 rows).
+        """
+        reduced, pivots = self.rref()
+        rmat = reduced.to_array()
+        free_cols = [c for c in range(self.cols) if c not in pivots]
+        basis = np.zeros((len(free_cols), self.cols), dtype=np.uint8)
+        for i, free in enumerate(free_cols):
+            basis[i, free] = 1
+            for r, pivot_col in enumerate(pivots):
+                if rmat[r, free]:
+                    basis[i, pivot_col] = 1
+        return GF2Matrix(basis)
+
+    def solve(self, rhs: Sequence[int]) -> np.ndarray:
+        """One solution ``x`` of ``M x = rhs`` (raises if inconsistent)."""
+        b = as_bit_array(rhs, length=self.rows)
+        aug = np.concatenate([self._data.copy(), b.reshape(-1, 1)], axis=1)
+        reduced, pivots = GF2Matrix(aug).rref()
+        if self.cols in pivots:
+            raise SingularMatrixError("system M x = rhs is inconsistent")
+        rmat = reduced.to_array()
+        x = np.zeros(self.cols, dtype=np.uint8)
+        for r, c in enumerate(pivots):
+            x[c] = rmat[r, -1]
+        return x
+
+    # ------------------------------------------------------------------
+    # Coding-theory helpers
+    # ------------------------------------------------------------------
+    def to_systematic(self) -> Tuple["GF2Matrix", List[int]]:
+        """Column-permute into systematic form ``[I_k | P]``.
+
+        Returns the systematic matrix and the column permutation applied,
+        as a list ``perm`` where output column ``j`` is input column
+        ``perm[j]``.
+
+        Raises
+        ------
+        SingularMatrixError
+            If the matrix does not have full row rank.
+        """
+        reduced, pivots = self.rref()
+        if len(pivots) != self.rows:
+            raise SingularMatrixError("matrix does not have full row rank")
+        other = [c for c in range(self.cols) if c not in pivots]
+        perm = list(pivots) + other
+        permuted = reduced.to_array()[:, perm]
+        return GF2Matrix(permuted), perm
+
+    def is_systematic(self) -> bool:
+        """True if the left ``rows x rows`` block is the identity."""
+        if self.cols < self.rows:
+            return False
+        return bool((self._data[:, : self.rows] == np.eye(self.rows, dtype=np.uint8)).all())
+
+    def row_space_contains(self, vector: Sequence[int]) -> bool:
+        """True if ``vector`` is a GF(2) combination of the rows."""
+        vec = as_bit_array(vector, length=self.cols)
+        stacked = GF2Matrix(np.vstack([self._data, vec]))
+        return stacked.rank() == self.rank()
+
+    def augment_columns(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Horizontal concatenation ``[self | other]``."""
+        if self.rows != other.rows:
+            raise DimensionError("row count mismatch in augment_columns")
+        return GF2Matrix(np.concatenate([self._data, other._data], axis=1))
+
+    def stack_rows(self, other: "GF2Matrix") -> "GF2Matrix":
+        """Vertical concatenation."""
+        if self.cols != other.cols:
+            raise DimensionError("column count mismatch in stack_rows")
+        return GF2Matrix(np.concatenate([self._data, other._data], axis=0))
+
+    def delete_column(self, index: int) -> "GF2Matrix":
+        """Matrix with column ``index`` removed (used to puncture codes)."""
+        if not 0 <= index < self.cols:
+            raise DimensionError(f"column {index} out of range for {self.shape}")
+        return GF2Matrix(np.delete(self._data, index, axis=1))
+
+    def permute_columns(self, perm: Sequence[int]) -> "GF2Matrix":
+        """Apply column permutation: output col j = input col perm[j]."""
+        if sorted(perm) != list(range(self.cols)):
+            raise DimensionError("perm must be a permutation of all column indices")
+        return GF2Matrix(self._data[:, list(perm)])

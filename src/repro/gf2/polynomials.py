@@ -1,0 +1,231 @@
+"""Polynomials over GF(2).
+
+Used by the BCH comparison code (generator polynomials, minimal
+polynomials) and handy for CRC-style checks.  Coefficients are stored
+LSB-first as a ``uint8`` array: index ``i`` is the coefficient of x^i.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import NotBinaryError
+
+PolyLike = Union["GF2Polynomial", Sequence[int], int, str]
+
+
+class GF2Polynomial:
+    """An immutable polynomial over GF(2).
+
+    Construction accepts:
+
+    * a coefficient sequence, LSB-first (index i = coeff of x^i),
+    * an integer bit mask (bit i = coeff of x^i), e.g. ``0b1011`` is
+      ``x^3 + x + 1``,
+    * a string of the same form as the sequence, MSB-first, e.g.
+      ``"1011"`` meaning ``x^3 + x + 1``.
+    """
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coeffs: PolyLike):
+        if isinstance(coeffs, GF2Polynomial):
+            arr = coeffs._coeffs.copy()
+        elif isinstance(coeffs, (int, np.integer)):
+            if coeffs < 0:
+                raise ValueError("integer polynomial mask must be non-negative")
+            bits = []
+            value = int(coeffs)
+            while value:
+                bits.append(value & 1)
+                value >>= 1
+            arr = np.array(bits or [0], dtype=np.uint8)
+        elif isinstance(coeffs, str):
+            cleaned = coeffs.replace(" ", "").replace("_", "")
+            if not cleaned or any(c not in "01" for c in cleaned):
+                raise NotBinaryError(f"not a binary string: {coeffs!r}")
+            arr = np.array([int(c) for c in reversed(cleaned)], dtype=np.uint8)
+        else:
+            arr = np.asarray(coeffs, dtype=np.uint8)
+            if arr.ndim != 1:
+                raise NotBinaryError("coefficient array must be 1-D")
+            if arr.size and arr.max() > 1:
+                raise NotBinaryError("coefficients must be 0 or 1")
+        arr = self._trim(arr)
+        arr.flags.writeable = False
+        self._coeffs = arr
+
+    @staticmethod
+    def _trim(arr: np.ndarray) -> np.ndarray:
+        nz = np.nonzero(arr)[0]
+        if nz.size == 0:
+            return np.zeros(1, dtype=np.uint8)
+        return arr[: int(nz[-1]) + 1].copy()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "GF2Polynomial":
+        return cls([0])
+
+    @classmethod
+    def one(cls) -> "GF2Polynomial":
+        return cls([1])
+
+    @classmethod
+    def x_power(cls, n: int) -> "GF2Polynomial":
+        """The monomial x^n."""
+        if n < 0:
+            raise ValueError("exponent must be non-negative")
+        coeffs = np.zeros(n + 1, dtype=np.uint8)
+        coeffs[n] = 1
+        return cls(coeffs)
+
+    # ------------------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree; the zero polynomial reports degree -1."""
+        if self.is_zero:
+            return -1
+        return int(self._coeffs.size - 1)
+
+    @property
+    def is_zero(self) -> bool:
+        return bool((self._coeffs == 0).all())
+
+    def coefficients(self) -> np.ndarray:
+        """LSB-first coefficient copy."""
+        return self._coeffs.copy()
+
+    def to_int(self) -> int:
+        """Pack into an integer mask (bit i = coeff of x^i)."""
+        value = 0
+        for i, c in enumerate(self._coeffs):
+            if c:
+                value |= 1 << i
+        return value
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GF2Polynomial):
+            return NotImplemented
+        return self._coeffs.size == other._coeffs.size and bool(
+            (self._coeffs == other._coeffs).all()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._coeffs.tobytes())
+
+    def __repr__(self) -> str:
+        if self.is_zero:
+            return "GF2Polynomial(0)"
+        terms = []
+        for i in range(self.degree, -1, -1):
+            if self._coeffs[i]:
+                if i == 0:
+                    terms.append("1")
+                elif i == 1:
+                    terms.append("x")
+                else:
+                    terms.append(f"x^{i}")
+        return f"GF2Polynomial({' + '.join(terms)})"
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        a, b = self._coeffs, other._coeffs
+        if a.size < b.size:
+            a, b = b, a
+        out = a.copy()
+        out[: b.size] ^= b
+        return GF2Polynomial(out)
+
+    __sub__ = __add__  # characteristic 2
+
+    def __mul__(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        if self.is_zero or other.is_zero:
+            return GF2Polynomial.zero()
+        out = np.zeros(self._coeffs.size + other._coeffs.size - 1, dtype=np.uint8)
+        for i, c in enumerate(self._coeffs):
+            if c:
+                out[i : i + other._coeffs.size] ^= other._coeffs
+        return GF2Polynomial(out)
+
+    def divmod(self, divisor: "GF2Polynomial") -> Tuple["GF2Polynomial", "GF2Polynomial"]:
+        """Polynomial division: returns ``(quotient, remainder)``."""
+        if divisor.is_zero:
+            raise ZeroDivisionError("polynomial division by zero")
+        rem = self._coeffs.copy()
+        d = divisor._coeffs
+        dd = divisor.degree
+        if self.degree < dd:
+            return GF2Polynomial.zero(), GF2Polynomial(rem)
+        quo = np.zeros(self.degree - dd + 1, dtype=np.uint8)
+        for shift in range(self.degree - dd, -1, -1):
+            if rem.size > shift + dd and rem[shift + dd]:
+                quo[shift] = 1
+                rem[shift : shift + dd + 1] ^= d
+        return GF2Polynomial(quo), GF2Polynomial(rem)
+
+    def __mod__(self, divisor: "GF2Polynomial") -> "GF2Polynomial":
+        return self.divmod(divisor)[1]
+
+    def __floordiv__(self, divisor: "GF2Polynomial") -> "GF2Polynomial":
+        return self.divmod(divisor)[0]
+
+    def gcd(self, other: "GF2Polynomial") -> "GF2Polynomial":
+        """Greatest common divisor (monic by construction over GF(2))."""
+        a, b = self, other
+        while not b.is_zero:
+            a, b = b, a % b
+        return a
+
+    def evaluate(self, element: int, field: "object" = None) -> int:
+        """Evaluate at ``element``.
+
+        Without ``field`` the element must be 0 or 1 (evaluation in
+        GF(2)); with a :class:`~repro.gf2.field.GF2mField` the element is
+        a field element index and Horner's rule is used in GF(2^m).
+        """
+        if field is None:
+            if element not in (0, 1):
+                raise ValueError("evaluation point must be 0 or 1 without a field")
+            if element == 0:
+                return int(self._coeffs[0])
+            return int(self._coeffs.sum() % 2)
+        acc = 0
+        for c in self._coeffs[::-1]:
+            acc = field.multiply(acc, element)
+            if c:
+                acc = field.add(acc, 1)
+        return acc
+
+    def is_irreducible(self) -> bool:
+        """Rabin irreducibility test for small degrees (exhaustive check).
+
+        Practical for the degrees used here (<= 16): tests divisibility by
+        every polynomial of degree <= deg/2.
+        """
+        n = self.degree
+        if n <= 0:
+            return False
+        if n == 1:
+            return True
+        if self._coeffs[0] == 0:  # divisible by x
+            return False
+        for mask in range(2, 1 << (n // 2 + 1)):
+            candidate = GF2Polynomial(mask)
+            if candidate.degree < 1:
+                continue
+            if (self % candidate).is_zero:
+                return False
+        return True
+
+
+def lcm(polys: Iterable[GF2Polynomial]) -> GF2Polynomial:
+    """Least common multiple of an iterable of polynomials."""
+    result = GF2Polynomial.one()
+    for p in polys:
+        if p.is_zero:
+            raise ZeroDivisionError("lcm with zero polynomial")
+        result = (result * p) // result.gcd(p)
+    return result

@@ -1,0 +1,25 @@
+"""Cryogenic output data link components (paper Fig. 1).
+
+Models the analog path from the SFQ chip to the room-temperature
+receiver: the SFQ-to-DC output driver (a Suzuki-stack style amplifier),
+the cryogenic cable between thermal stages, and the CMOS comparator.
+The end product is a :class:`~repro.link.channel.BinaryChannel` — the
+per-channel bit-flip probabilities induced by thermal noise and
+attenuation, which the ablation benches superimpose on the PPV faults.
+"""
+
+from repro.link.driver import SuzukiStackDriver
+from repro.link.cable import CryogenicCable
+from repro.link.receiver import CmosReceiver
+from repro.link.channel import BinaryChannel, link_budget_channel
+from repro.link.framing import ArqLink, ArqResult
+
+__all__ = [
+    "SuzukiStackDriver",
+    "CryogenicCable",
+    "CmosReceiver",
+    "BinaryChannel",
+    "link_budget_channel",
+    "ArqLink",
+    "ArqResult",
+]

@@ -1,0 +1,64 @@
+"""Cryogenic cable between thermal stages.
+
+The cables connecting the 4.2 K stage to 50-300 K trade heat load
+against electrical quality (paper Section I, Refs. [19]-[22]): thin
+lossy lines attenuate the signal and pick up thermal noise that grows
+with the temperature of the warm end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Boltzmann constant (J/K).
+BOLTZMANN = 1.380649e-23
+
+
+@dataclass(frozen=True)
+class CryogenicCable:
+    """A point-to-point cryo cable from 4.2 K to a warmer stage.
+
+    Attributes
+    ----------
+    attenuation_db:
+        End-to-end attenuation at the signalling bandwidth.
+    warm_temperature_k:
+        Temperature of the warm end (50-300 K in Fig. 1).
+    impedance_ohm:
+        Characteristic impedance (50 ohm typical).
+    bandwidth_ghz:
+        Noise-equivalent bandwidth of the link.
+    """
+
+    attenuation_db: float = 3.0
+    warm_temperature_k: float = 300.0
+    impedance_ohm: float = 50.0
+    bandwidth_ghz: float = 10.0
+
+    def __post_init__(self):
+        if self.attenuation_db < 0:
+            raise ValueError("attenuation_db must be >= 0")
+        if self.warm_temperature_k <= 0:
+            raise ValueError("warm_temperature_k must be positive")
+
+    @property
+    def gain(self) -> float:
+        """Linear voltage gain (< 1)."""
+        return 10.0 ** (-self.attenuation_db / 20.0)
+
+    def thermal_noise_mv_rms(self) -> float:
+        """Johnson-Nyquist noise referred to the warm end, in mV RMS.
+
+        Uses the warm-end temperature as the effective noise
+        temperature — pessimistic for a cable whose cold end sits at
+        4.2 K, appropriate for a budget.
+        """
+        v2 = 4.0 * BOLTZMANN * self.warm_temperature_k * self.impedance_ohm
+        v2 *= self.bandwidth_ghz * 1e9
+        return float(np.sqrt(v2) * 1e3)
+
+    def propagate_level_mv(self, level_mv: float) -> float:
+        """Signal level after attenuation."""
+        return level_mv * self.gain

@@ -1,0 +1,89 @@
+"""Binary channel abstraction over the analog link.
+
+:class:`BinaryChannel` applies (possibly asymmetric, possibly
+per-channel) bit-flip probabilities to transmitted words;
+:func:`link_budget_channel` derives those probabilities from the
+driver/cable/receiver models, closing the Fig. 1 signal path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.link.cable import CryogenicCable
+from repro.link.driver import SuzukiStackDriver
+from repro.link.receiver import CmosReceiver
+from repro.utils.rng import RandomState, as_generator, check_probability
+
+
+@dataclass(frozen=True)
+class BinaryChannel:
+    """Memoryless binary channel with asymmetric flip probabilities.
+
+    ``p01``/``p10`` may be scalars (shared by all output channels) or
+    per-channel arrays.
+    """
+
+    p01: Union[float, np.ndarray] = 0.0
+    p10: Union[float, np.ndarray] = 0.0
+
+    def __post_init__(self):
+        for name, value in (("p01", self.p01), ("p10", self.p10)):
+            arr = np.atleast_1d(np.asarray(value, dtype=float))
+            if ((arr < 0) | (arr > 1)).any():
+                raise ValueError(f"{name} must lie in [0, 1]")
+
+    def transmit(self, bits: np.ndarray, random_state: RandomState = None) -> np.ndarray:
+        """Flip bits of a ``(batch, n)`` array independently."""
+        rng = as_generator(random_state)
+        words = np.asarray(bits, dtype=np.uint8)
+        if words.ndim != 2:
+            raise ValueError(f"expected a (batch, n) bit array, got {words.shape}")
+        p01 = np.broadcast_to(np.asarray(self.p01, dtype=float), words.shape[1:])
+        p10 = np.broadcast_to(np.asarray(self.p10, dtype=float), words.shape[1:])
+        draws = rng.random(words.shape)
+        flip = np.where(words == 0, draws < p01[None, :], draws < p10[None, :])
+        return words ^ flip.astype(np.uint8)
+
+    def crossover_probability(self) -> float:
+        """Average flip probability assuming equiprobable inputs."""
+        return float(
+            0.5 * np.mean(np.asarray(self.p01, dtype=float))
+            + 0.5 * np.mean(np.asarray(self.p10, dtype=float))
+        )
+
+    def is_noiseless(self) -> bool:
+        return (
+            float(np.max(np.atleast_1d(np.asarray(self.p01)))) == 0.0
+            and float(np.max(np.atleast_1d(np.asarray(self.p10)))) == 0.0
+        )
+
+
+def link_budget_channel(
+    driver: Optional[SuzukiStackDriver] = None,
+    cable: Optional[CryogenicCable] = None,
+    receiver: Optional[CmosReceiver] = None,
+    driver_deviation: float = 0.0,
+) -> BinaryChannel:
+    """Derive the per-bit flip probabilities of one output channel.
+
+    Walks the Fig. 1 path: driver swing (optionally degraded by PPV)
+    -> cable attenuation + warm-stage thermal noise -> comparator
+    decision.
+    """
+    driver = driver or SuzukiStackDriver()
+    cable = cable or CryogenicCable()
+    receiver = receiver or CmosReceiver()
+    high = cable.propagate_level_mv(driver.output_high_mv(driver_deviation))
+    low = cable.propagate_level_mv(driver.output_low_mv(driver_deviation))
+    extra = float(
+        np.hypot(
+            cable.thermal_noise_mv_rms(),
+            driver.output_noise_mv_rms * cable.gain,
+        )
+    )
+    p01, p10 = receiver.flip_probabilities(low, high, extra_noise_mv_rms=extra)
+    return BinaryChannel(p01=p01, p10=p10)

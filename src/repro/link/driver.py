@@ -1,0 +1,60 @@
+"""SFQ-to-DC output driver (Suzuki stack) behavioural model.
+
+"SFQ pulses are amplified and converted to DC voltages — up to 1 V —
+by specialized superconducting output drivers and semiconductor
+amplifiers" (paper Section I, Refs. [5]-[8]).  The behavioural model
+captures what the link budget needs:
+
+* a nominal output swing (mV) for logical 1 vs 0;
+* swing degradation under PPV (a stack with degraded bias margins
+  delivers less amplitude before failing outright);
+* the driver's own output noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SuzukiStackDriver:
+    """Latching SFQ-to-DC driver at the 4.2 K stage.
+
+    Attributes
+    ----------
+    swing_mv:
+        Nominal high-level output voltage in millivolts (Suzuki stacks
+        deliver a few to tens of mV; semiconductor post-amps take it to
+        ~1 V — the post-amp gain is folded into the receiver model).
+    low_mv:
+        Residual low-level output.
+    output_noise_mv_rms:
+        RMS output noise of the driver itself at 4.2 K.
+    margin_sensitivity:
+        Fractional swing loss per unit of relative parameter deviation
+        (e.g. 2.0 means a 10 % bias deviation costs 20 % of the swing).
+    """
+
+    swing_mv: float = 20.0
+    low_mv: float = 0.4
+    output_noise_mv_rms: float = 0.05
+    margin_sensitivity: float = 2.0
+
+    def __post_init__(self):
+        if self.swing_mv <= 0:
+            raise ValueError("swing_mv must be positive")
+        if not 0 <= self.low_mv < self.swing_mv:
+            raise ValueError("low_mv must lie in [0, swing_mv)")
+
+    def output_high_mv(self, deviation: float = 0.0) -> float:
+        """High-level output under a fractional parameter deviation."""
+        loss = self.margin_sensitivity * abs(deviation)
+        return max(self.swing_mv * (1.0 - loss), self.low_mv)
+
+    def output_low_mv(self, deviation: float = 0.0) -> float:
+        """Low-level output (weakly affected by PPV)."""
+        return self.low_mv * (1.0 + abs(deviation))
+
+    def eye_opening_mv(self, deviation: float = 0.0) -> float:
+        """Vertical eye opening at the driver output."""
+        return self.output_high_mv(deviation) - self.output_low_mv(deviation)

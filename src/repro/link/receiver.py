@@ -1,0 +1,59 @@
+"""Room-temperature CMOS receiver (comparator + sampler).
+
+"CMOS amplifier circuits (not shown) may be included on the CMOS chip
+to boost the amplitude of the received signals" (paper Fig. 1
+caption).  The model is a thresholding comparator with input-referred
+noise; its decision-error probabilities are Gaussian Q-function tails,
+which :func:`repro.link.channel.link_budget_channel` turns into an
+asymmetric binary channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import norm
+
+
+@dataclass(frozen=True)
+class CmosReceiver:
+    """Threshold receiver on the warm side.
+
+    Attributes
+    ----------
+    input_noise_mv_rms:
+        Input-referred noise of the comparator/amplifier chain.
+    threshold_mv:
+        Decision threshold; ``None`` places it mid-eye per link budget.
+    """
+
+    input_noise_mv_rms: float = 0.35
+    threshold_mv: float | None = None
+
+    def decision_threshold(self, low_mv: float, high_mv: float) -> float:
+        """The threshold actually used for a given eye."""
+        if self.threshold_mv is not None:
+            return self.threshold_mv
+        return 0.5 * (low_mv + high_mv)
+
+    def flip_probabilities(
+        self, low_mv: float, high_mv: float, extra_noise_mv_rms: float = 0.0
+    ) -> tuple[float, float]:
+        """(P(0->1), P(1->0)) for the given received levels.
+
+        ``extra_noise_mv_rms`` adds cable/driver noise in quadrature
+        with the receiver's own.
+        """
+        if high_mv <= low_mv:
+            # Collapsed eye: the comparator output is a coin flip.
+            return 0.5, 0.5
+        sigma = float(np.hypot(self.input_noise_mv_rms, extra_noise_mv_rms))
+        threshold = self.decision_threshold(low_mv, high_mv)
+        if sigma <= 0:
+            p01 = 0.0 if low_mv < threshold else 1.0
+            p10 = 0.0 if high_mv > threshold else 1.0
+            return p01, p10
+        p01 = float(norm.sf((threshold - low_mv) / sigma))
+        p10 = float(norm.cdf((threshold - high_mv) / sigma))
+        return p01, p10

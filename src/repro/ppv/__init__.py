@@ -1,0 +1,24 @@
+"""Process-parameter-variation modelling (the paper's Section IV).
+
+JoSIM's ``spread`` function assigns every circuit parameter a bounded
+random deviation; a cell whose parameters land outside its operating
+margin misbehaves.  This package reproduces that causal chain
+behaviourally: :mod:`repro.ppv.spread` samples deviations,
+:mod:`repro.ppv.margins` converts margin violations into per-operation
+fault rates, and :mod:`repro.ppv.montecarlo` samples chip populations.
+"""
+
+from repro.ppv.spread import SpreadSpec
+from repro.ppv.margins import MarginModel, default_margin_model
+from repro.ppv.montecarlo import ChipSampler, sample_chip_population
+from repro.ppv.flux_trapping import FluxTrappingModel, merge_faults
+
+__all__ = [
+    "SpreadSpec",
+    "MarginModel",
+    "default_margin_model",
+    "ChipSampler",
+    "sample_chip_population",
+    "FluxTrappingModel",
+    "merge_faults",
+]

@@ -1,0 +1,106 @@
+"""Flux-trapping fault model.
+
+The paper's first-listed error source is flux trapping (Refs. [9],
+[10]): during cooldown, stray magnetic flux gets pinned in the
+superconducting films and biases nearby cells, typically until the next
+thermal cycle.  Unlike PPV — fixed at fabrication — trapping is a
+*per-cooldown* lottery, and moat design only reduces its rate.
+
+The behavioural model: each cooldown traps a Poisson-distributed number
+of fluxons; each fluxon lands on a random cell (area-weighted — bigger
+cells catch more flux) and shifts its operating point, yielding a
+persistent fault whose severity is sampled from the same law as a deep
+margin violation.  ``cooldown_faults`` composes with PPV faults so the
+Fig. 5 experiment can be re-run with both sources active
+(``tests/test_flux_trapping.py`` pins the behaviour; the combined
+study appears in ``benchmarks/bench_extensions.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.sfq.faults import CellFault, ChipFaults
+from repro.sfq.netlist import Netlist
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass(frozen=True)
+class FluxTrappingModel:
+    """Per-cooldown flux-trapping statistics.
+
+    Attributes
+    ----------
+    mean_trapped_fluxons:
+        Poisson mean of trapped fluxons per cooldown over the whole
+        chip (well-designed moats: << 1; careless layout: several).
+    drop_severity:
+        Per-operation drop probability of a cell holding trapped flux.
+    spurious_severity:
+        Per-operation spurious-pulse probability (trapped flux can both
+        starve and trigger junctions).
+    """
+
+    mean_trapped_fluxons: float = 0.3
+    drop_severity: float = 0.6
+    spurious_severity: float = 0.25
+
+    def __post_init__(self):
+        if self.mean_trapped_fluxons < 0:
+            raise ValueError("mean_trapped_fluxons must be >= 0")
+        for name, value in (
+            ("drop_severity", self.drop_severity),
+            ("spurious_severity", self.spurious_severity),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1]")
+
+    def cooldown_faults(
+        self, netlist: Netlist, random_state: RandomState = None
+    ) -> ChipFaults:
+        """Sample the trapped-flux faults of one cooldown."""
+        rng = as_generator(random_state)
+        names = sorted(netlist.cells)
+        if not names:
+            return ChipFaults()
+        areas = np.array(
+            [netlist.cells[n].cell_type.area_mm2 for n in names], dtype=float
+        )
+        weights = areas / areas.sum() if areas.sum() > 0 else None
+        count = int(rng.poisson(self.mean_trapped_fluxons))
+        faults: Dict[str, CellFault] = {}
+        for _ in range(count):
+            victim = str(rng.choice(names, p=weights))
+            existing = faults.get(victim, CellFault())
+            faults[victim] = CellFault(
+                drop=min(1.0, existing.drop + self.drop_severity),
+                spurious=min(1.0, existing.spurious + self.spurious_severity),
+            )
+        return ChipFaults(faults)
+
+    def trapping_probability(self) -> float:
+        """P(at least one fluxon trapped in a cooldown)."""
+        return float(1.0 - np.exp(-self.mean_trapped_fluxons))
+
+
+def merge_faults(a: ChipFaults, b: ChipFaults) -> ChipFaults:
+    """Compose two fault assignments (PPV + flux trapping).
+
+    Drop/spurious rates combine as independent failure opportunities:
+    ``1 - (1-p_a)(1-p_b)``.
+    """
+    merged: Dict[str, CellFault] = {}
+    for source in (a.cell_faults, b.cell_faults):
+        for name, fault in source.items():
+            if name not in merged:
+                merged[name] = CellFault(drop=fault.drop, spurious=fault.spurious)
+            else:
+                old = merged[name]
+                merged[name] = CellFault(
+                    drop=1.0 - (1.0 - old.drop) * (1.0 - fault.drop),
+                    spurious=1.0 - (1.0 - old.spurious) * (1.0 - fault.spurious),
+                )
+    return ChipFaults(merged)

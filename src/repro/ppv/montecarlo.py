@@ -1,0 +1,74 @@
+"""Chip-population sampling for the Fig. 5 Monte-Carlo.
+
+"Each iteration can be viewed as a distinct fabricated chip with
+specific circuit parameter values" (paper, Fig. 5 caption).  A
+:class:`ChipSampler` yields per-chip fault assignments for a netlist
+under a spread spec, with deterministic per-chip substreams so the
+experiment is reproducible and parallelisation-order independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.ppv.margins import MarginModel
+from repro.ppv.spread import SpreadSpec
+from repro.sfq.faults import ChipFaults
+from repro.sfq.netlist import Netlist
+from repro.utils.rng import RandomState, spawn_generators
+
+
+@dataclass
+class SampledChip:
+    """One virtual fabricated chip: its faults and its private RNG."""
+
+    index: int
+    faults: ChipFaults
+    rng: np.random.Generator
+
+
+class ChipSampler:
+    """Deterministic sampler of virtual chips for one netlist."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        spread: SpreadSpec,
+        margin_model: Optional[MarginModel] = None,
+    ):
+        self.netlist = netlist
+        self.spread = spread
+        self.margin_model = margin_model or MarginModel()
+
+    def sample(self, n_chips: int, random_state: RandomState = None) -> Iterator[SampledChip]:
+        """Yield ``n_chips`` chips, each with an independent substream.
+
+        Each chip consumes two child generators: one for the PPV draw
+        (fault assignment) and one kept by the chip for per-transmission
+        fault manifestation.
+        """
+        if n_chips < 0:
+            raise ValueError("n_chips must be non-negative")
+        streams = spawn_generators(random_state, 2 * n_chips)
+        for i in range(n_chips):
+            ppv_rng = streams[2 * i]
+            run_rng = streams[2 * i + 1]
+            faults = self.margin_model.sample_chip_faults(
+                self.netlist, self.spread, ppv_rng
+            )
+            yield SampledChip(index=i, faults=faults, rng=run_rng)
+
+
+def sample_chip_population(
+    netlist: Netlist,
+    spread: SpreadSpec,
+    n_chips: int,
+    margin_model: Optional[MarginModel] = None,
+    random_state: RandomState = None,
+) -> List[SampledChip]:
+    """Materialise a chip population as a list."""
+    sampler = ChipSampler(netlist, spread, margin_model)
+    return list(sampler.sample(n_chips, random_state))

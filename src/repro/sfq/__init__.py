@@ -1,0 +1,40 @@
+"""RSFQ circuit substrate: cells, netlists, synthesis, timing, simulation.
+
+This subpackage stands in for the paper's circuit-level toolchain
+(SuperTools/ColdFlux standard cells + JoSIM).  See DESIGN.md section 2
+for the substitution rationale.
+"""
+
+from repro.sfq.cells import CellKind, CellType, CellLibrary, coldflux_library
+from repro.sfq.netlist import Cell, Netlist, PortRef
+from repro.sfq.synthesis import EncoderSynthesizer, XorEquation, equations_from_code
+from repro.sfq.physical import CircuitSummary, summarize_circuit
+from repro.sfq.simulator import PulseSimulator, SimulationConfig, EncoderRun
+from repro.sfq.faults import ChipFaults, FaultSimulator
+from repro.sfq.waveform import WaveformConfig, render_run_waveforms, decode_output_window
+from repro.sfq.importance import analyze_cell_criticality, CriticalityReport
+
+__all__ = [
+    "CellKind",
+    "CellType",
+    "CellLibrary",
+    "coldflux_library",
+    "Cell",
+    "Netlist",
+    "PortRef",
+    "EncoderSynthesizer",
+    "XorEquation",
+    "equations_from_code",
+    "CircuitSummary",
+    "summarize_circuit",
+    "PulseSimulator",
+    "SimulationConfig",
+    "EncoderRun",
+    "ChipFaults",
+    "FaultSimulator",
+    "WaveformConfig",
+    "render_run_waveforms",
+    "decode_output_window",
+    "analyze_cell_criticality",
+    "CriticalityReport",
+]

@@ -1,0 +1,201 @@
+"""Vectorised fault-cone simulation for the Fig. 5 Monte-Carlo.
+
+For the PPV experiment we need to push 100 messages through each of
+1000 sampled chips per scheme; the event-driven simulator is too slow
+for that, so this module evaluates the netlist *logically* (steady
+state, one message at a time is a vector lane) with faults injected as
+per-operation Bernoulli events:
+
+* a **drop** fault suppresses the cell's output pulse (a stored flux
+  quantum fails to release): the output becomes 0 whenever it should
+  have been 1;
+* a **spurious** fault emits a pulse that should not exist (flux
+  trapping): the output becomes 1 when it should have been 0;
+* a fault on any cell along a clocked cell's **clock path** suppresses
+  that cell's clock pulse, which behaves as a drop at that cell.
+
+Faulty behaviour propagates structurally through the netlist graph, so
+a marginal shared XOR corrupts exactly the codeword bits in its fan-out
+cone — the mechanism behind the paper's Section IV trade-off.
+
+The steady-state view ignores pipeline transients (each message is
+evaluated independently); ``tests/test_sim_cross_check.py`` verifies it
+against the event-driven simulator on fault-free and hard-fault cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sfq.netlist import CLOCK_INPUT, Netlist, PortRef
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass
+class CellFault:
+    """Per-operation fault rates of one marginal cell on one chip."""
+
+    drop: float = 0.0
+    spurious: float = 0.0
+
+    @property
+    def is_active(self) -> bool:
+        return self.drop > 0.0 or self.spurious > 0.0
+
+
+@dataclass
+class ChipFaults:
+    """The fault assignment of one sampled chip."""
+
+    cell_faults: Dict[str, CellFault] = field(default_factory=dict)
+
+    @property
+    def is_clean(self) -> bool:
+        return not any(f.is_active for f in self.cell_faults.values())
+
+    def active_cells(self) -> List[str]:
+        return [name for name, f in self.cell_faults.items() if f.is_active]
+
+
+class FaultSimulator:
+    """Steady-state logical evaluator with Bernoulli fault injection."""
+
+    def __init__(self, netlist: Netlist):
+        netlist.validate()
+        self.netlist = netlist
+        self._data_inputs = [p for p in netlist.inputs if p != CLOCK_INPUT]
+        self._topo = netlist.topological_order(include_clock=False)
+        # Pre-resolve wiring into plain tuples for the hot loop.
+        self._cell_info: Dict[str, Tuple[str, bool, List[object]]] = {}
+        for name in self._topo:
+            cell = netlist.cell(name)
+            sources = [
+                netlist.driver_of(PortRef(name, port))
+                for port in cell.cell_type.data_inputs
+            ]
+            self._cell_info[name] = (cell.cell_type.function, cell.cell_type.clocked, sources)
+        self._output_sources = [netlist.driver_of(o) for o in netlist.outputs]
+        # Clock path per clocked cell (cells whose failure kills the clock).
+        self._clock_path: Dict[str, List[str]] = {}
+        clock_tree_cells: set = set()
+        for name in netlist.clocked_cells():
+            path: List[str] = []
+            src = netlist.driver_of(PortRef(name, "clk"))
+            while isinstance(src, PortRef):
+                path.append(src.cell)
+                upstream = netlist.cell(src.cell)
+                src = netlist.driver_of(
+                    PortRef(src.cell, upstream.cell_type.data_inputs[0])
+                )
+            self._clock_path[name] = path
+            clock_tree_cells.update(path)
+        # Clock-tree splitters carry the clock, not data: exclude them
+        # from logical evaluation (their fan-out goes to clk ports only).
+        self._eval_order = [c for c in self._topo if c not in clock_tree_cells]
+        # Fault-free codeword cache (messages are only k bits wide).
+        self._clean_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def message_width(self) -> int:
+        return len(self._data_inputs)
+
+    def _clean_table(self) -> np.ndarray:
+        """Fault-free channel bits for every possible message."""
+        if self._clean_cache is None:
+            k = self.message_width
+            all_msgs = np.array(
+                [[(i >> (k - 1 - b)) & 1 for b in range(k)] for i in range(1 << k)],
+                dtype=np.uint8,
+            )
+            self._clean_cache = self._evaluate(all_msgs, None, None)
+        return self._clean_cache
+
+    def run(
+        self,
+        messages: np.ndarray,
+        faults: Optional[ChipFaults] = None,
+        random_state: RandomState = None,
+    ) -> np.ndarray:
+        """Evaluate a ``(batch, k)`` message array; returns ``(batch, n)`` bits."""
+        msgs = np.asarray(messages, dtype=np.uint8)
+        if msgs.ndim != 2 or msgs.shape[1] != self.message_width:
+            raise SimulationError(
+                f"expected (batch, {self.message_width}) messages, got {msgs.shape}"
+            )
+        if faults is None or faults.is_clean:
+            # Fast path: look the codewords up in the fault-free table.
+            k = self.message_width
+            weights = 1 << np.arange(k - 1, -1, -1, dtype=np.int64)
+            indices = msgs.astype(np.int64) @ weights
+            return self._clean_table()[indices].copy()
+        rng = as_generator(random_state)
+        return self._evaluate(msgs, faults, rng)
+
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        msgs: np.ndarray,
+        faults: Optional[ChipFaults],
+        rng: Optional[np.random.Generator],
+    ) -> np.ndarray:
+        batch = msgs.shape[0]
+        values: Dict[object, np.ndarray] = {}
+        for i, name in enumerate(self._data_inputs):
+            values[name] = msgs[:, i]
+
+        fault_map = faults.cell_faults if faults is not None else {}
+
+        for name in self._eval_order:
+            function, clocked, sources = self._cell_info[name]
+            ins = [values[self._key(src)] for src in sources]
+            if function == "xor":
+                out = ins[0] ^ ins[1]
+            elif function == "and":
+                out = ins[0] & ins[1]
+            elif function == "or":
+                out = ins[0] | ins[1]
+            elif function == "not":
+                out = ins[0] ^ 1
+            else:  # buffer (DFF, splitter, converters)
+                out = ins[0]
+
+            fault = fault_map.get(name)
+            clock_drop = 0.0
+            if clocked:
+                for upstream in self._clock_path[name]:
+                    up_fault = fault_map.get(upstream)
+                    if up_fault is not None and up_fault.drop > 0.0:
+                        clock_drop = 1.0 - (1.0 - clock_drop) * (1.0 - up_fault.drop)
+            drop = clock_drop
+            spurious = 0.0
+            if fault is not None and fault.is_active:
+                drop = 1.0 - (1.0 - drop) * (1.0 - fault.drop)
+                spurious = fault.spurious
+            if drop > 0.0 or spurious > 0.0:
+                out = out.copy()
+                if drop > 0.0:
+                    mask = rng.random(batch) < drop
+                    out[mask & (out == 1)] = 0
+                if spurious > 0.0:
+                    mask = rng.random(batch) < spurious
+                    out[mask & (out == 0)] = 1
+
+            cell = self.netlist.cell(name)
+            for port in cell.cell_type.outputs:
+                values[self._key(PortRef(name, port))] = out
+
+        result = np.empty((batch, len(self._output_sources)), dtype=np.uint8)
+        for j, src in enumerate(self._output_sources):
+            result[:, j] = values[self._key(src)]
+        return result
+
+    @staticmethod
+    def _key(source: object) -> object:
+        if isinstance(source, PortRef):
+            return (source.cell, source.port)
+        return source

@@ -1,0 +1,390 @@
+"""Netlist graph for SFQ circuits.
+
+A :class:`Netlist` is a DAG of cell instances wired port-to-port, plus
+named primary inputs and outputs.  Two SFQ rules are enforced by
+:meth:`Netlist.validate`:
+
+* **fan-out one** — every signal source (primary input or cell output
+  port) drives exactly one sink; fanning out requires splitter cells
+  (paper Section III);
+* **clock reachability** — the ``clk`` port of every clocked cell must
+  trace back to the ``clk`` primary input through unclocked cells
+  (the clock distribution network of splitters).
+
+The graph also answers the structural questions the fault model needs:
+forward cones (which primary outputs a given cell can corrupt — through
+data *and* clock edges) and logic depth (number of clocked stages from
+input to each output, i.e. the encoding latency in clock cycles).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.errors import FanOutViolation, NetlistError
+from repro.sfq.cells import CellLibrary, CellType
+
+#: Name of the clock primary input every clocked design must provide.
+CLOCK_INPUT = "clk"
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """A (cell, port) endpoint."""
+
+    cell: str
+    port: str
+
+    def __str__(self) -> str:
+        return f"{self.cell}.{self.port}"
+
+
+#: A signal source: a primary-input name or a cell output port.
+Source = Union[str, PortRef]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One cell instance."""
+
+    name: str
+    cell_type: CellType
+
+    def __repr__(self) -> str:
+        return f"<Cell {self.name}: {self.cell_type.name}>"
+
+
+class Netlist:
+    """A mutable SFQ netlist under construction; validate when done."""
+
+    def __init__(self, name: str, library: CellLibrary):
+        self.name = name
+        self.library = library
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self._cells: Dict[str, Cell] = {}
+        # Wiring: destination -> source.  Destinations are cell input
+        # ports (PortRef) or primary-output names (str).
+        self._input_driver: Dict[PortRef, Source] = {}
+        self._output_driver: Dict[str, Source] = {}
+        # Eager fan-out-one bookkeeping: source -> its single sink.
+        self._source_sink: Dict[Source, Union[PortRef, str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        if name in self.inputs:
+            raise NetlistError(f"duplicate primary input {name!r}")
+        if name in self._cells:
+            raise NetlistError(f"input name {name!r} collides with a cell")
+        self.inputs.append(name)
+        return name
+
+    def add_output(self, name: str) -> str:
+        if name in self.outputs:
+            raise NetlistError(f"duplicate primary output {name!r}")
+        self.outputs.append(name)
+        return name
+
+    def add_cell(self, name: str, type_name: str) -> Cell:
+        if name in self._cells or name in self.inputs:
+            raise NetlistError(f"duplicate cell name {name!r}")
+        cell = Cell(name=name, cell_type=self.library[type_name])
+        self._cells[name] = cell
+        return cell
+
+    def connect(self, source: Source, dest: Union[PortRef, str]) -> None:
+        """Wire ``source`` into a cell input port or a primary output.
+
+        Raises :class:`FanOutViolation` immediately when ``source``
+        already drives a sink — SFQ fan-out is one.
+        """
+        self._check_source(source)
+        if source in self._source_sink:
+            raise FanOutViolation(
+                f"source {source} already drives {self._source_sink[source]}; "
+                "SFQ fan-out is one — insert a splitter"
+            )
+        if isinstance(dest, PortRef):
+            cell = self._require_cell(dest.cell)
+            if dest.port not in cell.cell_type.all_inputs:
+                raise NetlistError(
+                    f"{cell.cell_type.name} has no input port {dest.port!r} "
+                    f"(ports: {cell.cell_type.all_inputs})"
+                )
+            if dest in self._input_driver:
+                raise NetlistError(f"input port {dest} already driven")
+            self._input_driver[dest] = source
+        else:
+            if dest not in self.outputs:
+                raise NetlistError(f"unknown primary output {dest!r}")
+            if dest in self._output_driver:
+                raise NetlistError(f"primary output {dest!r} already driven")
+            self._output_driver[dest] = source
+        self._source_sink[source] = dest
+
+    def _check_source(self, source: Source) -> None:
+        if isinstance(source, PortRef):
+            cell = self._require_cell(source.cell)
+            if source.port not in cell.cell_type.outputs:
+                raise NetlistError(
+                    f"{cell.cell_type.name} has no output port {source.port!r}"
+                )
+        elif source not in self.inputs:
+            raise NetlistError(f"unknown primary input {source!r}")
+
+    def _require_cell(self, name: str) -> Cell:
+        if name not in self._cells:
+            raise NetlistError(f"unknown cell {name!r}")
+        return self._cells[name]
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def cells(self) -> Mapping[str, Cell]:
+        return dict(self._cells)
+
+    def cell(self, name: str) -> Cell:
+        return self._require_cell(name)
+
+    def cell_names(self) -> List[str]:
+        return list(self._cells)
+
+    def driver_of(self, dest: Union[PortRef, str]) -> Source:
+        if isinstance(dest, PortRef):
+            return self._input_driver[dest]
+        return self._output_driver[dest]
+
+    def sinks_of(self, source: Source) -> List[Union[PortRef, str]]:
+        """All destinations driven by ``source`` (fan-out one: <= 1).
+
+        O(1) via the connect-time bookkeeping; falls back to a scan for
+        netlists built through :meth:`_connect_unchecked`.
+        """
+        sink = self._source_sink.get(source)
+        if sink is not None:
+            return [sink]
+        sinks: List[Union[PortRef, str]] = [
+            dest for dest, src in self._input_driver.items() if src == source
+        ]
+        sinks.extend(name for name, src in self._output_driver.items() if src == source)
+        return sinks
+
+    def _connect_unchecked(self, source: Source, dest: PortRef) -> None:
+        """Wire without the fan-out-one check (ideal-clock mode only)."""
+        self._check_source(source)
+        self._input_driver[dest] = source
+
+    def count_cells(self) -> Dict[str, int]:
+        """Instance count per cell-type name."""
+        counts: Dict[str, int] = defaultdict(int)
+        for cell in self._cells.values():
+            counts[cell.cell_type.name] += 1
+        return dict(counts)
+
+    def clocked_cells(self) -> List[str]:
+        return [name for name, cell in self._cells.items() if cell.cell_type.clocked]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check completeness, fan-out-one, acyclicity, clock wiring."""
+        # Every cell input port driven.
+        for name, cell in self._cells.items():
+            for port in cell.cell_type.all_inputs:
+                ref = PortRef(name, port)
+                if ref not in self._input_driver:
+                    raise NetlistError(f"undriven input port {ref}")
+        # Every primary output driven.
+        for out in self.outputs:
+            if out not in self._output_driver:
+                raise NetlistError(f"undriven primary output {out!r}")
+        # Fan-out one on every source; every output port used.
+        usage: Dict[Source, int] = defaultdict(int)
+        for src in self._input_driver.values():
+            usage[src] += 1
+        for src in self._output_driver.values():
+            usage[src] += 1
+        for src, count in usage.items():
+            if count > 1:
+                raise FanOutViolation(
+                    f"source {src} drives {count} sinks; SFQ fan-out is one "
+                    "— insert splitters"
+                )
+        for name, cell in self._cells.items():
+            for port in cell.cell_type.outputs:
+                if usage.get(PortRef(name, port), 0) == 0:
+                    raise NetlistError(f"dangling output port {name}.{port}")
+        for pi in self.inputs:
+            if usage.get(pi, 0) == 0:
+                raise NetlistError(f"unused primary input {pi!r}")
+        # Acyclic over all edges.
+        self.topological_order(include_clock=True)
+        # Clock reachability: clk ports trace back to the clk input.
+        if self.clocked_cells():
+            if CLOCK_INPUT not in self.inputs:
+                raise NetlistError("clocked cells present but no 'clk' primary input")
+            for name in self.clocked_cells():
+                src = self._input_driver[PortRef(name, "clk")]
+                seen = set()
+                while isinstance(src, PortRef):
+                    if src.cell in seen:
+                        raise NetlistError(f"clock loop at {src}")
+                    seen.add(src.cell)
+                    upstream = self._cells[src.cell]
+                    if upstream.cell_type.clocked:
+                        raise NetlistError(
+                            f"clock of {name} passes through clocked cell {src.cell}"
+                        )
+                    # follow the upstream cell's first input (fanout cells
+                    # and transports have a single data input)
+                    src = self._input_driver[PortRef(src.cell, upstream.cell_type.data_inputs[0])]
+                if src != CLOCK_INPUT:
+                    raise NetlistError(
+                        f"clock of {name} traces to {src!r}, not {CLOCK_INPUT!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Graph algorithms
+    # ------------------------------------------------------------------
+    def _cell_dependencies(self, include_clock: bool) -> Dict[str, Set[str]]:
+        """cell -> set of upstream cells (via data and optionally clock)."""
+        deps: Dict[str, Set[str]] = {name: set() for name in self._cells}
+        for ref, src in self._input_driver.items():
+            if not include_clock and ref.port == "clk":
+                continue
+            if isinstance(src, PortRef):
+                deps[ref.cell].add(src.cell)
+        return deps
+
+    def topological_order(self, include_clock: bool = False) -> List[str]:
+        """Kahn topological order of cells (raises on cycles)."""
+        deps = self._cell_dependencies(include_clock)
+        dependents: Dict[str, Set[str]] = defaultdict(set)
+        indegree: Dict[str, int] = {}
+        for cell, ups in deps.items():
+            indegree[cell] = len(ups)
+            for up in ups:
+                dependents[up].add(cell)
+        ready = deque(sorted(c for c, d in indegree.items() if d == 0))
+        order: List[str] = []
+        while ready:
+            cell = ready.popleft()
+            order.append(cell)
+            for down in sorted(dependents[cell]):
+                indegree[down] -= 1
+                if indegree[down] == 0:
+                    ready.append(down)
+        if len(order) != len(self._cells):
+            raise NetlistError("netlist contains a combinational cycle")
+        return order
+
+    def forward_cone(self, cell_name: str, include_clock: bool = True) -> FrozenSet[str]:
+        """Primary outputs reachable from ``cell_name``.
+
+        With ``include_clock=True`` (the fault-analysis view) a clock-tree
+        splitter reaches every output whose capture logic it clocks.
+        """
+        self._require_cell(cell_name)
+        # Build sink adjacency on demand.
+        reached_outputs: Set[str] = set()
+        frontier = deque([cell_name])
+        seen = {cell_name}
+        while frontier:
+            current = frontier.popleft()
+            cell = self._cells[current]
+            for port in cell.cell_type.outputs:
+                for sink in self.sinks_of(PortRef(current, port)):
+                    if isinstance(sink, str):
+                        reached_outputs.add(sink)
+                    else:
+                        if not include_clock and sink.port == "clk":
+                            continue
+                        if sink.cell not in seen:
+                            seen.add(sink.cell)
+                            frontier.append(sink.cell)
+        return frozenset(reached_outputs)
+
+    def input_cone(self, output_name: str) -> FrozenSet[str]:
+        """Cells feeding a primary output (data edges only)."""
+        if output_name not in self.outputs:
+            raise NetlistError(f"unknown primary output {output_name!r}")
+        seen: Set[str] = set()
+        frontier: deque = deque()
+        src = self._output_driver[output_name]
+        if isinstance(src, PortRef):
+            frontier.append(src.cell)
+            seen.add(src.cell)
+        while frontier:
+            current = frontier.popleft()
+            cell = self._cells[current]
+            for port in cell.cell_type.data_inputs:
+                upstream = self._input_driver[PortRef(current, port)]
+                if isinstance(upstream, PortRef) and upstream.cell not in seen:
+                    seen.add(upstream.cell)
+                    frontier.append(upstream.cell)
+        return frozenset(seen)
+
+    def logic_depth(self, output_name: str) -> int:
+        """Clocked stages from primary inputs to ``output_name``.
+
+        This is the latency, in clock cycles, for a message bit to reach
+        that output (2 for every output of the paper's encoders).
+        """
+        if output_name not in self.outputs:
+            raise NetlistError(f"unknown primary output {output_name!r}")
+        memo: Dict[Source, int] = {}
+
+        def depth_of(source: Source) -> int:
+            if isinstance(source, str):
+                return 0
+            if source in memo:
+                return memo[source]
+            cell = self._cells[source.cell]
+            upstream = max(
+                (depth_of(self._input_driver[PortRef(source.cell, port)])
+                 for port in cell.cell_type.data_inputs),
+                default=0,
+            )
+            value = upstream + (1 if cell.cell_type.clocked else 0)
+            memo[source] = value
+            return value
+
+        return depth_of(self._output_driver[output_name])
+
+    def max_logic_depth(self) -> int:
+        """Pipeline latency of the whole block, in clock cycles."""
+        return max((self.logic_depth(o) for o in self.outputs), default=0)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_networkx(self):
+        """Directed graph over cells/IOs for external analysis or DOT dumps."""
+        import networkx as nx
+
+        graph = nx.DiGraph(name=self.name)
+        for pi in self.inputs:
+            graph.add_node(pi, kind="input")
+        for po in self.outputs:
+            graph.add_node(po, kind="output")
+        for name, cell in self._cells.items():
+            graph.add_node(name, kind="cell", cell_type=cell.cell_type.name)
+        for ref, src in self._input_driver.items():
+            origin = src.cell if isinstance(src, PortRef) else src
+            graph.add_edge(origin, ref.cell, port=ref.port,
+                           clock=(ref.port == "clk"))
+        for out, src in self._output_driver.items():
+            origin = src.cell if isinstance(src, PortRef) else src
+            graph.add_edge(origin, out, port=out, clock=False)
+        return graph
+
+    def __repr__(self) -> str:
+        counts = self.count_cells()
+        body = ", ".join(f"{k}x{v}" for k, v in sorted(counts.items()))
+        return f"<Netlist {self.name!r}: {body or 'empty'}>"

@@ -1,0 +1,84 @@
+"""Physical roll-ups: JJ count, static power, layout area — Table II.
+
+``summarize_circuit`` aggregates a netlist's standard cells against its
+library and adds the per-chip overhead block (clock I/O + JTL entry)
+that Table II's totals include.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.sfq.cells import CellLibrary, DFF, SFQ_TO_DC, SPLITTER, XOR
+from repro.sfq.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class CircuitSummary:
+    """One row of Table II."""
+
+    name: str
+    cell_counts: Mapping[str, int]
+    jj_count: int
+    static_power_uw: float
+    area_mm2: float
+
+    def standard_cells_description(self) -> str:
+        """Inventory string in the style of Table II's second column."""
+        label = {
+            XOR: "XOR gates",
+            DFF: "DFFs",
+            SPLITTER: "splitters",
+            SFQ_TO_DC: "SFQ-to-DC converters",
+        }
+        parts = []
+        for type_name in (XOR, DFF, SPLITTER, SFQ_TO_DC):
+            count = self.cell_counts.get(type_name, 0)
+            if count:
+                parts.append(f"{count} {label[type_name]}")
+        for type_name, count in sorted(self.cell_counts.items()):
+            if type_name not in label and count:
+                parts.append(f"{count} {type_name}")
+        return ", ".join(parts)
+
+
+def summarize_circuit(
+    netlist: Netlist, include_overhead: bool = True, name: Optional[str] = None
+) -> CircuitSummary:
+    """Compute the Table II roll-up for one synthesised circuit."""
+    library = netlist.library
+    counts = netlist.count_cells()
+    jj = 0
+    power = 0.0
+    area = 0.0
+    for type_name, count in counts.items():
+        cell = library[type_name]
+        jj += count * cell.jj_count
+        power += count * cell.static_power_uw
+        area += count * cell.area_mm2
+    if include_overhead:
+        jj += library.overhead.jj_count
+        power += library.overhead.static_power_uw
+        area += library.overhead.area_mm2
+    return CircuitSummary(
+        name=name or netlist.name,
+        cell_counts=counts,
+        jj_count=jj,
+        static_power_uw=round(power, 4),
+        area_mm2=round(area, 6),
+    )
+
+
+def table2_rows(summaries: List[CircuitSummary]) -> List[List[object]]:
+    """Rows matching the paper's Table II column layout."""
+    return [
+        [
+            s.name,
+            s.standard_cells_description(),
+            s.jj_count,
+            round(s.static_power_uw, 1),
+            round(s.area_mm2, 3),
+        ]
+        for s in summaries
+    ]

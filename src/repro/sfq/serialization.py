@@ -1,0 +1,107 @@
+"""Netlist (de)serialisation to a JSON-friendly dict.
+
+Lets a downstream user save a synthesised design, diff two synthesis
+runs, or hand a netlist to external tooling without writing a SPICE
+parser.  Round-trips through :func:`netlist_to_dict` /
+:func:`netlist_from_dict` preserve cells, wiring and I/O order exactly
+(pinned by ``tests/test_serialization.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.errors import NetlistError
+from repro.sfq.cells import CellLibrary, coldflux_library
+from repro.sfq.netlist import Netlist, PortRef
+
+#: Format marker for forwards compatibility.
+FORMAT_VERSION = 1
+
+
+def _source_to_obj(source) -> object:
+    if isinstance(source, PortRef):
+        return {"cell": source.cell, "port": source.port}
+    return source  # primary-input name
+
+
+def _source_from_obj(obj) -> object:
+    if isinstance(obj, dict):
+        return PortRef(obj["cell"], obj["port"])
+    return obj
+
+
+def netlist_to_dict(netlist: Netlist) -> Dict[str, object]:
+    """Serialise a validated netlist into plain data."""
+    netlist.validate()
+    cells = {
+        name: cell.cell_type.name for name, cell in sorted(netlist.cells.items())
+    }
+    wiring = []
+    for name, cell in sorted(netlist.cells.items()):
+        for port in cell.cell_type.all_inputs:
+            source = netlist.driver_of(PortRef(name, port))
+            wiring.append({
+                "dest": {"cell": name, "port": port},
+                "source": _source_to_obj(source),
+            })
+    output_wiring = [
+        {"output": out, "source": _source_to_obj(netlist.driver_of(out))}
+        for out in netlist.outputs
+    ]
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": netlist.name,
+        "library": netlist.library.name,
+        "inputs": list(netlist.inputs),
+        "outputs": list(netlist.outputs),
+        "cells": cells,
+        "wiring": wiring,
+        "output_wiring": output_wiring,
+    }
+
+
+def netlist_from_dict(
+    data: Dict[str, object], library: Optional[CellLibrary] = None
+) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output."""
+    if data.get("format_version") != FORMAT_VERSION:
+        raise NetlistError(
+            f"unsupported netlist format version {data.get('format_version')!r}"
+        )
+    library = library or coldflux_library()
+    if data.get("library") != library.name:
+        raise NetlistError(
+            f"netlist was built against library {data.get('library')!r}, "
+            f"got {library.name!r}"
+        )
+    netlist = Netlist(str(data["name"]), library)
+    for pi in data["inputs"]:
+        netlist.add_input(str(pi))
+    for po in data["outputs"]:
+        netlist.add_output(str(po))
+    for name, type_name in data["cells"].items():
+        netlist.add_cell(str(name), str(type_name))
+    for wire in data["wiring"]:
+        dest = wire["dest"]
+        netlist.connect(
+            _source_from_obj(wire["source"]),
+            PortRef(str(dest["cell"]), str(dest["port"])),
+        )
+    for wire in data["output_wiring"]:
+        netlist.connect(_source_from_obj(wire["source"]), str(wire["output"]))
+    netlist.validate()
+    return netlist
+
+
+def save_netlist(netlist: Netlist, path: str) -> None:
+    """Write a netlist as JSON."""
+    with open(path, "w") as handle:
+        json.dump(netlist_to_dict(netlist), handle, indent=2, sort_keys=True)
+
+
+def load_netlist(path: str, library: Optional[CellLibrary] = None) -> Netlist:
+    """Read a netlist saved by :func:`save_netlist`."""
+    with open(path) as handle:
+        return netlist_from_dict(json.load(handle), library)

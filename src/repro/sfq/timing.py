@@ -1,0 +1,189 @@
+"""Static timing analysis of SFQ netlists.
+
+Clocked SFQ pipelines obey the same setup/hold algebra as CMOS flops,
+with the clock distributed through the splitter tree (skew = per-leaf
+accumulated splitter delay).  For every launch->capture register pair:
+
+* setup:  ``T >= skew_L + delay_L + path + setup_C - skew_C``
+* hold:   ``skew_L + delay_L + path >= skew_C + hold_C``
+
+Primary-input launched paths use the configured input offset (a
+fraction of the period) as their launch time.
+
+``max_frequency`` inverts the binding setup constraint — the paper
+operates at 5 GHz, far below the multi-tens-of-GHz capability implied
+by single-digit-ps gate delays, and the frequency-sweep ablation uses
+this module to find where each encoder actually breaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import NetlistError
+from repro.sfq.netlist import CLOCK_INPUT, Netlist, PortRef
+
+
+@dataclass(frozen=True)
+class TimingPath:
+    """One launch->capture constraint.
+
+    Internal (register-to-register) paths use the classic skew-adjusted
+    setup/hold algebra.  Input-launched paths model an *external* pulse
+    source that applies data at ``offset_fraction * T`` into each cycle:
+    the pulse must arrive after the local clock's previous edge (plus
+    hold) and ``setup`` before its next edge, which bounds the period
+    from below on both sides because the clock reaches the capture cell
+    only after ``capture_skew_ps`` of distribution delay.
+    """
+
+    launch: str          # launching clocked cell or primary input
+    capture: str         # capturing clocked cell
+    data_delay_ps: float  # launch clk-to-q + combinational path
+    setup_ps: float
+    hold_ps: float
+    launch_skew_ps: float
+    capture_skew_ps: float
+    from_input: bool = False
+    offset_fraction: float = 0.5
+
+    def min_period_ps(self) -> float:
+        """Smallest period satisfying this path's constraints."""
+        if not self.from_input:
+            return (
+                self.launch_skew_ps + self.data_delay_ps
+                + self.setup_ps - self.capture_skew_ps
+            )
+        # Input pulse at offset*T + data_delay must land in the open
+        # window (skew + hold, T + skew - setup) of the capture cell.
+        lower_from_hold = (
+            (self.capture_skew_ps + self.hold_ps - self.data_delay_ps)
+            / self.offset_fraction
+            if self.offset_fraction > 0 else 0.0
+        )
+        lower_from_setup = (
+            (self.data_delay_ps + self.setup_ps - self.capture_skew_ps)
+            / (1.0 - self.offset_fraction)
+            if self.offset_fraction < 1.0 else 0.0
+        )
+        return max(0.0, lower_from_hold, lower_from_setup)
+
+    def hold_slack_ps(self) -> float:
+        """Positive = safe; negative = hold violation (period independent).
+
+        Only meaningful for internal paths; input-launched hold behaviour
+        is period-dependent and folded into :meth:`min_period_ps`.
+        """
+        return (
+            self.launch_skew_ps + self.data_delay_ps
+            - self.capture_skew_ps - self.hold_ps
+        )
+
+
+@dataclass
+class TimingReport:
+    """All register-to-register and input-to-register constraints."""
+
+    paths: List[TimingPath]
+    clock_skews: Dict[str, float]
+
+    @property
+    def min_period_ps(self) -> float:
+        return max((p.min_period_ps() for p in self.paths), default=0.0)
+
+    @property
+    def max_frequency_ghz(self) -> float:
+        period = self.min_period_ps
+        return float("inf") if period <= 0 else 1000.0 / period
+
+    def hold_violations(self) -> List[TimingPath]:
+        """Internal-path hold failures (input-launched pulses arrive
+        mid-cycle by construction, so hold does not bind there)."""
+        return [p for p in self.paths if not p.from_input and p.hold_slack_ps() < 0]
+
+    def setup_slack_ps(self, frequency_ghz: float) -> float:
+        """Worst setup slack at the given frequency."""
+        period = 1000.0 / frequency_ghz
+        return min((period - p.min_period_ps() for p in self.paths), default=period)
+
+    def worst_path(self) -> Optional[TimingPath]:
+        if not self.paths:
+            return None
+        return max(self.paths, key=lambda p: p.min_period_ps())
+
+
+def _clock_skews(netlist: Netlist) -> Dict[str, float]:
+    """Clock arrival delay (ps) at each clocked cell."""
+    skews: Dict[str, float] = {}
+    for name in netlist.clocked_cells():
+        delay = 0.0
+        src = netlist.driver_of(PortRef(name, "clk"))
+        while isinstance(src, PortRef):
+            cell = netlist.cell(src.cell)
+            delay += cell.cell_type.delay_ps
+            src = netlist.driver_of(PortRef(src.cell, cell.cell_type.data_inputs[0]))
+        if src != CLOCK_INPUT:
+            raise NetlistError(f"clock of {name} does not reach {CLOCK_INPUT!r}")
+        skews[name] = delay
+    return skews
+
+
+def analyze_timing(netlist: Netlist, input_offset_fraction: float = 0.5) -> TimingReport:
+    """Enumerate every timing path in the netlist.
+
+    ``input_offset_fraction`` models when primary inputs pulse within
+    the cycle (Fig. 3 applies messages mid-cycle).
+    """
+    netlist.validate()
+    skews = _clock_skews(netlist)
+    paths: List[TimingPath] = []
+
+    for capture_name in netlist.clocked_cells():
+        capture = netlist.cell(capture_name)
+        for port in capture.cell_type.data_inputs:
+            # Walk upstream through unclocked cells accumulating delay.
+            delay = 0.0
+            src = netlist.driver_of(PortRef(capture_name, port))
+            while isinstance(src, PortRef):
+                cell = netlist.cell(src.cell)
+                if cell.cell_type.clocked:
+                    paths.append(TimingPath(
+                        launch=src.cell,
+                        capture=capture_name,
+                        data_delay_ps=delay + cell.cell_type.delay_ps,
+                        setup_ps=capture.cell_type.setup_ps,
+                        hold_ps=capture.cell_type.hold_ps,
+                        launch_skew_ps=skews[src.cell],
+                        capture_skew_ps=skews[capture_name],
+                    ))
+                    break
+                delay += cell.cell_type.delay_ps
+                src = netlist.driver_of(PortRef(src.cell, cell.cell_type.data_inputs[0]))
+            else:
+                # Launched by a primary input (external pulse source).
+                paths.append(TimingPath(
+                    launch=str(src),
+                    capture=capture_name,
+                    data_delay_ps=delay,
+                    setup_ps=capture.cell_type.setup_ps,
+                    hold_ps=capture.cell_type.hold_ps,
+                    launch_skew_ps=0.0,
+                    capture_skew_ps=skews[capture_name],
+                    from_input=True,
+                    offset_fraction=input_offset_fraction,
+                ))
+    return TimingReport(paths=paths, clock_skews=skews)
+
+
+def max_frequency_ghz(netlist: Netlist) -> float:
+    """Maximum clock frequency over all paths.
+
+    Register-to-register paths bound the pipeline itself; input-launched
+    paths bound how fast an *external* mid-cycle pulse source can feed
+    the block, which for the paper's small encoders is the binding
+    constraint (the clock-tree skew must fit inside the cycle).
+    """
+    report = analyze_timing(netlist)
+    period = report.min_period_ps
+    return float("inf") if period <= 0 else 1000.0 / period

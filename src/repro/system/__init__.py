@@ -1,0 +1,27 @@
+"""End-to-end system layer: the Fig. 1 data link, the Fig. 5 experiment
+and the one-time sensitivity calibration."""
+
+from repro.system.datalink import CryogenicDataLink, TransmissionResult
+from repro.system.experiment import (
+    Fig5Config,
+    Fig5Result,
+    SchemeResult,
+    run_fig5_experiment,
+)
+from repro.system.calibration import (
+    PAPER_FIG5_TARGETS,
+    analytic_p_zero,
+    calibrate_margins,
+)
+
+__all__ = [
+    "CryogenicDataLink",
+    "TransmissionResult",
+    "Fig5Config",
+    "Fig5Result",
+    "SchemeResult",
+    "run_fig5_experiment",
+    "PAPER_FIG5_TARGETS",
+    "analytic_p_zero",
+    "calibrate_margins",
+]

@@ -1,0 +1,101 @@
+"""The cryogenic digital output data link of the paper's Fig. 1.
+
+A :class:`CryogenicDataLink` chains the pieces end to end:
+
+    SFQ controller (message source)
+      -> ECC encoder netlist at 4.2 K (with PPV faults)
+      -> SFQ-to-DC output channels (cells of the netlist)
+      -> cryogenic cables (optional additive-noise channel)
+      -> room-temperature decoder (CMOS side)
+
+``transmit`` pushes a batch of messages through one sampled chip and
+reports how many decoded messages are erroneous — the quantity Fig. 5
+accumulates over 1000 chips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.coding.decoders.base import Decoder
+from repro.encoders.designs import EncoderDesign
+from repro.sfq.faults import ChipFaults, FaultSimulator
+from repro.utils.rng import RandomState, as_generator
+
+
+@dataclass
+class TransmissionResult:
+    """Outcome of one batch transmission over one chip."""
+
+    sent_messages: np.ndarray       # (batch, k)
+    channel_bits: np.ndarray        # (batch, n) as received at 300 K
+    decoded_messages: np.ndarray    # (batch, k)
+    erroneous: np.ndarray           # (batch,) bool — decoded != sent
+
+    @property
+    def n_erroneous(self) -> int:
+        """The paper's per-chip statistic N."""
+        return int(self.erroneous.sum())
+
+    @property
+    def message_error_rate(self) -> float:
+        return float(self.erroneous.mean())
+
+
+class CryogenicDataLink:
+    """End-to-end link for one encoder design.
+
+    Parameters
+    ----------
+    design:
+        The encoder design (or the no-encoder baseline).
+    decoder_strategy:
+        Override the paper's default decoder pairing (used by the
+        decoder-policy ablation); ignored for the baseline.
+    channel:
+        Optional channel model (e.g. ``repro.link.BinaryChannel``)
+        applied between the SFQ chip and the decoder.  ``None`` models
+        the paper's Fig. 5 setup where PPV is the only error source.
+    """
+
+    def __init__(
+        self,
+        design: EncoderDesign,
+        decoder_strategy: Optional[str] = None,
+        channel: Optional[object] = None,
+    ):
+        self.design = design
+        self.simulator = FaultSimulator(design.netlist)
+        self.decoder: Optional[Decoder] = design.decoder(decoder_strategy)
+        self.channel = channel
+
+    @property
+    def message_bits(self) -> int:
+        return self.simulator.message_width
+
+    def transmit(
+        self,
+        messages: np.ndarray,
+        chip_faults: Optional[ChipFaults] = None,
+        random_state: RandomState = None,
+    ) -> TransmissionResult:
+        """Send a ``(batch, k)`` message array through one chip."""
+        rng = as_generator(random_state)
+        msgs = np.asarray(messages, dtype=np.uint8)
+        channel_bits = self.simulator.run(msgs, chip_faults, rng)
+        if self.channel is not None:
+            channel_bits = self.channel.transmit(channel_bits, rng)
+        if self.decoder is None:
+            decoded = channel_bits[:, : msgs.shape[1]].copy()
+        else:
+            decoded = self.decoder.decode_batch(channel_bits)
+        erroneous = (decoded != msgs).any(axis=1)
+        return TransmissionResult(
+            sent_messages=msgs,
+            channel_bits=channel_bits,
+            decoded_messages=decoded,
+            erroneous=erroneous,
+        )

@@ -1,0 +1,114 @@
+"""The Fig. 5 Monte-Carlo experiment.
+
+Setup (paper, Fig. 5 caption and Section IV): 100 random 4-bit messages
+are sent through each encoder under one sampled +/-20% PPV assignment;
+the whole run is repeated 1000 times (1000 virtual chips), and the CDF
+of the per-chip count N of erroneous decoded messages is reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.stats import CdfResult, empirical_cdf, summarize_counts
+from repro.coding.registry import DISPLAY_NAMES, PAPER_SCHEMES
+from repro.encoders.designs import design_for_scheme
+from repro.ppv.margins import MarginModel
+from repro.ppv.montecarlo import ChipSampler
+from repro.ppv.spread import SpreadSpec
+from repro.system.datalink import CryogenicDataLink
+from repro.utils.rng import RandomState, spawn_generators
+
+
+@dataclass(frozen=True)
+class Fig5Config:
+    """Parameters of the Fig. 5 experiment (paper defaults)."""
+
+    schemes: Sequence[str] = tuple(PAPER_SCHEMES)
+    n_chips: int = 1000
+    n_messages: int = 100
+    spread: SpreadSpec = field(default_factory=lambda: SpreadSpec(0.20))
+    margin_model: Optional[MarginModel] = None
+    decoder_strategy: Optional[str] = None
+    seed: Optional[int] = 20250831  # arXiv date of the paper
+
+    def __post_init__(self):
+        if self.n_chips < 1 or self.n_messages < 1:
+            raise ValueError("n_chips and n_messages must be positive")
+
+
+@dataclass
+class SchemeResult:
+    """Per-scheme outcome: the counts behind one CDF curve of Fig. 5."""
+
+    scheme: str
+    display_name: str
+    counts: np.ndarray  # (n_chips,) erroneous messages per chip
+    n_messages: int
+
+    @property
+    def cdf(self) -> CdfResult:
+        return empirical_cdf(self.counts, support_max=self.n_messages)
+
+    @property
+    def probability_zero_errors(self) -> float:
+        """The paper's headline anchor P(N = 0)."""
+        return float((self.counts == 0).mean())
+
+    def summary(self) -> dict:
+        return summarize_counts(self.counts)
+
+
+@dataclass
+class Fig5Result:
+    """All scheme curves of one experiment run."""
+
+    config: Fig5Config
+    schemes: Dict[str, SchemeResult]
+
+    def anchors(self) -> Dict[str, float]:
+        """P(N = 0) per scheme, the numbers quoted in Section IV."""
+        return {
+            name: result.probability_zero_errors
+            for name, result in self.schemes.items()
+        }
+
+
+def run_scheme(
+    scheme: str,
+    config: Fig5Config,
+    random_state: RandomState,
+) -> SchemeResult:
+    """Run the Monte-Carlo for one coding scheme."""
+    design = design_for_scheme(scheme)
+    link = CryogenicDataLink(
+        design,
+        decoder_strategy=None if design.code is None else config.decoder_strategy,
+    )
+    margin_model = config.margin_model or MarginModel()
+    sampler = ChipSampler(design.netlist, config.spread, margin_model)
+    counts = np.empty(config.n_chips, dtype=np.int64)
+    k = link.message_bits
+    for chip in sampler.sample(config.n_chips, random_state):
+        messages = chip.rng.integers(0, 2, size=(config.n_messages, k)).astype(np.uint8)
+        result = link.transmit(messages, chip.faults, chip.rng)
+        counts[chip.index] = result.n_erroneous
+    return SchemeResult(
+        scheme=scheme,
+        display_name=DISPLAY_NAMES.get(scheme, scheme),
+        counts=counts,
+        n_messages=config.n_messages,
+    )
+
+
+def run_fig5_experiment(config: Optional[Fig5Config] = None) -> Fig5Result:
+    """Run the full Fig. 5 experiment (all schemes)."""
+    config = config or Fig5Config()
+    streams = spawn_generators(config.seed, len(config.schemes))
+    results: Dict[str, SchemeResult] = {}
+    for scheme, stream in zip(config.schemes, streams):
+        results[scheme] = run_scheme(scheme, config, stream)
+    return Fig5Result(config=config, schemes=results)

@@ -1,0 +1,12 @@
+"""Small shared utilities: RNG plumbing and ASCII table rendering."""
+
+from repro.utils.rng import RandomState, as_generator, spawn_generators
+from repro.utils.tables import format_table, format_kv_block
+
+__all__ = [
+    "RandomState",
+    "as_generator",
+    "spawn_generators",
+    "format_table",
+    "format_kv_block",
+]

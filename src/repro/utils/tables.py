@@ -1,0 +1,120 @@
+"""Plain-text table rendering used by the experiment reports.
+
+The benchmark harness prints the same rows the paper's tables report;
+these helpers keep that output aligned and diff-friendly without pulling
+in a formatting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+    align: Optional[Sequence[str]] = None,
+) -> str:
+    """Render ``rows`` as an ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    rows:
+        Iterable of rows; each row must have ``len(headers)`` entries.
+    title:
+        Optional title printed above the table.
+    align:
+        Optional per-column alignment: ``"l"`` (default) or ``"r"``.
+    """
+    str_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns: {row}"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    if align is None:
+        align = ["l"] * len(headers)
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, a in zip(cells, widths, align):
+            parts.append(cell.rjust(width) if a == "r" else cell.ljust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(fmt_row(headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_kv_block(items: Mapping[str, object], title: Optional[str] = None) -> str:
+    """Render a key/value mapping as an aligned two-column block."""
+    if not items:
+        return title or ""
+    width = max(len(k) for k in items)
+    lines = [] if title is None else [title]
+    for key, value in items.items():
+        lines.append(f"  {key.ljust(width)} : {_cell(value)}")
+    return "\n".join(lines)
+
+
+def format_cdf_plot(
+    series: Mapping[str, Sequence[float]],
+    width: int = 72,
+    height: int = 20,
+    x_label: str = "N",
+    y_min: float = 0.75,
+    y_max: float = 1.0,
+) -> str:
+    """Render one-or-more CDF series as a coarse ASCII plot.
+
+    Each series is a sequence ``cdf[n] = P(X <= n)``; the x axis spans the
+    longest series.  Used by the figure benchmarks to give a quick visual
+    check next to the CSV dump.
+    """
+    if not series:
+        return "(empty plot)"
+    n_points = max(len(s) for s in series.values())
+    if n_points < 2:
+        return "(plot needs at least two points)"
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    for idx, (name, values) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        for i, v in enumerate(values):
+            x = int(round(i / (n_points - 1) * (width - 1)))
+            frac = (float(v) - y_min) / (y_max - y_min)
+            frac = min(max(frac, 0.0), 1.0)
+            y = height - 1 - int(round(frac * (height - 1)))
+            grid[y][x] = marker
+    lines = []
+    for r, row in enumerate(grid):
+        frac = 1.0 - r / (height - 1)
+        y_val = y_min + frac * (y_max - y_min)
+        lines.append(f"{y_val:5.2f} |" + "".join(row))
+    lines.append(" " * 6 + "+" + "-" * width)
+    lines.append(" " * 6 + f"0 .. {n_points - 1}  ({x_label})")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,59 @@
+"""Shared fixtures: paper codes, decoders and encoder designs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import hamming74_paper, hamming84_paper, rm13_paper
+from repro.encoders.designs import (
+    hamming74_encoder_design,
+    hamming84_encoder_design,
+    no_encoder_design,
+    rm13_encoder_design,
+)
+from repro.sfq.cells import coldflux_library
+
+
+@pytest.fixture(scope="session")
+def h74():
+    return hamming74_paper()
+
+
+@pytest.fixture(scope="session")
+def h84():
+    return hamming84_paper()
+
+
+@pytest.fixture(scope="session")
+def rm13():
+    return rm13_paper()
+
+
+@pytest.fixture(scope="session")
+def library():
+    return coldflux_library()
+
+
+@pytest.fixture(scope="session")
+def h74_design():
+    return hamming74_encoder_design()
+
+
+@pytest.fixture(scope="session")
+def h84_design():
+    return hamming84_encoder_design()
+
+
+@pytest.fixture(scope="session")
+def rm13_design():
+    return rm13_encoder_design()
+
+
+@pytest.fixture(scope="session")
+def baseline_design():
+    return no_encoder_design()
+
+
+@pytest.fixture(scope="session")
+def paper_design_list(rm13_design, h74_design, h84_design):
+    return [rm13_design, h74_design, h84_design]

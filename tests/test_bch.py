@@ -1,0 +1,78 @@
+"""Tests for the BCH comparison codes (paper Section II)."""
+
+import pytest
+
+from repro.coding.bch import (
+    bch_15_7,
+    bch_15_11,
+    bch_code,
+    bch_generator_polynomial,
+)
+from repro.coding.hamming import hamming_code
+from repro.gf2.polynomials import GF2Polynomial
+
+
+class TestGeneratorPolynomial:
+    def test_bch_15_1_generator(self):
+        # t=1 over GF(16): g(x) = x^4 + x + 1 (the primitive polynomial).
+        g = bch_generator_polynomial(4, 1)
+        assert g == GF2Polynomial(0b10011)
+
+    def test_bch_15_2_generator_degree(self):
+        # t=2: g = m1 * m3, degree 8 -> k = 7.
+        assert bch_generator_polynomial(4, 2).degree == 8
+
+    def test_bch_15_3_generator_degree(self):
+        # t=3: degree 10 -> the (15,5) code.
+        assert bch_generator_polynomial(4, 3).degree == 10
+
+    def test_t_too_large(self):
+        with pytest.raises(ValueError):
+            bch_generator_polynomial(3, 4)
+
+    def test_t_positive(self):
+        with pytest.raises(ValueError):
+            bch_generator_polynomial(4, 0)
+
+
+class TestBchCodes:
+    def test_bch_15_11_parameters(self):
+        code = bch_15_11()
+        assert (code.n, code.k, code.minimum_distance) == (15, 11, 3)
+
+    def test_bch_15_7_parameters(self):
+        code = bch_15_7()
+        assert (code.n, code.k, code.minimum_distance) == (15, 7, 5)
+
+    def test_bch_15_5_parameters(self):
+        code = bch_code(4, 3)
+        assert (code.n, code.k, code.minimum_distance) == (15, 5, 7)
+
+    def test_bch_7_4_matches_hamming(self):
+        # Paper: "BCH codes are algebraically equivalent to Hamming codes
+        # at short lengths" — same parameters and weight distribution.
+        bch = bch_code(3, 1)
+        hamming = hamming_code(3)
+        assert (bch.n, bch.k) == (hamming.n, hamming.k)
+        assert bch.weight_distribution.tolist() == hamming.weight_distribution.tolist()
+
+    def test_codewords_divisible_by_generator(self):
+        code = bch_15_7()
+        g_poly = bch_generator_polynomial(4, 2)
+        for cw in code.all_codewords[:16]:
+            # Codeword bit i carries the coefficient of x^(n-1-i), so the
+            # polynomial view reverses the bit order.
+            poly = GF2Polynomial(cw[::-1].tolist())
+            assert (poly % g_poly).is_zero
+
+    def test_systematic_positions(self):
+        code = bch_15_7()
+        for msg in code.all_messages[:8]:
+            cw = code.encode(msg)
+            assert cw[code.message_positions].tolist() == msg.tolist()
+
+    def test_bch_7_1_is_repetition(self):
+        # t=3 over GF(8): the shared minimal polynomials leave k=1 and
+        # the code degenerates to the length-7 repetition code.
+        code = bch_code(3, 3)
+        assert (code.n, code.k, code.minimum_distance) == (7, 1, 7)

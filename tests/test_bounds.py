@@ -1,0 +1,86 @@
+"""Tests for the code-bound checks (repro.coding.bounds)."""
+
+import pytest
+
+from repro.coding import hamming_code, repetition_code
+from repro.coding.bounds import (
+    bound_report,
+    gilbert_varshamov_exists,
+    griesmer_bound_min_length,
+    hamming_bound_max_codewords,
+    is_mds,
+    is_quasi_perfect,
+    meets_hamming_bound,
+    plotkin_bound_max_codewords,
+    singleton_bound_max_dimension,
+)
+
+
+class TestHammingBound:
+    def test_h74_meets_bound(self, h74):
+        # Perfect code: 2^4 * (1 + 7) = 2^7.
+        assert hamming_bound_max_codewords(7, 3) == 16
+        assert meets_hamming_bound(h74)
+
+    def test_h84_does_not(self, h84):
+        assert not meets_hamming_bound(h84)
+
+    def test_all_hamming_family_perfect(self):
+        for r in (2, 3, 4):
+            assert meets_hamming_bound(hamming_code(r))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hamming_bound_max_codewords(0, 1)
+
+
+class TestQuasiPerfect:
+    def test_h84_quasi_perfect(self, h84):
+        # The paper's words: "the quasi-perfect (8,4,4) extended Hamming code".
+        assert is_quasi_perfect(h84)
+
+    def test_rm13_quasi_perfect(self, rm13):
+        assert is_quasi_perfect(rm13)
+
+    def test_h74_not_quasi_perfect(self, h74):
+        assert not is_quasi_perfect(h74)  # it is perfect (radius = t)
+
+
+class TestOtherBounds:
+    def test_singleton(self):
+        assert singleton_bound_max_dimension(8, 4) == 5
+
+    def test_mds_repetition(self):
+        assert is_mds(repetition_code(5))
+
+    def test_h84_not_mds(self, h84):
+        assert not is_mds(h84)
+
+    def test_plotkin_applies_to_rm13(self, rm13):
+        # 2d = 8 = n: Plotkin applies in the boundary form 2d > n? No:
+        # 2*4 = 8 is not > 8, so the bound does not apply.
+        assert plotkin_bound_max_codewords(8, 4) is None
+        # For d=5, n=8: max 2*(5 // 2) = 4 codewords.
+        assert plotkin_bound_max_codewords(8, 5) == 4
+
+    def test_griesmer(self, h84):
+        # [8,4,4]: sum ceil(4/2^i) = 4+2+1+1 = 8 -> meets Griesmer.
+        assert griesmer_bound_min_length(4, 4) == 8
+
+    def test_gv_existence(self):
+        assert gilbert_varshamov_exists(8, 4, 3)
+        assert not gilbert_varshamov_exists(8, 7, 4)
+
+
+class TestReport:
+    def test_h84_report(self, h84):
+        report = bound_report(h84)
+        assert report["quasi_perfect"] is True
+        assert report["meets_hamming_bound"] is False
+        assert report["meets_griesmer"] is True
+        assert report["gv_guaranteed"] in (True, False)
+
+    def test_h74_report(self, h74):
+        report = bound_report(h74)
+        assert report["meets_hamming_bound"] is True
+        assert report["griesmer_min_n"] <= 7

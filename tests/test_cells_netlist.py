@@ -1,0 +1,196 @@
+"""Tests for the cell library and netlist graph."""
+
+import pytest
+
+from repro.errors import FanOutViolation, NetlistError, UnknownCellError
+from repro.sfq.cells import (
+    CellKind,
+    DFF,
+    SFQ_TO_DC,
+    SPLITTER,
+    XOR,
+    coldflux_library,
+)
+from repro.sfq.netlist import CLOCK_INPUT, Netlist, PortRef
+
+
+class TestCellLibrary:
+    def test_calibrated_jj_counts(self, library):
+        assert library[XOR].jj_count == 12
+        assert library[DFF].jj_count == 6
+        assert library[SPLITTER].jj_count == 3
+        assert library[SFQ_TO_DC].jj_count == 10
+        assert library.overhead.jj_count == 9
+
+    def test_clocked_cells_have_clk_port(self, library):
+        assert "clk" in library[XOR].all_inputs
+        assert "clk" in library[DFF].all_inputs
+        assert "clk" not in library[SPLITTER].all_inputs
+
+    def test_splitter_fans_out_two(self, library):
+        assert library[SPLITTER].fan_out == 2
+
+    def test_unknown_cell(self, library):
+        with pytest.raises(UnknownCellError):
+            library["FOO"]
+
+    def test_contains(self, library):
+        assert XOR in library
+        assert "FOO" not in library
+
+    def test_with_cell_override(self, library):
+        from dataclasses import replace
+
+        modified = library.with_cell(replace(library[XOR], jj_count=99))
+        assert modified[XOR].jj_count == 99
+        assert library[XOR].jj_count == 12  # original untouched
+
+    def test_kinds(self, library):
+        assert library[XOR].kind is CellKind.LOGIC
+        assert library[DFF].kind is CellKind.STORAGE
+        assert library[SPLITTER].kind is CellKind.FANOUT
+        assert library[SFQ_TO_DC].kind is CellKind.CONVERTER
+
+
+def _minimal_netlist(library):
+    """in -> DFF -> out with direct clk (one clocked cell: no tree)."""
+    net = Netlist("minimal", library)
+    net.add_input("a")
+    net.add_input(CLOCK_INPUT)
+    net.add_output("q")
+    net.add_cell("ff", DFF)
+    net.connect("a", PortRef("ff", "d"))
+    net.connect(CLOCK_INPUT, PortRef("ff", "clk"))
+    net.connect(PortRef("ff", "q"), "q")
+    return net
+
+
+class TestNetlistConstruction:
+    def test_minimal_validates(self, library):
+        _minimal_netlist(library).validate()
+
+    def test_duplicate_input(self, library):
+        net = Netlist("x", library)
+        net.add_input("a")
+        with pytest.raises(NetlistError):
+            net.add_input("a")
+
+    def test_duplicate_cell(self, library):
+        net = Netlist("x", library)
+        net.add_cell("c", DFF)
+        with pytest.raises(NetlistError):
+            net.add_cell("c", XOR)
+
+    def test_connect_unknown_port(self, library):
+        net = Netlist("x", library)
+        net.add_input("a")
+        net.add_cell("ff", DFF)
+        with pytest.raises(NetlistError):
+            net.connect("a", PortRef("ff", "nope"))
+
+    def test_double_drive_rejected(self, library):
+        net = Netlist("x", library)
+        net.add_input("a")
+        net.add_input("b")
+        net.add_cell("ff", DFF)
+        net.connect("a", PortRef("ff", "d"))
+        with pytest.raises(NetlistError):
+            net.connect("b", PortRef("ff", "d"))
+
+    def test_undriven_port_fails_validation(self, library):
+        net = Netlist("x", library)
+        net.add_input("a")
+        net.add_cell("ff", DFF)
+        net.add_output("q")
+        net.connect(PortRef("ff", "q"), "q")
+        net.connect("a", PortRef("ff", "d"))
+        with pytest.raises(NetlistError):  # clk undriven
+            net.validate()
+
+    def test_fanout_violation_detected(self, library):
+        net = Netlist("x", library)
+        net.add_input("a")
+        net.add_output("q1")
+        net.add_output("q2")
+        net.add_cell("s2d1", SFQ_TO_DC)
+        net.add_cell("s2d2", SFQ_TO_DC)
+        net.connect("a", PortRef("s2d1", "a"))
+        with pytest.raises(NetlistError):
+            net.connect("a", PortRef("s2d2", "a"))  # second sink on same PI
+        # Wire it through nothing — directly reuse the s2d output twice:
+        net2 = Netlist("y", library)
+        net2.add_input("a")
+        net2.add_output("q1")
+        net2.add_output("q2")
+        net2.add_cell("s2d", SFQ_TO_DC)
+        net2.connect("a", PortRef("s2d", "a"))
+        net2.connect(PortRef("s2d", "q"), "q1")
+        with pytest.raises(NetlistError):
+            net2.connect(PortRef("s2d", "q"), "q2")
+
+    def test_clock_through_clocked_cell_rejected(self, library):
+        net = Netlist("x", library)
+        net.add_input("a")
+        net.add_input("b")
+        net.add_input(CLOCK_INPUT)
+        net.add_output("q")
+        net.add_cell("ff1", DFF)
+        net.add_cell("ff2", DFF)
+        net.connect("a", PortRef("ff1", "d"))
+        net.connect(CLOCK_INPUT, PortRef("ff1", "clk"))
+        net.connect(PortRef("ff1", "q"), PortRef("ff2", "clk"))  # clock via DFF!
+        net.connect("b", PortRef("ff2", "d"))
+        net.connect(PortRef("ff2", "q"), "q")
+        with pytest.raises(NetlistError):
+            net.validate()
+
+
+class TestNetlistAnalysis(object):
+    def test_count_cells(self, h84_design):
+        counts = h84_design.netlist.count_cells()
+        assert counts == {"XOR": 6, "DFF": 8, "SPL": 23, "SFQDC": 8}
+
+    def test_topological_order_covers_all(self, h84_design):
+        order = h84_design.netlist.topological_order()
+        assert len(order) == len(h84_design.netlist.cells)
+
+    def test_logic_depth_all_outputs(self, h84_design):
+        net = h84_design.netlist
+        for out in net.outputs:
+            assert net.logic_depth(out) == 2
+
+    def test_forward_cone_of_driver_is_single_output(self, h84_design):
+        net = h84_design.netlist
+        assert net.forward_cone("s2d_c3") == frozenset({"c3"})
+
+    def test_forward_cone_of_shared_xor(self, h84_design):
+        # t2 = m3^m4 feeds c2 and c4 (paper Fig. 2).
+        net = h84_design.netlist
+        assert net.forward_cone("xor_t2") == frozenset({"c2", "c4"})
+
+    def test_forward_cone_of_t1(self, h84_design):
+        assert h84_design.netlist.forward_cone("xor_t1") == frozenset({"c1", "c8"})
+
+    def test_h74_t2_cone(self, h74_design):
+        assert h74_design.netlist.forward_cone("xor_t2") == frozenset({"c2", "c4"})
+
+    def test_input_cone(self, h84_design):
+        cone = h84_design.netlist.input_cone("c3")
+        # c3 = m1 via 2 DFFs + driver (+ splitters along the way).
+        assert "dff_m1_z1" in cone and "dff_m1_z2" in cone and "s2d_c3" in cone
+        assert "xor_t2" not in cone
+
+    def test_clock_root_cone_covers_everything(self, h84_design):
+        net = h84_design.netlist
+        assert net.forward_cone("cspl_1") == frozenset(net.outputs)
+
+    def test_to_networkx(self, h84_design):
+        graph = h84_design.netlist.to_networkx()
+        n_cells = len(h84_design.netlist.cells)
+        assert graph.number_of_nodes() == n_cells + 5 + 8  # cells + PIs + POs
+
+    def test_sinks_of_fanout_one(self, h84_design):
+        net = h84_design.netlist
+        for name, cell in net.cells.items():
+            for port in cell.cell_type.outputs:
+                assert len(net.sinks_of(PortRef(name, port))) == 1

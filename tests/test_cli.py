@@ -1,0 +1,67 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "305" in out
+
+    def test_fig3(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "01100110" in out
+
+    def test_fig3_custom_message(self, capsys):
+        assert main(["fig3", "--message", "0001"]) == 0
+        out = capsys.readouterr().out
+        assert "0001" in out
+
+    def test_fig3_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig3.csv"
+        assert main(["fig3", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert target.read_text().startswith("time_ns,")
+
+    def test_fig5_small(self, capsys, tmp_path):
+        target = tmp_path / "fig5.csv"
+        assert main([
+            "fig5", "--chips", "30", "--messages", "40",
+            "--seed", "5", "--csv", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "P(N=0)" in out
+        assert target.exists()
+
+    def test_export_josim(self, capsys):
+        assert main(["export-josim", "hamming84", "--spread", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert ".spread 0.2000" in out
+        assert "Xxor_t1" in out
+
+    def test_export_josim_to_file(self, tmp_path, capsys):
+        target = tmp_path / "deck.cir"
+        assert main(["export-josim", "rm13", "--output", str(target)]) == 0
+        assert target.read_text().strip().endswith(".end")
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig9"])
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0

@@ -1,0 +1,136 @@
+"""Tests for the Table I analysis engine (repro.coding.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.coding.analysis import (
+    correction_profile,
+    detection_profile,
+    hamming74_three_bit_detection,
+    miscorrection_targets,
+    table1_row,
+)
+from repro.coding.decoders import (
+    ExtendedHammingDecoder,
+    FhtDecoder,
+    SyndromeDecoder,
+)
+from repro.gf2.vectors import all_weight_w_vectors
+
+
+class TestDetectionProfiles:
+    def test_h74_weight1_all_detected(self, h74):
+        profile = detection_profile(h74, 1)
+        assert profile.all_detected
+        assert profile.total_patterns == 7
+
+    def test_h74_weight2_all_detected(self, h74):
+        assert detection_profile(h74, 2).all_detected
+
+    def test_h74_weight3_is_28_of_35(self, h74):
+        # The paper's Section II-C claim: 80% of 3-bit patterns.
+        profile = detection_profile(h74, 3)
+        assert profile.total_patterns == 35
+        assert profile.detected_patterns == 28
+        assert profile.detection_rate == pytest.approx(0.8)
+
+    def test_helper_returns_paper_numbers(self, h74):
+        result = hamming74_three_bit_detection(h74)
+        assert (result["detected"], result["total"]) == (28, 35)
+
+    def test_h84_weight3_all_detected(self, h84):
+        assert detection_profile(h84, 3).all_detected
+
+    def test_h84_weight4_partial(self, h84):
+        profile = detection_profile(h84, 4)
+        assert profile.total_patterns == 70
+        assert profile.detected_patterns == 56  # 14 weight-4 codewords
+
+    def test_rm13_matches_h84(self, rm13, h84):
+        for w in range(1, 9):
+            assert (
+                detection_profile(rm13, w).detected_patterns
+                == detection_profile(h84, w).detected_patterns
+            )
+
+
+class TestCorrectionProfiles:
+    def test_h74_weight1_all_corrected(self, h74):
+        profile = correction_profile(h74, SyndromeDecoder(h74), 1)
+        assert profile.all_corrected
+        assert profile.strict_corrected == profile.total
+
+    def test_h74_weight2_all_silent(self, h74):
+        profile = correction_profile(h74, SyndromeDecoder(h74), 2)
+        assert profile.silent == profile.total  # every 2-bit miscorrects
+        assert profile.some_strict_corrected_patterns == 0
+
+    def test_h84_weight2_all_noticed(self, h84):
+        profile = correction_profile(h84, ExtendedHammingDecoder(h84), 2)
+        assert profile.silent == 0
+        # Fallback preserves the message for parity-only patterns:
+        assert profile.corrected_flagged > 0
+
+    def test_h84_weight3_has_silent_miscorrections(self, h84):
+        # SEC-DED deployment genuinely miscorrects some 3-bit patterns
+        # (3 errors inside a weight-4 codeword's support alias to a
+        # single-bit syndrome); detection-only mode catches all of them.
+        profile = correction_profile(h84, ExtendedHammingDecoder(h84), 3)
+        assert profile.silent > 0
+        assert detection_profile(h84, 3).all_detected
+
+    def test_rm13_weight2_some_strictly_corrected(self, rm13):
+        profile = correction_profile(rm13, FhtDecoder(rm13), 2)
+        assert profile.some_strict_corrected_patterns > 0
+
+
+class TestTable1Rows:
+    def test_h74_row(self, h74):
+        row = table1_row(h74, SyndromeDecoder(h74))
+        assert (row.dmin, row.worst_detected, row.worst_corrected) == (3, 1, 1)
+        assert (row.best_detected, row.best_corrected) == (3, 1)
+
+    def test_h84_row(self, h84):
+        row = table1_row(h84, ExtendedHammingDecoder(h84))
+        assert (row.dmin, row.worst_detected, row.worst_corrected) == (4, 3, 1)
+        assert (row.best_detected, row.best_corrected) == (3, 1)
+
+    def test_rm13_row(self, rm13):
+        row = table1_row(rm13, FhtDecoder(rm13))
+        assert (row.dmin, row.worst_detected, row.worst_corrected) == (4, 3, 1)
+        assert (row.best_detected, row.best_corrected) == (3, 2)
+
+
+class TestMiscorrectionMechanism:
+    def test_h74_two_bit_aliases_to_single_bit_leader(self, h74):
+        targets = miscorrection_targets(h74, 2)
+        for leader in targets.values():
+            assert int(leader.sum()) == 1  # perfect code: all cosets weight-1
+
+    def test_h74_miscorrection_hits_message(self, h74):
+        """Every 2-bit miscorrection corrupts at least one message bit.
+
+        The resulting 3-bit residual error is a weight-3 codeword
+        support; no nonzero codeword is supported on parity positions
+        only, so a message position is always hit.  This is why
+        Hamming(7,4) cannot profit from a detect-and-fallback policy
+        the way Hamming(8,4) does (DESIGN.md section 6).
+        """
+        decoder = SyndromeDecoder(h74)
+        message_positions = set(h74.message_positions)
+        for e in all_weight_w_vectors(7, 2):
+            for msg in h74.all_messages:
+                cw = h74.encode(msg)
+                result = decoder.decode(cw ^ e)
+                residual = result.codeword ^ cw
+                assert residual.any()  # miscorrected
+                hit = {int(i) for i in np.nonzero(residual)[0]}
+                assert hit & message_positions
+
+    def test_no_parity_only_codewords(self, h74, h84):
+        """No nonzero codeword lives entirely on parity positions."""
+        for code in (h74, h84):
+            parity = [i for i in range(code.n) if i not in code.message_positions]
+            for cw in code.all_codewords[1:]:
+                support = set(np.nonzero(cw)[0].tolist())
+                assert not support <= set(parity)

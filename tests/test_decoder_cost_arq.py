@@ -1,0 +1,109 @@
+"""Tests for the CMOS decoder cost model and the ARQ layer."""
+
+import numpy as np
+import pytest
+
+from repro.coding import bch_15_7, get_code
+from repro.coding.decoder_cost import (
+    decoder_cost_report,
+    fht_decoder_cost,
+    ml_decoder_cost,
+    sec_ded_decoder_cost,
+    syndrome_decoder_cost,
+)
+from repro.encoders.designs import design_for_scheme
+from repro.link.framing import ArqLink
+from repro.sfq.faults import CellFault, ChipFaults
+
+
+class TestDecoderCost:
+    def test_sec_ded_cheaper_than_table_decoder(self, h84):
+        table = syndrome_decoder_cost(h84)
+        sec = sec_ded_decoder_cost(h84)
+        assert sec.total_gate_equivalents < table.total_gate_equivalents
+
+    def test_ml_most_expensive(self, h84):
+        report = decoder_cost_report(h84)
+        ml = report["ml"].total_gate_equivalents
+        assert all(
+            ml >= cost.total_gate_equivalents
+            for name, cost in report.items() if name != "ml"
+        )
+
+    def test_bch_syndrome_heavier_than_hamming(self, h74):
+        """Quantifies Section II: BCH decoding complexity is higher."""
+        bch = syndrome_decoder_cost(bch_15_7())
+        hamming = syndrome_decoder_cost(h74)
+        assert bch.total_gate_equivalents > 5 * hamming.total_gate_equivalents
+
+    def test_fht_available_for_rm13_only(self, rm13, h74):
+        assert "fht" in decoder_cost_report(rm13)
+        assert "fht" not in decoder_cost_report(h74)
+
+    def test_fht_cost_positive(self, rm13):
+        cost = fht_decoder_cost(rm13)
+        assert cost.logic_gates > 0
+        assert cost.memory_bits == 0
+
+    def test_sec_ded_requires_dmin4(self, h74):
+        assert "sec-ded" not in decoder_cost_report(h74)
+
+
+class TestArqLink:
+    def test_requires_coded_design(self, baseline_design):
+        with pytest.raises(ValueError):
+            ArqLink(baseline_design)
+
+    def test_clean_chip_no_retransmissions(self, h84_design):
+        arq = ArqLink(h84_design)
+        msgs = np.random.default_rng(0).integers(0, 2, (50, 4)).astype(np.uint8)
+        result = arq.run(msgs, None, 1)
+        assert result.retransmissions == 0
+        assert result.delivered_correct == 50
+        assert result.goodput == 1.0
+        assert result.residual_error_rate == 0.0
+
+    def test_parity_pair_fault_triggers_retransmissions(self, h84_design):
+        """A detected-uncorrectable pattern costs slots but not accuracy...
+
+        With a persistent fault the retry sees the same corruption, so
+        the fallback message (intact for parity-only faults) is
+        delivered after max_retries.
+        """
+        arq = ArqLink(h84_design, max_retries=2)
+        faults = ChipFaults({"xor_t2": CellFault(drop=1.0)})
+        msgs = np.random.default_rng(2).integers(0, 2, (60, 4)).astype(np.uint8)
+        result = arq.run(msgs, faults, 3)
+        assert result.retransmissions > 0
+        assert result.delivered_wrong == 0  # parity-only: fallback correct
+        assert result.goodput < 1.0
+
+    def test_intermittent_fault_recovered_by_retry(self, h84_design):
+        """A 30%-duty mid-pipeline fault is healed by retries.
+
+        dff_m1_z1 corrupts {c2, c3} when it manifests — an *invalid*
+        word the decoder flags, so ARQ retries until a clean slot.
+        (An input-splitter fault would instead re-encode a different
+        message — valid codeword, silent, unfixable by ARQ.)
+        """
+        arq = ArqLink(h84_design, max_retries=4)
+        faults = ChipFaults({"dff_m1_z1": CellFault(drop=0.3)})
+        msgs = np.ones((80, 4), dtype=np.uint8)
+        result = arq.run(msgs, faults, 4)
+        assert result.delivered_correct > 70
+        assert result.retransmissions > 0
+
+    def test_gave_up_counter(self, h84_design):
+        arq = ArqLink(h84_design, max_retries=1)
+        # Permanent double corruption incl. a message channel.
+        faults = ChipFaults({
+            "s2d_c3": CellFault(drop=1.0),
+            "s2d_c1": CellFault(drop=1.0),
+        })
+        msgs = np.ones((40, 4), dtype=np.uint8)
+        result = arq.run(msgs, faults, 5)
+        assert result.gave_up > 0
+
+    def test_validation(self, h84_design):
+        with pytest.raises(ValueError):
+            ArqLink(h84_design, max_retries=-1)

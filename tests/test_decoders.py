@@ -1,0 +1,262 @@
+"""Tests for all decoder strategies."""
+
+import numpy as np
+import pytest
+
+from repro.coding.decoders import (
+    ExtendedHammingDecoder,
+    FhtDecoder,
+    MaximumLikelihoodDecoder,
+    ReedDecoder,
+    SyndromeDecoder,
+    default_decoder_for,
+)
+from repro.coding.decoders.fht import walsh_hadamard_transform
+from repro.coding.reed_muller import reed_muller
+from repro.gf2.vectors import all_weight_w_vectors
+
+
+def _flip(word, *positions):
+    out = word.copy()
+    for p in positions:
+        out[p] ^= 1
+    return out
+
+
+class TestSyndromeDecoder:
+    def test_clean_word(self, h74):
+        decoder = SyndromeDecoder(h74)
+        for msg in h74.all_messages:
+            result = decoder.decode(h74.encode(msg))
+            assert result.message.tolist() == msg.tolist()
+            assert result.corrected_errors == 0
+            assert not result.detected_uncorrectable
+
+    def test_corrects_every_single_error(self, h74):
+        decoder = SyndromeDecoder(h74)
+        for msg in h74.all_messages:
+            cw = h74.encode(msg)
+            for pos in range(7):
+                result = decoder.decode(_flip(cw, pos))
+                assert result.message.tolist() == msg.tolist()
+                assert result.corrected_errors == 1
+
+    def test_perfect_code_never_flags(self, h74):
+        decoder = SyndromeDecoder(h74)
+        for word_int in range(128):
+            word = np.array([(word_int >> (6 - b)) & 1 for b in range(7)], dtype=np.uint8)
+            assert not decoder.decode(word).detected_uncorrectable
+
+    def test_double_error_miscorrects(self, h74):
+        decoder = SyndromeDecoder(h74)
+        msg = h74.all_messages[5]
+        cw = h74.encode(msg)
+        result = decoder.decode(_flip(cw, 0, 1))
+        assert result.message.tolist() != msg.tolist()
+        assert not result.detected_uncorrectable  # silent, as Table I says
+
+    def test_bounded_distance_flags(self, h84):
+        decoder = SyndromeDecoder(h84, max_correctable_weight=1)
+        msg = h84.all_messages[3]
+        cw = h84.encode(msg)
+        result = decoder.decode(_flip(cw, 0, 1))
+        assert result.detected_uncorrectable
+
+    def test_batch_matches_single(self, h74):
+        decoder = SyndromeDecoder(h74)
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 2, size=(64, 7)).astype(np.uint8)
+        batch = decoder.decode_batch(words)
+        for word, got in zip(words, batch):
+            assert got.tolist() == decoder.decode(word).message.tolist()
+
+
+class TestExtendedHammingDecoder:
+    def test_requires_dmin4(self, h74):
+        with pytest.raises(ValueError):
+            ExtendedHammingDecoder(h74)
+
+    def test_corrects_single_errors(self, h84):
+        decoder = ExtendedHammingDecoder(h84)
+        for msg in h84.all_messages:
+            cw = h84.encode(msg)
+            for pos in range(8):
+                result = decoder.decode(_flip(cw, pos))
+                assert result.message.tolist() == msg.tolist()
+                assert result.corrected_errors == 1
+
+    def test_detects_all_double_errors(self, h84):
+        decoder = ExtendedHammingDecoder(h84)
+        msg = h84.all_messages[9]
+        cw = h84.encode(msg)
+        for e in all_weight_w_vectors(8, 2):
+            result = decoder.decode(cw ^ e)
+            assert result.detected_uncorrectable  # never miscorrects w=2
+
+    def test_parity_only_double_error_preserves_message(self, h84):
+        # Errors confined to c1, c2, c4, c8 leave the fallback message
+        # intact — the mechanism behind Hamming(8,4)'s Fig. 5 advantage.
+        decoder = ExtendedHammingDecoder(h84)
+        parity_positions = [0, 1, 3, 7]
+        for msg in h84.all_messages:
+            cw = h84.encode(msg)
+            result = decoder.decode(_flip(cw, parity_positions[0], parity_positions[2]))
+            assert result.detected_uncorrectable
+            assert result.message.tolist() == msg.tolist()
+
+    def test_systematic_double_error_corrupts_message(self, h84):
+        decoder = ExtendedHammingDecoder(h84)
+        msg = h84.all_messages[7]
+        cw = h84.encode(msg)
+        result = decoder.decode(_flip(cw, 2, 4))  # c3 and c5: message bits
+        assert result.detected_uncorrectable
+        assert result.message.tolist() != msg.tolist()
+
+    def test_error_flag_property(self, h84):
+        decoder = ExtendedHammingDecoder(h84)
+        cw = h84.encode([1, 0, 1, 1])
+        assert not decoder.decode(cw).error_flag
+        assert decoder.decode(_flip(cw, 0)).error_flag
+        assert decoder.decode(_flip(cw, 0, 1)).error_flag
+
+    def test_batch_matches_single(self, h84):
+        decoder = ExtendedHammingDecoder(h84)
+        rng = np.random.default_rng(1)
+        words = rng.integers(0, 2, size=(128, 8)).astype(np.uint8)
+        batch = decoder.decode_batch(words)
+        for word, got in zip(words, batch):
+            assert got.tolist() == decoder.decode(word).message.tolist()
+
+
+class TestReedDecoder:
+    def test_requires_rm1m(self, h74):
+        with pytest.raises(ValueError):
+            ReedDecoder(h74)
+
+    def test_clean_words(self, rm13):
+        decoder = ReedDecoder(rm13)
+        for msg in rm13.all_messages:
+            result = decoder.decode(rm13.encode(msg))
+            assert result.message.tolist() == msg.tolist()
+            assert not result.detected_uncorrectable
+
+    def test_corrects_single_errors(self, rm13):
+        decoder = ReedDecoder(rm13)
+        for msg in rm13.all_messages:
+            cw = rm13.encode(msg)
+            for pos in range(8):
+                result = decoder.decode(_flip(cw, pos))
+                assert result.message.tolist() == msg.tolist()
+
+    def test_double_errors_flagged_or_decoded(self, rm13):
+        decoder = ReedDecoder(rm13)
+        cw = rm13.encode([1, 0, 1, 1])
+        result = decoder.decode(_flip(cw, 0, 3))
+        # Weight-2 ties the majority votes: must raise the flag.
+        assert result.detected_uncorrectable
+
+    def test_works_for_rm14(self):
+        code = reed_muller(1, 4)
+        decoder = ReedDecoder(code)
+        for msg in code.all_messages[:8]:
+            cw = code.encode(msg)
+            for pos in (0, 5, 15):
+                assert decoder.decode(_flip(cw, pos)).message.tolist() == msg.tolist()
+
+
+class TestFhtDecoder:
+    def test_wht_parseval(self):
+        rng = np.random.default_rng(3)
+        signs = 1 - 2 * rng.integers(0, 2, size=16).astype(np.int64)
+        spectrum = walsh_hadamard_transform(signs)
+        assert (spectrum**2).sum() == 16 * (signs**2).sum()
+
+    def test_wht_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            walsh_hadamard_transform(np.ones(6, dtype=np.int64))
+
+    def test_requires_rm1m(self, h84):
+        with pytest.raises(ValueError):
+            FhtDecoder(h84)
+
+    def test_clean_words(self, rm13):
+        decoder = FhtDecoder(rm13)
+        for msg in rm13.all_messages:
+            result = decoder.decode(rm13.encode(msg))
+            assert result.message.tolist() == msg.tolist()
+            assert result.corrected_errors == 0
+
+    def test_corrects_single_errors(self, rm13):
+        decoder = FhtDecoder(rm13)
+        for msg in rm13.all_messages:
+            cw = rm13.encode(msg)
+            for pos in range(8):
+                result = decoder.decode(_flip(cw, pos))
+                assert result.message.tolist() == msg.tolist()
+                assert not result.detected_uncorrectable
+
+    def test_corrects_some_double_errors(self, rm13):
+        # Table I best case: RM(1,3) corrects 2 errors for some patterns.
+        decoder = FhtDecoder(rm13)
+        corrected = 0
+        total = 0
+        for msg in rm13.all_messages:
+            cw = rm13.encode(msg)
+            for e in all_weight_w_vectors(8, 2):
+                total += 1
+                if decoder.decode(cw ^ e).message.tolist() == msg.tolist():
+                    corrected += 1
+        assert total == 16 * 28
+        assert corrected > 0          # some 2-bit patterns corrected...
+        assert corrected < total      # ...but not all (worst case stays 1)
+
+    def test_double_errors_always_flagged(self, rm13):
+        decoder = FhtDecoder(rm13)
+        cw = rm13.encode([0, 1, 1, 0])
+        for e in all_weight_w_vectors(8, 2):
+            assert decoder.decode(cw ^ e).detected_uncorrectable
+
+    def test_batch_matches_single_when_unambiguous(self, rm13):
+        decoder = FhtDecoder(rm13)
+        rng = np.random.default_rng(5)
+        # single-bit-corrupted words: no ties, batch must agree exactly.
+        msgs = rng.integers(0, 2, size=(32, 4)).astype(np.uint8)
+        words = rm13.encode_batch(msgs)
+        for i, pos in enumerate(rng.integers(0, 8, size=32)):
+            words[i, pos] ^= 1
+        batch = decoder.decode_batch(words)
+        assert (batch == msgs).all()
+
+
+class TestMlDecoder:
+    def test_matches_syndrome_decoder_on_perfect_code(self, h74):
+        ml = MaximumLikelihoodDecoder(h74)
+        syn = SyndromeDecoder(h74)
+        rng = np.random.default_rng(9)
+        for _ in range(64):
+            word = rng.integers(0, 2, size=7).astype(np.uint8)
+            assert ml.decode(word).message.tolist() == syn.decode(word).message.tolist()
+
+    def test_corrects_single_errors(self, rm13):
+        ml = MaximumLikelihoodDecoder(rm13)
+        for msg in rm13.all_messages[:8]:
+            cw = rm13.encode(msg)
+            assert ml.decode(_flip(cw, 3)).message.tolist() == msg.tolist()
+
+    def test_ties_flagged(self, h84):
+        ml = MaximumLikelihoodDecoder(h84)
+        cw = h84.encode([0, 0, 0, 0])
+        result = ml.decode(_flip(cw, 0, 1))  # distance 2 from several codewords
+        assert result.detected_uncorrectable
+
+    def test_batch_shape(self, h84):
+        ml = MaximumLikelihoodDecoder(h84)
+        words = h84.all_codewords
+        assert ml.decode_batch(words).shape == (16, 4)
+
+
+class TestDefaultPairing:
+    def test_paper_pairings(self, h74, h84, rm13):
+        assert isinstance(default_decoder_for(h74), SyndromeDecoder)
+        assert isinstance(default_decoder_for(h84), ExtendedHammingDecoder)
+        assert isinstance(default_decoder_for(rm13), FhtDecoder)

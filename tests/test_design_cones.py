@@ -1,0 +1,109 @@
+"""Exhaustive fan-out-cone pinning for the three paper encoders.
+
+These tests document the fault topology that drives Fig. 5: exactly
+which codeword bits every data cell can corrupt.  If synthesis ever
+changes the sharing structure, these fail loudly.
+"""
+
+import pytest
+
+
+def cones(design):
+    return {
+        name: set(design.netlist.forward_cone(name, include_clock=True))
+        for name in design.netlist.cells
+    }
+
+
+class TestHamming84Cones:
+    @pytest.fixture(scope="class")
+    def cone(self, h84_design):
+        return cones(h84_design)
+
+    def test_shared_xors_are_parity_pairs(self, cone):
+        assert cone["xor_t1"] == {"c1", "c8"}
+        assert cone["xor_t2"] == {"c2", "c4"}
+
+    def test_second_rank_xors_single_output(self, cone):
+        for out in ("c1", "c2", "c4", "c8"):
+            assert cone[f"xor_{out}"] == {out}
+
+    def test_drivers_single_output(self, cone):
+        for i in range(1, 9):
+            assert cone[f"s2d_c{i}"] == {f"c{i}"}
+
+    def test_mid_tap_dffs_pair_systematic_with_parity(self, cone):
+        # m4's first DFF feeds both c7's chain and c1's XOR (Fig. 2).
+        assert cone["dff_m4_z1"] == {"c1", "c7"}
+        assert cone["dff_m1_z1"] == {"c2", "c3"}
+        assert cone["dff_m2_z1"] == {"c4", "c5"}
+        assert cone["dff_m3_z1"] == {"c6", "c8"}
+
+    def test_terminal_dffs_single_output(self, cone):
+        assert cone["dff_m1_z2"] == {"c3"}
+        assert cone["dff_m2_z2"] == {"c5"}
+        assert cone["dff_m3_z2"] == {"c6"}
+        assert cone["dff_m4_z2"] == {"c7"}
+
+    def test_input_splitters_cover_input_cone(self, cone):
+        # m1 feeds t1 (c1, c8), its own chain (c3) and c2's XOR.
+        assert cone["spl_m1_1"] == {"c1", "c2", "c3", "c8"}
+        assert cone["spl_m4_1"] == {"c1", "c2", "c4", "c7"}
+
+    def test_t_splitters_match_their_xor(self, cone):
+        assert cone["spl_t1_1"] == {"c1", "c8"}
+        assert cone["spl_t2_1"] == {"c2", "c4"}
+
+    def test_clock_root_covers_all(self, cone, h84_design):
+        assert cone["cspl_1"] == set(h84_design.netlist.outputs)
+
+
+class TestHamming74Cones:
+    @pytest.fixture(scope="class")
+    def cone(self, h74_design):
+        return cones(h74_design)
+
+    def test_t1_feeds_only_c1(self, cone):
+        # Without c8 the t1 share degenerates to a single consumer.
+        assert cone["xor_t1"] == {"c1"}
+
+    def test_t2_still_parity_pair(self, cone):
+        assert cone["xor_t2"] == {"c2", "c4"}
+
+    def test_no_c8_anywhere(self, cone):
+        for cells in cone.values():
+            assert "c8" not in cells
+
+
+class TestRm13Cones:
+    @pytest.fixture(scope="class")
+    def cone(self, rm13_design):
+        return cones(rm13_design)
+
+    def test_first_rank_shares(self, cone):
+        # a = m1^m2 feeds c2 plus the second rank (c4, c6, c8).
+        assert cone["xor_a"] == {"c2", "c4", "c6", "c8"}
+        assert cone["xor_b"] == {"c3", "c7"}
+        assert cone["xor_d"] == {"c5"}
+        assert cone["xor_t"] == {"c8"}
+
+    def test_m1_reaches_everything(self, cone):
+        assert cone["spl_m1_1"] == {f"c{i}" for i in range(1, 9)}
+
+    def test_second_rank_single_output(self, cone):
+        for out in ("c4", "c6", "c7", "c8"):
+            assert cone[f"xor_{out}"] == {out}
+
+    def test_shared_delay_dff(self, cone):
+        # m4's 1-cycle delay feeds both c6 and c7 XORs.
+        assert cone["dff_m4_z1"] == {"c6", "c7"}
+
+    def test_rm13_has_no_single_message_bit_cone_bigger_than_h84(
+        self, cone, h84_design
+    ):
+        """RM(1,3) shares more aggressively: m1 touches all 8 outputs,
+        vs 4 for Hamming(8,4) — the structural reason its faults are
+        costlier (Section IV)."""
+        h84_cone = h84_design.netlist.forward_cone("spl_m1_1", include_clock=True)
+        assert len(cone["spl_m1_1"]) == 8
+        assert len(h84_cone) == 4

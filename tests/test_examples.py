@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; these tests keep them honest.
+Heavy Monte-Carlo examples run with reduced sizes via their CLI args.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    with tempfile.TemporaryDirectory() as scratch:
+        result = subprocess.run(
+            [sys.executable, path, *args],
+            capture_output=True,
+            text=True,
+            timeout=timeout,
+            cwd=scratch,  # examples write CSVs/decks into their cwd
+        )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path, monkeypatch):
+        out = run_example("quickstart.py")
+        assert "01100110" in out
+        assert "278" in out
+
+    def test_waveform_fig3(self, tmp_path):
+        target = tmp_path / "fig3.csv"
+        out = run_example("waveform_fig3.py", str(target))
+        assert "reproduced" in out
+        assert target.exists()
+
+    def test_cryolink_fig5_small(self, tmp_path):
+        out = run_example("cryolink_fig5.py", "60")
+        assert "P(N=0)" in out
+
+    def test_custom_code_encoder(self, tmp_path):
+        out = run_example("custom_code_encoder.py")
+        assert "JoSIM deck" in out
+        assert "dmin=3" in out
+
+    def test_arq_soft_decoding(self):
+        out = run_example("arq_soft_decoding.py")
+        assert "goodput" in out
+        assert "soft-FHT MER" in out
+
+    @pytest.mark.slow
+    def test_design_space_sweep(self):
+        out = run_example("design_space_sweep.py", timeout=500)
+        assert "Reliability vs. circuit cost" in out

@@ -1,0 +1,125 @@
+"""Tests for the experiment driver modules (repro.experiments.*)."""
+
+import pytest
+
+from repro.experiments import ablations, fig3, fig5, table1, table2
+from repro.system.experiment import Fig5Config
+
+
+class TestTable1Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table1.run()
+
+    def test_matches_paper(self, result):
+        assert result.matches_paper()
+
+    def test_three_bit_detection(self, result):
+        assert result.three_bit_detection["detected"] == 28
+
+    def test_render_contains_rows(self, result):
+        text = table1.render(result)
+        assert "Hamming(7,4)" in text
+        assert "RM(1,3)" in text
+        assert "28/35" in text
+        assert "all entries match paper: True" in text
+
+
+class TestTable2Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run()
+
+    def test_matches_paper(self, result):
+        assert result.matches_paper()
+
+    def test_functional(self, result):
+        assert all(result.functional_ok.values())
+
+    def test_render(self, result):
+        text = table2.render(result)
+        assert "305" in text and "247" in text and "278" in text
+        assert "all entries match paper: True" in text
+
+
+class TestFig3Driver:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig3.run()
+
+    def test_paper_example(self, result):
+        assert result.paper_example_ok
+
+    def test_all_codewords(self, result):
+        assert result.all_codewords_ok
+
+    def test_latency(self, result):
+        assert result.latency_cycles == 2
+
+    def test_render(self, result):
+        text = fig3.render(result)
+        assert "01100110" in text
+        assert "reproduced" in text
+
+    def test_ascii_waveforms(self, result):
+        art = fig3.ascii_waveforms(result)
+        assert "clk" in art and "|" in art
+
+    def test_custom_messages(self):
+        result = fig3.run(messages=["0101"], seed=1)
+        assert result.pipeline_codewords == result.expected_codewords
+
+
+class TestFig5Driver:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return fig5.run(Fig5Config(n_chips=150, seed=13))
+
+    def test_ordering(self, report):
+        assert report.ordering_matches_paper()
+
+    def test_render(self, report):
+        text = fig5.render(report)
+        assert "P(N=0)" in text
+        assert "No encoder" in text
+        assert "legend:" in text
+
+    def test_csv(self, report):
+        csv = fig5.cdf_csv(report, max_n=100)
+        lines = csv.splitlines()
+        assert lines[0].startswith("N,")
+        assert len(lines) == 102  # header + 0..100
+
+
+class TestAblationDrivers:
+    def test_spread_sweep_monotone_collapse(self):
+        result = ablations.run_spread_sweep(
+            spreads=(0.15, 0.20, 0.25), n_chips=60, seed=3
+        )
+        for scheme, values in result.anchors.items():
+            # P(N=0) does not improve as the spread grows.
+            assert values[0] >= values[1] >= values[2]
+        text = ablations.render_spread_sweep(result)
+        assert "+/-20%" in text
+
+    def test_decoder_sweep(self):
+        result = ablations.run_decoder_sweep(n_chips=60, seed=5)
+        assert "hamming84/paper-default" in result.anchors
+        assert all(0.0 <= v <= 1.0 for v in result.anchors.values())
+        assert "decoder policy" in ablations.render_decoder_sweep(result)
+
+    def test_frequency_study(self):
+        result = ablations.run_frequency_study()
+        for scheme, freq in result.max_frequency.items():
+            assert freq > 5.0  # all run at the paper's operating point
+            assert result.setup_slack_at_5ghz[scheme] > 0
+        assert "5 GHz" in ablations.render_frequency_study(result)
+
+    def test_code_cost_study(self):
+        result = ablations.run_code_cost_study()
+        names = [row[0] for row in result.rows]
+        assert "BCH(15,7)" in names
+        jj = {row[0]: row[3] for row in result.rows}
+        # The paper's Section II cost claim: BCH encoders are heavier.
+        assert jj["BCH(15,7)"] > jj["Hamming(8,4)"]
+        assert "BCH" in ablations.render_code_cost_study(result)

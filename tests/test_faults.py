@@ -1,0 +1,135 @@
+"""Tests for the vectorised fault simulator (repro.sfq.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sfq.faults import CellFault, ChipFaults, FaultSimulator
+
+
+@pytest.fixture(scope="module")
+def h84_sim(h84_design):
+    return FaultSimulator(h84_design.netlist)
+
+
+class TestCleanEvaluation:
+    def test_matches_algebraic_encoder(self, h84_sim, h84):
+        out = h84_sim.run(h84.all_messages)
+        assert (out == h84.all_codewords).all()
+
+    def test_all_designs_match(self, paper_design_list):
+        for design in paper_design_list:
+            sim = FaultSimulator(design.netlist)
+            out = sim.run(design.code.all_messages)
+            assert (out == design.code.all_codewords).all()
+
+    def test_no_encoder_identity(self, baseline_design):
+        sim = FaultSimulator(baseline_design.netlist)
+        msgs = np.eye(4, dtype=np.uint8)
+        assert (sim.run(msgs) == msgs).all()
+
+    def test_shape_validation(self, h84_sim):
+        with pytest.raises(SimulationError):
+            h84_sim.run(np.zeros((3, 5), dtype=np.uint8))
+
+    def test_clean_faults_fast_path(self, h84_sim, h84):
+        empty = ChipFaults()
+        out = h84_sim.run(h84.all_messages, empty, 0)
+        assert (out == h84.all_codewords).all()
+
+
+class TestFaultSemantics:
+    def test_driver_drop_suppresses_ones_only(self, h84_sim, h84):
+        faults = ChipFaults({"s2d_c3": CellFault(drop=1.0)})
+        out = h84_sim.run(h84.all_messages, faults, 0)
+        expected = h84.all_codewords.copy()
+        expected[:, 2] = 0
+        assert (out == expected).all()
+
+    def test_spurious_sets_zeros_only(self, h84_sim, h84):
+        faults = ChipFaults({"s2d_c3": CellFault(spurious=1.0)})
+        out = h84_sim.run(h84.all_messages, faults, 0)
+        expected = h84.all_codewords.copy()
+        expected[:, 2] = 1
+        assert (out == expected).all()
+
+    def test_shared_xor_fault_corrupts_its_cone_only(self, h84_sim, h84):
+        # xor_t2 = m3^m4 feeds c2 and c4.
+        faults = ChipFaults({"xor_t2": CellFault(drop=1.0)})
+        out = h84_sim.run(h84.all_messages, faults, 0)
+        diff = out ^ h84.all_codewords
+        corrupted_columns = set(np.nonzero(diff.any(axis=0))[0].tolist())
+        assert corrupted_columns == {1, 3}  # c2 and c4 (0-indexed)
+
+    def test_input_splitter_fault_corrupts_many(self, h84_sim, h84):
+        faults = ChipFaults({"spl_m1_1": CellFault(drop=1.0)})
+        out = h84_sim.run(h84.all_messages, faults, 0)
+        diff = out ^ h84.all_codewords
+        assert diff.any(axis=0).sum() >= 3  # m1's cone: c1, c2, c3, c8-side
+
+    def test_clock_tree_fault_acts_as_drop(self, h84_design, h84):
+        sim = FaultSimulator(h84_design.netlist)
+        faults = ChipFaults({"cspl_1": CellFault(drop=1.0)})
+        out = sim.run(h84.all_messages, faults, 0)
+        assert out.sum() == 0  # clock root dead: all outputs silent
+
+    def test_partial_drop_statistics(self, h84_sim):
+        rng_seed = 7
+        msgs = np.tile(np.array([[1, 0, 1, 1]], dtype=np.uint8), (4000, 1))
+        faults = ChipFaults({"s2d_c3": CellFault(drop=0.25)})
+        out = h84_sim.run(msgs, faults, rng_seed)
+        drop_rate = 1.0 - out[:, 2].mean()
+        assert 0.20 < drop_rate < 0.30
+
+    def test_chipfaults_helpers(self):
+        clean = ChipFaults({"x": CellFault()})
+        assert clean.is_clean
+        assert clean.active_cells() == []
+        dirty = ChipFaults({"x": CellFault(drop=0.5)})
+        assert not dirty.is_clean
+        assert dirty.active_cells() == ["x"]
+
+
+class TestCrossCheckWithEventSimulator:
+    """The steady-state and event-driven simulators must agree."""
+
+    def test_fault_free(self, paper_design_list):
+        from repro.gf2.vectors import format_bits
+        from repro.sfq.simulator import run_encoder
+
+        for design in paper_design_list:
+            sim = FaultSimulator(design.netlist)
+            msgs = design.code.all_messages
+            vec = sim.run(msgs)
+            run = run_encoder(design.netlist, list(msgs))
+            for i in range(len(msgs)):
+                assert format_bits(run.bits_by_cycle[i + 2]) == format_bits(vec[i])
+
+    def test_hard_driver_fault(self, h84_design):
+        from repro.gf2.vectors import format_bits, parse_bits
+        from repro.sfq.simulator import CellFaultSpec, run_encoder
+
+        msg = parse_bits("1011")
+        vec_sim = FaultSimulator(h84_design.netlist)
+        vec_out = vec_sim.run(
+            msg.reshape(1, -1), ChipFaults({"s2d_c5": CellFault(drop=1.0)}), 0
+        )
+        ev_run = run_encoder(
+            h84_design.netlist, [msg],
+            faults={"s2d_c5": CellFaultSpec(drop_probability=1.0)}, random_state=0,
+        )
+        assert format_bits(ev_run.bits_by_cycle[2]) == format_bits(vec_out[0])
+
+    def test_hard_shared_xor_fault(self, h74_design):
+        from repro.gf2.vectors import format_bits, parse_bits
+        from repro.sfq.simulator import CellFaultSpec, run_encoder
+
+        msg = parse_bits("1110")
+        vec_out = FaultSimulator(h74_design.netlist).run(
+            msg.reshape(1, -1), ChipFaults({"xor_t2": CellFault(drop=1.0)}), 0
+        )
+        ev_run = run_encoder(
+            h74_design.netlist, [msg],
+            faults={"xor_t2": CellFaultSpec(drop_probability=1.0)}, random_state=0,
+        )
+        assert format_bits(ev_run.bits_by_cycle[2]) == format_bits(vec_out[0])

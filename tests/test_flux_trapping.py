@@ -1,0 +1,93 @@
+"""Tests for the flux-trapping fault model (repro.ppv.flux_trapping)."""
+
+import numpy as np
+import pytest
+
+from repro.ppv.flux_trapping import FluxTrappingModel, merge_faults
+from repro.sfq.faults import CellFault, ChipFaults
+from repro.system.datalink import CryogenicDataLink
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FluxTrappingModel(mean_trapped_fluxons=-1.0)
+        with pytest.raises(ValueError):
+            FluxTrappingModel(drop_severity=1.5)
+
+    def test_trapping_probability(self):
+        model = FluxTrappingModel(mean_trapped_fluxons=0.0)
+        assert model.trapping_probability() == 0.0
+        model = FluxTrappingModel(mean_trapped_fluxons=2.0)
+        assert model.trapping_probability() == pytest.approx(1 - np.exp(-2), abs=1e-9)
+
+    def test_zero_rate_no_faults(self, h84_design):
+        model = FluxTrappingModel(mean_trapped_fluxons=0.0)
+        for seed in range(5):
+            assert model.cooldown_faults(h84_design.netlist, seed).is_clean
+
+    def test_poisson_rate_matches(self, h84_design):
+        model = FluxTrappingModel(mean_trapped_fluxons=0.5)
+        rng = np.random.default_rng(0)
+        hits = sum(
+            0 if model.cooldown_faults(h84_design.netlist, rng).is_clean else 1
+            for _ in range(3000)
+        )
+        assert hits / 3000 == pytest.approx(model.trapping_probability(), abs=0.02)
+
+    def test_faults_target_real_cells(self, h84_design):
+        model = FluxTrappingModel(mean_trapped_fluxons=3.0)
+        faults = model.cooldown_faults(h84_design.netlist, 1)
+        for name in faults.cell_faults:
+            assert name in h84_design.netlist.cells
+
+    def test_area_weighting_prefers_big_cells(self, h84_design):
+        """Drivers (0.0092 mm2) trap far more often than splitters."""
+        model = FluxTrappingModel(mean_trapped_fluxons=1.0)
+        rng = np.random.default_rng(2)
+        driver_hits = splitter_hits = 0
+        for _ in range(2000):
+            faults = model.cooldown_faults(h84_design.netlist, rng)
+            for name in faults.cell_faults:
+                if name.startswith("s2d_"):
+                    driver_hits += 1
+                elif "spl" in name:
+                    splitter_hits += 1
+        assert driver_hits > splitter_hits
+
+    def test_repeated_hits_accumulate(self):
+        model = FluxTrappingModel(drop_severity=0.6)
+        a = ChipFaults({"x": CellFault(drop=0.6)})
+        b = ChipFaults({"x": CellFault(drop=0.6)})
+        merged = merge_faults(a, b)
+        assert merged.cell_faults["x"].drop == pytest.approx(1 - 0.4 * 0.4)
+
+
+class TestMergeFaults:
+    def test_disjoint(self):
+        merged = merge_faults(
+            ChipFaults({"a": CellFault(drop=0.5)}),
+            ChipFaults({"b": CellFault(spurious=0.3)}),
+        )
+        assert set(merged.cell_faults) == {"a", "b"}
+
+    def test_empty(self):
+        assert merge_faults(ChipFaults(), ChipFaults()).is_clean
+
+
+class TestEndToEnd:
+    def test_trapping_degrades_baseline_more_than_h84(self, baseline_design, h84_design):
+        """ECC also buys tolerance against trapped flux, not just PPV."""
+        model = FluxTrappingModel(mean_trapped_fluxons=1.0)
+        rng = np.random.default_rng(5)
+        results = {}
+        for design in (baseline_design, h84_design):
+            link = CryogenicDataLink(design)
+            bad_chips = 0
+            for seed in range(200):
+                faults = model.cooldown_faults(design.netlist, seed)
+                msgs = rng.integers(0, 2, size=(50, 4)).astype(np.uint8)
+                if link.transmit(msgs, faults, seed).n_erroneous > 0:
+                    bad_chips += 1
+            results[design.scheme] = bad_chips
+        assert results["hamming84"] < results["none"]

@@ -1,0 +1,114 @@
+"""Unit tests for repro.gf2.field (GF(2^m))."""
+
+import pytest
+
+from repro.gf2.field import GF2mField, PRIMITIVE_POLYNOMIALS
+from repro.gf2.polynomials import GF2Polynomial
+
+
+class TestConstruction:
+    def test_sizes(self):
+        field = GF2mField(4)
+        assert field.size == 16
+        assert field.order == 15
+
+    def test_all_default_polynomials_valid(self):
+        for m in PRIMITIVE_POLYNOMIALS:
+            GF2mField(m)  # raises if non-primitive
+
+    def test_rejects_wrong_degree(self):
+        with pytest.raises(ValueError):
+            GF2mField(4, primitive_polynomial=0b1011)
+
+    def test_rejects_reducible(self):
+        with pytest.raises(ValueError):
+            GF2mField(4, primitive_polynomial=0b10101)  # (x^2+x+1)^2
+
+    def test_rejects_irreducible_but_not_primitive(self):
+        # x^4+x^3+x^2+x+1 is irreducible with element order 5, not 15.
+        with pytest.raises(ValueError):
+            GF2mField(4, primitive_polynomial=0b11111)
+
+    def test_rejects_small_m(self):
+        with pytest.raises(ValueError):
+            GF2mField(1)
+
+
+class TestArithmetic:
+    @pytest.fixture(scope="class")
+    def gf16(self):
+        return GF2mField(4)
+
+    def test_add_is_xor(self, gf16):
+        assert gf16.add(0b1010, 0b0110) == 0b1100
+
+    def test_multiply_by_zero(self, gf16):
+        assert gf16.multiply(0, 7) == 0
+
+    def test_multiply_by_one(self, gf16):
+        for a in range(16):
+            assert gf16.multiply(1, a) == a
+
+    def test_multiplicative_group_order(self, gf16):
+        # alpha^15 = 1
+        assert gf16.power(gf16.alpha_power(1), 15) == 1
+
+    def test_inverse(self, gf16):
+        for a in range(1, 16):
+            assert gf16.multiply(a, gf16.inverse(a)) == 1
+
+    def test_inverse_of_zero(self, gf16):
+        with pytest.raises(ZeroDivisionError):
+            gf16.inverse(0)
+
+    def test_divide(self, gf16):
+        for a in range(1, 16):
+            assert gf16.divide(a, a) == 1
+
+    def test_power_negative(self, gf16):
+        a = gf16.alpha_power(3)
+        assert gf16.multiply(gf16.power(a, -1), a) == 1
+
+    def test_distributivity_sample(self, gf16):
+        for a in range(1, 16, 3):
+            for b in range(1, 16, 5):
+                for c in range(1, 16, 7):
+                    left = gf16.multiply(a, gf16.add(b, c))
+                    right = gf16.add(gf16.multiply(a, b), gf16.multiply(a, c))
+                    assert left == right
+
+    def test_log_alpha_roundtrip(self, gf16):
+        for n in range(15):
+            assert gf16.log_alpha(gf16.alpha_power(n)) == n
+
+    def test_element_range_check(self, gf16):
+        with pytest.raises(ValueError):
+            gf16.add(16, 0)
+
+
+class TestMinimalPolynomials:
+    def test_alpha_minimal_poly_is_primitive_poly(self):
+        field = GF2mField(4)
+        assert field.minimal_polynomial(field.alpha_power(1)) == GF2Polynomial(0b10011)
+
+    def test_minimal_poly_of_one(self):
+        field = GF2mField(3)
+        # 1 has minimal polynomial x + 1.
+        assert field.minimal_polynomial(1) == GF2Polynomial(0b11)
+
+    def test_minimal_poly_of_zero(self):
+        field = GF2mField(3)
+        assert field.minimal_polynomial(0) == GF2Polynomial([0, 1])
+
+    def test_element_is_root(self):
+        field = GF2mField(4)
+        for exp in (1, 3, 5, 7):
+            element = field.alpha_power(exp)
+            poly = field.minimal_polynomial(element)
+            assert poly.evaluate(element, field) == 0
+
+    def test_conjugates_share_minimal_poly(self):
+        field = GF2mField(4)
+        a = field.alpha_power(3)
+        a_squared = field.multiply(a, a)
+        assert field.minimal_polynomial(a) == field.minimal_polynomial(a_squared)

@@ -1,0 +1,168 @@
+"""Unit tests for repro.gf2.matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError, NotBinaryError, SingularMatrixError
+from repro.gf2.matrix import GF2Matrix
+
+
+class TestConstruction:
+    def test_from_nested_list(self):
+        m = GF2Matrix([[1, 0], [0, 1]])
+        assert m.shape == (2, 2)
+
+    def test_from_strings(self):
+        m = GF2Matrix.from_strings(["101", "011"])
+        assert m.row(0).tolist() == [1, 0, 1]
+
+    def test_one_dimensional_becomes_row(self):
+        m = GF2Matrix([1, 0, 1])
+        assert m.shape == (1, 3)
+
+    def test_copy_constructor(self):
+        a = GF2Matrix([[1, 1], [0, 1]])
+        b = GF2Matrix(a)
+        assert a == b
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(NotBinaryError):
+            GF2Matrix([[2, 0]])
+
+    def test_zeros_and_identity(self):
+        assert GF2Matrix.zeros(2, 3).to_array().sum() == 0
+        eye = GF2Matrix.identity(3)
+        assert eye.to_array().trace() == 3
+
+    def test_immutability(self):
+        m = GF2Matrix([[1, 0]])
+        arr = m.to_array()
+        arr[0, 0] = 0
+        assert m.row(0)[0] == 1
+
+
+class TestAlgebra:
+    def test_addition_is_xor(self):
+        a = GF2Matrix([[1, 1], [0, 1]])
+        b = GF2Matrix([[1, 0], [1, 1]])
+        assert (a + b) == GF2Matrix([[0, 1], [1, 0]])
+
+    def test_addition_shape_mismatch(self):
+        with pytest.raises(DimensionError):
+            GF2Matrix([[1]]) + GF2Matrix([[1, 0]])
+
+    def test_matmul_mod2(self):
+        a = GF2Matrix([[1, 1], [0, 1]])
+        b = GF2Matrix([[1, 0], [1, 1]])
+        assert (a @ b) == GF2Matrix([[0, 1], [1, 1]])
+
+    def test_matmul_with_identity(self):
+        a = GF2Matrix([[1, 0, 1], [0, 1, 1]])
+        assert (a @ GF2Matrix.identity(3)) == a
+
+    def test_multiply_vector(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1]])
+        assert m.multiply_vector([1, 1, 1]).tolist() == [0, 0]
+
+    def test_left_multiply_vector(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1]])
+        assert m.left_multiply_vector([1, 1]).tolist() == [1, 0, 1]
+
+    def test_transpose(self):
+        m = GF2Matrix([[1, 0, 1]])
+        assert m.T.shape == (3, 1)
+        assert m.T.T == m
+
+
+class TestRowReduction:
+    def test_rref_identity(self):
+        eye = GF2Matrix.identity(4)
+        reduced, pivots = eye.rref()
+        assert reduced == eye
+        assert pivots == [0, 1, 2, 3]
+
+    def test_rank_full(self):
+        assert GF2Matrix([[1, 0], [1, 1]]).rank() == 2
+
+    def test_rank_deficient(self):
+        assert GF2Matrix([[1, 1], [1, 1]]).rank() == 1
+
+    def test_rank_zero(self):
+        assert GF2Matrix.zeros(2, 3).rank() == 0
+
+    def test_inverse_roundtrip(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1], [1, 0, 1]])
+        # This matrix has rank 2 over GF(2) (rows sum to zero) — singular.
+        with pytest.raises(SingularMatrixError):
+            m.inverse()
+
+    def test_inverse_of_invertible(self):
+        m = GF2Matrix([[1, 1], [0, 1]])
+        inv = m.inverse()
+        assert (m @ inv) == GF2Matrix.identity(2)
+
+    def test_inverse_non_square(self):
+        with pytest.raises(SingularMatrixError):
+            GF2Matrix([[1, 0, 1]]).inverse()
+
+    def test_null_space_orthogonality(self):
+        m = GF2Matrix([[1, 1, 1, 0], [0, 1, 1, 1]])
+        ns = m.null_space()
+        assert ns.rows == 2
+        product = m @ ns.T
+        assert product.to_array().sum() == 0
+
+    def test_null_space_of_full_rank_square(self):
+        assert GF2Matrix.identity(3).null_space().rows == 0
+
+    def test_solve(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1]])
+        x = m.solve([1, 0])
+        assert m.multiply_vector(x).tolist() == [1, 0]
+
+    def test_solve_inconsistent(self):
+        m = GF2Matrix([[1, 1], [1, 1]])
+        with pytest.raises(SingularMatrixError):
+            m.solve([1, 0])
+
+
+class TestCodingHelpers:
+    def test_to_systematic(self):
+        m = GF2Matrix([[0, 1, 1], [1, 1, 0]])
+        sys_form, perm = m.to_systematic()
+        assert sys_form.is_systematic()
+        assert sorted(perm) == [0, 1, 2]
+
+    def test_to_systematic_rank_deficient(self):
+        with pytest.raises(SingularMatrixError):
+            GF2Matrix([[1, 1], [1, 1]]).to_systematic()
+
+    def test_row_space_contains(self):
+        m = GF2Matrix([[1, 1, 0], [0, 1, 1]])
+        assert m.row_space_contains([1, 0, 1])  # sum of the rows
+        assert not m.row_space_contains([1, 0, 0])
+
+    def test_augment_and_stack(self):
+        a = GF2Matrix([[1, 0]])
+        b = GF2Matrix([[1, 1]])
+        assert a.augment_columns(b).shape == (1, 4)
+        assert a.stack_rows(b).shape == (2, 2)
+
+    def test_delete_column(self):
+        m = GF2Matrix([[1, 0, 1], [0, 1, 1]])
+        assert m.delete_column(2).shape == (2, 2)
+        with pytest.raises(DimensionError):
+            m.delete_column(5)
+
+    def test_permute_columns(self):
+        m = GF2Matrix([[1, 0, 1]])
+        assert m.permute_columns([2, 0, 1]).row(0).tolist() == [1, 1, 0]
+        with pytest.raises(DimensionError):
+            m.permute_columns([0, 0, 1])
+
+    def test_equality_and_hash(self):
+        a = GF2Matrix([[1, 0]])
+        b = GF2Matrix([[1, 0]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != GF2Matrix([[0, 1]])

@@ -1,0 +1,131 @@
+"""Unit tests for repro.gf2.polynomials."""
+
+import pytest
+
+from repro.errors import NotBinaryError
+from repro.gf2.polynomials import GF2Polynomial, lcm
+
+
+class TestConstruction:
+    def test_from_int_mask(self):
+        p = GF2Polynomial(0b1011)  # x^3 + x + 1
+        assert p.degree == 3
+        assert p.to_int() == 0b1011
+
+    def test_from_string_msb_first(self):
+        p = GF2Polynomial("1011")
+        assert p.to_int() == 0b1011
+
+    def test_from_coefficients_lsb_first(self):
+        p = GF2Polynomial([1, 1, 0, 1])
+        assert p.to_int() == 0b1011
+
+    def test_zero(self):
+        assert GF2Polynomial.zero().is_zero
+        assert GF2Polynomial.zero().degree == -1
+
+    def test_trim(self):
+        p = GF2Polynomial([1, 0, 0, 0])
+        assert p.degree == 0
+
+    def test_x_power(self):
+        assert GF2Polynomial.x_power(5).degree == 5
+
+    def test_rejects_bad_string(self):
+        with pytest.raises(NotBinaryError):
+            GF2Polynomial("10a")
+
+    def test_repr_readable(self):
+        assert "x^3" in repr(GF2Polynomial(0b1011))
+
+
+class TestArithmetic:
+    def test_addition_is_xor(self):
+        a = GF2Polynomial(0b1011)
+        b = GF2Polynomial(0b0110)
+        assert (a + b).to_int() == 0b1101
+
+    def test_addition_cancels(self):
+        a = GF2Polynomial(0b1011)
+        assert (a + a).is_zero
+
+    def test_multiplication(self):
+        # (x + 1)(x + 1) = x^2 + 1 over GF(2)
+        a = GF2Polynomial(0b11)
+        assert (a * a).to_int() == 0b101
+
+    def test_multiplication_by_zero(self):
+        assert (GF2Polynomial(0b101) * GF2Polynomial.zero()).is_zero
+
+    def test_divmod_exact(self):
+        a = GF2Polynomial(0b101)  # x^2 + 1
+        b = GF2Polynomial(0b11)   # x + 1
+        q, r = a.divmod(b)
+        assert r.is_zero
+        assert (q * b) == a
+
+    def test_divmod_remainder(self):
+        a = GF2Polynomial(0b1011)
+        b = GF2Polynomial(0b101)
+        q, r = a.divmod(b)
+        assert (q * b + r) == a
+        assert r.degree < b.degree
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            GF2Polynomial(0b101).divmod(GF2Polynomial.zero())
+
+    def test_mod_operator(self):
+        assert (GF2Polynomial(0b1011) % GF2Polynomial(0b1011)).is_zero
+
+    def test_gcd(self):
+        a = GF2Polynomial(0b11) * GF2Polynomial(0b111)
+        b = GF2Polynomial(0b11) * GF2Polynomial(0b101)
+        assert a.gcd(b) == GF2Polynomial(0b11)
+
+    def test_lcm(self):
+        a = GF2Polynomial(0b11)
+        b = GF2Polynomial(0b111)
+        result = lcm([a, b])
+        assert (result % a).is_zero
+        assert (result % b).is_zero
+        assert result.degree == a.degree + b.degree  # coprime
+
+
+class TestEvaluation:
+    def test_evaluate_at_zero_and_one(self):
+        p = GF2Polynomial(0b1011)  # x^3 + x + 1
+        assert p.evaluate(0) == 1
+        assert p.evaluate(1) == 1  # three terms -> 1
+
+    def test_evaluate_rejects_other_points_without_field(self):
+        with pytest.raises(ValueError):
+            GF2Polynomial(0b11).evaluate(2)
+
+    def test_evaluate_in_field(self):
+        from repro.gf2.field import GF2mField
+
+        field = GF2mField(3)
+        # x^3 + x + 1 is the primitive polynomial: alpha is a root.
+        p = GF2Polynomial(0b1011)
+        assert p.evaluate(field.alpha_power(1), field) == 0
+
+
+class TestIrreducibility:
+    def test_known_irreducible(self):
+        assert GF2Polynomial(0b111).is_irreducible()    # x^2+x+1
+        assert GF2Polynomial(0b1011).is_irreducible()   # x^3+x+1
+        assert GF2Polynomial(0b10011).is_irreducible()  # x^4+x+1
+
+    def test_known_reducible(self):
+        assert not GF2Polynomial(0b101).is_irreducible()   # (x+1)^2
+        assert not GF2Polynomial(0b110).is_irreducible()   # x(x+1)
+        assert not GF2Polynomial(0b1111).is_irreducible()  # (x+1)(x^2+x+1)
+
+    def test_degree_one(self):
+        assert GF2Polynomial(0b10).is_irreducible()
+        assert GF2Polynomial(0b11).is_irreducible()
+
+    def test_constants_not_irreducible(self):
+        assert not GF2Polynomial.one().is_irreducible()
+        assert not GF2Polynomial.zero().is_irreducible()

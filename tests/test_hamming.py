@@ -1,0 +1,121 @@
+"""Tests for the paper's Hamming codes (Section II-A, Eq. (1)-(3))."""
+
+import numpy as np
+import pytest
+
+from repro.coding.hamming import (
+    PAPER_G_HAMMING84,
+    extend_with_overall_parity,
+    hamming74_paper,
+    hamming84_paper,
+    hamming_code,
+    hamming_parity_check,
+    paper_codeword_equations,
+)
+from repro.gf2.vectors import format_bits, parse_bits
+
+
+class TestPaperHamming74:
+    def test_parameters(self, h74):
+        assert (h74.n, h74.k, h74.minimum_distance) == (7, 4, 3)
+
+    def test_is_perfect(self, h74):
+        assert h74.is_perfect()
+
+    def test_weight_distribution(self, h74):
+        # Hamming(7,4): 1 + 7z^3 + 7z^4 + z^7.
+        assert h74.weight_distribution.tolist() == [1, 0, 0, 7, 7, 0, 0, 1]
+
+    def test_message_positions_carry_message(self, h74):
+        for msg in h74.all_messages:
+            cw = h74.encode(msg)
+            assert cw[[2, 4, 5, 6]].tolist() == msg.tolist()
+
+    def test_equations_match_encoding(self, h74):
+        for msg in h74.all_messages:
+            m1, m2, m3, m4 = (int(b) for b in msg)
+            cw = h74.encode(msg)
+            assert cw[0] == m1 ^ m2 ^ m4   # c1
+            assert cw[1] == m1 ^ m3 ^ m4   # c2
+            assert cw[3] == m2 ^ m3 ^ m4   # c4
+
+
+class TestPaperHamming84:
+    def test_parameters(self, h84):
+        assert (h84.n, h84.k, h84.minimum_distance) == (8, 4, 4)
+
+    def test_generator_matches_paper_eq1(self, h84):
+        assert h84.generator.to_array().tolist() == PAPER_G_HAMMING84
+
+    def test_fig3_worked_example(self, h84):
+        # Paper Fig. 3: message '1011' -> codeword '01100110'.
+        assert format_bits(h84.encode(parse_bits("1011"))) == "01100110"
+
+    def test_weight_distribution_self_dual(self, h84):
+        # (8,4,4) extended Hamming: 1 + 14z^4 + z^8.
+        assert h84.weight_distribution.tolist() == [1, 0, 0, 0, 14, 0, 0, 0, 1]
+
+    def test_overall_parity_bit(self, h84):
+        for msg in h84.all_messages:
+            m1, m2, m3, m4 = (int(b) for b in msg)
+            assert h84.encode(msg)[7] == m1 ^ m2 ^ m3  # c8 (paper Eq. 3)
+
+    def test_every_codeword_even_weight(self, h84):
+        assert all(int(cw.sum()) % 2 == 0 for cw in h84.all_codewords)
+
+    def test_h84_is_h74_extended(self, h74, h84):
+        for msg in h74.all_messages:
+            assert h84.encode(msg)[:7].tolist() == h74.encode(msg).tolist()
+
+    def test_not_perfect_but_quasi_perfect(self, h84):
+        assert not h84.is_perfect()
+        assert h84.covering_radius == 2  # quasi-perfect: r = t + 1
+
+
+class TestGenericHammingFamily:
+    @pytest.mark.parametrize("r", [2, 3, 4, 5])
+    def test_parameters(self, r):
+        code = hamming_code(r)
+        n = (1 << r) - 1
+        assert (code.n, code.k) == (n, n - r)
+        assert code.minimum_distance == 3
+
+    @pytest.mark.parametrize("r", [2, 3, 4])
+    def test_perfect(self, r):
+        assert hamming_code(r).is_perfect()
+
+    def test_syndrome_points_to_error_position(self):
+        code = hamming_code(3)
+        h = hamming_parity_check(3)
+        for pos in range(7):
+            pattern = np.zeros(7, dtype=np.uint8)
+            pattern[pos] = 1
+            syndrome = code.syndrome(pattern)
+            # The parity-check columns are binary position indices.
+            assert h.column(pos).tolist() == syndrome.tolist()
+
+    def test_parity_check_needs_r2(self):
+        with pytest.raises(ValueError):
+            hamming_parity_check(1)
+
+    def test_hamming_7_4_equivalent_to_paper(self, h74):
+        generic = hamming_code(3)
+        # Same parameters and weight distribution (equivalent codes).
+        assert generic.weight_distribution.tolist() == h74.weight_distribution.tolist()
+
+
+class TestExtension:
+    def test_extension_raises_dmin(self):
+        base = hamming_code(3)
+        extended = extend_with_overall_parity(base)
+        assert extended.n == base.n + 1
+        assert extended.minimum_distance == 4
+
+    def test_extension_parity_is_even(self):
+        extended = extend_with_overall_parity(hamming_code(3))
+        assert all(int(cw.sum()) % 2 == 0 for cw in extended.all_codewords)
+
+    def test_equations_list(self):
+        eqs = paper_codeword_equations()
+        assert len(eqs) == 8
+        assert eqs[0] == "c1 = m1 ^ m2 ^ m4"

@@ -1,0 +1,90 @@
+"""Tests for the cell-criticality analysis (repro.sfq.importance)."""
+
+import pytest
+
+from repro.ppv.margins import MarginModel
+from repro.ppv.spread import SpreadSpec
+from repro.sfq.importance import analyze_cell_criticality, criticality_table
+from repro.system.calibration import PAPER_FIG5_TARGETS
+
+
+@pytest.fixture(scope="module")
+def h84_report(h84_design):
+    return analyze_cell_criticality(h84_design)
+
+
+@pytest.fixture(scope="module")
+def h74_report(h74_design):
+    return analyze_cell_criticality(h74_design)
+
+
+class TestH84Criticality:
+    def test_every_driver_is_protected(self, h84_report):
+        # Single-channel faults are always corrected by SEC-DED.
+        for cell in h84_report.cells:
+            if cell.cell.startswith("s2d_"):
+                assert cell.is_protected, cell
+
+    def test_shared_parity_xors_protected(self, h84_report):
+        # t1 -> {c1,c8}, t2 -> {c2,c4}: parity pairs survive via fallback.
+        by_name = {c.cell: c for c in h84_report.cells}
+        assert by_name["xor_t1"].is_protected
+        assert by_name["xor_t2"].is_protected
+
+    def test_input_splitters_critical(self, h84_report):
+        by_name = {c.cell: c for c in h84_report.cells}
+        assert not by_name["spl_m1_1"].is_protected
+
+    def test_clock_root_critical(self, h84_report):
+        by_name = {c.cell: c for c in h84_report.cells}
+        root = by_name["cspl_1"]
+        assert not root.is_protected
+        # A dead clock delivers all-zero codewords: every nonzero message
+        # (15/16) decodes wrong under drop.
+        assert root.drop_error_rate == pytest.approx(15 / 16)
+
+    def test_majority_of_jjs_protected(self, h84_report):
+        # The encoder's redundancy protects most of its own junctions.
+        assert h84_report.protected_jj_fraction() > 0.4
+
+    def test_table_rendering(self, h84_report):
+        text = criticality_table(h84_report, top=5)
+        assert "most critical cells" in text
+        assert "err(drop)" in text
+
+
+class TestCrossSchemeComparison:
+    def test_h74_t2_critical_but_h84_t2_protected(self, h74_report, h84_report):
+        """The decoder-policy mechanism behind the Fig. 5 gap."""
+        h74 = {c.cell: c for c in h74_report.cells}
+        h84 = {c.cell: c for c in h84_report.cells}
+        assert not h74["xor_t2"].is_protected   # miscorrection hits message
+        assert h84["xor_t2"].is_protected        # detect + fallback survives
+
+    def test_single_fault_bound_brackets_anchor(self, h84_report, h74_report):
+        """Single-cell bound >= union-rule analytic >= ... for encoders."""
+        from repro.encoders.designs import design_for_scheme
+        from repro.system.calibration import analytic_p_zero
+
+        model = MarginModel()
+        spread = SpreadSpec(0.20)
+        for report, scheme in ((h84_report, "hamming84"), (h74_report, "hamming74")):
+            bound = report.single_fault_survival_bound(model, spread)
+            analytic = analytic_p_zero(design_for_scheme(scheme), model, spread)
+            assert bound >= analytic
+            assert bound >= PAPER_FIG5_TARGETS[scheme]
+
+    def test_baseline_bound_is_the_anchor(self, baseline_design):
+        """No protection -> the single-cell bound equals the anchor."""
+        report = analyze_cell_criticality(baseline_design)
+        bound = report.single_fault_survival_bound(MarginModel(), SpreadSpec(0.20))
+        assert bound == pytest.approx(PAPER_FIG5_TARGETS["none"], abs=0.01)
+
+    def test_baseline_nothing_protected(self, baseline_design):
+        report = analyze_cell_criticality(baseline_design)
+        assert report.protected_cells() == []
+        assert report.protected_jj_fraction() == 0.0
+
+    def test_rm13_less_protected_than_h84(self, rm13_design, h84_report):
+        rm_report = analyze_cell_criticality(rm13_design)
+        assert rm_report.protected_jj_fraction() < h84_report.protected_jj_fraction()

@@ -1,0 +1,148 @@
+"""Tests for the PPV layer: spread, margins, Monte-Carlo sampling."""
+
+import numpy as np
+import pytest
+
+from repro.ppv.margins import DEFAULT_MARGINS, MarginModel, default_margin_model
+from repro.ppv.montecarlo import ChipSampler, sample_chip_population
+from repro.ppv.spread import SpreadSpec
+
+
+class TestSpreadSpec:
+    def test_uniform_bounds(self):
+        spec = SpreadSpec(0.20)
+        draws = spec.sample(0, 10_000)
+        assert draws.min() >= -0.20 and draws.max() <= 0.20
+
+    def test_uniform_mean_near_zero(self):
+        draws = SpreadSpec(0.20).sample(1, 50_000)
+        assert abs(draws.mean()) < 0.005
+
+    def test_truncnormal_bounds(self):
+        spec = SpreadSpec(0.20, distribution="truncnormal")
+        draws = spec.sample(2, 10_000)
+        assert draws.min() >= -0.20 and draws.max() <= 0.20
+
+    def test_zero_spread(self):
+        assert SpreadSpec(0.0).sample(0, 100).sum() == 0.0
+
+    def test_exceedance_uniform(self):
+        spec = SpreadSpec(0.20)
+        assert spec.exceedance_probability(0.10) == pytest.approx(0.5)
+        assert spec.exceedance_probability(0.20) == 0.0
+        assert spec.exceedance_probability(0.25) == 0.0
+
+    def test_exceedance_matches_sampling(self):
+        spec = SpreadSpec(0.20)
+        draws = np.abs(spec.sample(3, 100_000))
+        empirical = (draws > 0.15).mean()
+        assert empirical == pytest.approx(spec.exceedance_probability(0.15), abs=0.01)
+
+    def test_exceedance_truncnormal_monotone(self):
+        spec = SpreadSpec(0.20, distribution="truncnormal")
+        values = [spec.exceedance_probability(t) for t in (0.0, 0.05, 0.1, 0.15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            SpreadSpec(-0.1)
+        with pytest.raises(ValueError):
+            SpreadSpec(0.2, distribution="laplace")
+
+    def test_describe(self):
+        assert SpreadSpec(0.20).describe() == "+/-20% uniform"
+
+
+class TestMarginModel:
+    def test_marginal_probability_grows_with_params(self):
+        model = MarginModel()
+        spread = SpreadSpec(0.20)
+        q1 = model.marginal_probability("SFQDC", 1, spread)
+        q10 = model.marginal_probability("SFQDC", 10, spread)
+        assert q10 > q1 > 0
+
+    def test_within_design_margin_never_fails(self):
+        model = MarginModel()
+        spread = SpreadSpec(0.10)  # inside every margin
+        for cell_type in DEFAULT_MARGINS:
+            assert model.marginal_probability(cell_type, 12, spread) == 0.0
+
+    def test_driver_most_sensitive(self):
+        # The Suzuki-stack-style driver has the tightest margin.
+        assert DEFAULT_MARGINS["SFQDC"] == min(DEFAULT_MARGINS.values())
+
+    def test_sample_cell_fault_inside_margin(self):
+        model = MarginModel()
+        fault = model.sample_cell_fault("SFQDC", 10, SpreadSpec(0.10),
+                                        np.random.default_rng(0))
+        assert not fault.is_active
+
+    def test_sample_fault_rates_bounded(self):
+        model = MarginModel()
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            fault = model.sample_cell_fault("SFQDC", 10, SpreadSpec(0.20), rng)
+            assert 0.0 <= fault.drop <= model.eps_max
+            assert 0.0 <= fault.spurious <= model.spurious_ratio * model.eps_max
+
+    def test_sample_rate_matches_analytic(self):
+        model = MarginModel()
+        spread = SpreadSpec(0.20)
+        rng = np.random.default_rng(2)
+        q = model.marginal_probability("SFQDC", 10, spread)
+        hits = sum(
+            model.sample_cell_fault("SFQDC", 10, spread, rng).is_active
+            for _ in range(20_000)
+        )
+        assert hits / 20_000 == pytest.approx(q, abs=0.005)
+
+    def test_with_margins_copy(self):
+        model = MarginModel()
+        modified = model.with_margins({"SFQDC": 0.15})
+        assert modified.margin_for("SFQDC") == 0.15
+        assert model.margin_for("SFQDC") == DEFAULT_MARGINS["SFQDC"]
+
+    def test_fallback_margin_for_unknown_type(self):
+        assert MarginModel().margin_for("JTL") == pytest.approx(0.1999)
+
+    def test_sample_chip_faults(self, h84_design):
+        model = MarginModel()
+        faults = model.sample_chip_faults(h84_design.netlist, SpreadSpec(0.20), 3)
+        for name in faults.cell_faults:
+            assert name in h84_design.netlist.cells
+
+    def test_default_model_factory(self):
+        assert default_margin_model().margins == DEFAULT_MARGINS
+
+
+class TestChipSampler:
+    def test_deterministic(self, h84_design):
+        sampler = ChipSampler(h84_design.netlist, SpreadSpec(0.20))
+        a = [c.faults.active_cells() for c in sampler.sample(50, 42)]
+        b = [c.faults.active_cells() for c in sampler.sample(50, 42)]
+        assert a == b
+
+    def test_different_seeds_differ(self, h84_design):
+        sampler = ChipSampler(h84_design.netlist, SpreadSpec(0.20))
+        a = [tuple(c.faults.active_cells()) for c in sampler.sample(100, 1)]
+        b = [tuple(c.faults.active_cells()) for c in sampler.sample(100, 2)]
+        assert a != b
+
+    def test_population_helper(self, h84_design):
+        chips = sample_chip_population(h84_design.netlist, SpreadSpec(0.20), 10,
+                                       random_state=0)
+        assert len(chips) == 10
+        assert [c.index for c in chips] == list(range(10))
+
+    def test_marginal_chip_rate(self, baseline_design):
+        # 4 drivers at q~0.0556 each: ~20% of chips have a marginal cell.
+        chips = sample_chip_population(
+            baseline_design.netlist, SpreadSpec(0.20), 4000, random_state=5
+        )
+        rate = np.mean([not c.faults.is_clean for c in chips])
+        assert rate == pytest.approx(0.204, abs=0.02)
+
+    def test_negative_count_rejected(self, h84_design):
+        sampler = ChipSampler(h84_design.netlist, SpreadSpec(0.20))
+        with pytest.raises(ValueError):
+            list(sampler.sample(-1, 0))

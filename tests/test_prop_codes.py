@@ -1,0 +1,122 @@
+"""Property-based tests on the paper's codes and decoders."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import get_code, get_decoder
+
+CODES = ["hamming74", "hamming84", "rm13"]
+
+
+def messages(k: int = 4):
+    return st.lists(st.integers(0, 1), min_size=k, max_size=k).map(
+        lambda bits: np.array(bits, dtype=np.uint8)
+    )
+
+
+def code_and_message():
+    return st.sampled_from(CODES).flatmap(
+        lambda name: st.tuples(st.just(name), messages())
+    )
+
+
+class TestLinearity:
+    @given(st.sampled_from(CODES), messages(), messages())
+    @settings(max_examples=100, deadline=None)
+    def test_encoding_is_linear(self, name, m1, m2):
+        code = get_code(name)
+        assert (
+            code.encode(m1 ^ m2).tolist()
+            == (code.encode(m1) ^ code.encode(m2)).tolist()
+        )
+
+    @given(st.sampled_from(CODES), messages())
+    @settings(max_examples=100, deadline=None)
+    def test_codewords_have_zero_syndrome(self, name, m):
+        code = get_code(name)
+        assert not code.syndrome(code.encode(m)).any()
+
+    @given(st.sampled_from(CODES), messages())
+    @settings(max_examples=60, deadline=None)
+    def test_extract_inverts_encode(self, name, m):
+        code = get_code(name)
+        assert code.extract_message(code.encode(m)).tolist() == m.tolist()
+
+
+class TestDecoderContracts:
+    @given(st.sampled_from(CODES), messages(), st.integers(0, 7))
+    @settings(max_examples=120, deadline=None)
+    def test_single_error_always_corrected(self, name, m, position):
+        code = get_code(name)
+        decoder = get_decoder(code)
+        word = code.encode(m)
+        word[position % code.n] ^= 1
+        result = decoder.decode(word)
+        assert result.message.tolist() == m.tolist()
+
+    @given(st.sampled_from(CODES), messages())
+    @settings(max_examples=60, deadline=None)
+    def test_clean_word_decodes_silently(self, name, m):
+        code = get_code(name)
+        decoder = get_decoder(code)
+        result = decoder.decode(code.encode(m))
+        assert result.message.tolist() == m.tolist()
+        assert not result.error_flag
+
+    @given(st.sampled_from(CODES),
+           st.lists(st.lists(st.integers(0, 1), min_size=4, max_size=4),
+                    min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_decode_matches_single(self, name, raw_messages):
+        code = get_code(name)
+        decoder = get_decoder(code)
+        msgs = np.array(raw_messages, dtype=np.uint8)
+        words = code.encode_batch(msgs)
+        # corrupt one deterministic bit per word
+        for i in range(len(words)):
+            words[i, i % code.n] ^= 1
+        batch = decoder.decode_batch(words)
+        for word, got in zip(words, batch):
+            assert got.tolist() == decoder.decode(word).message.tolist()
+
+    @given(messages(), st.integers(0, 6), st.integers(0, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_h84_never_miscorrects_double_errors(self, m, p1, p2):
+        code = get_code("hamming84")
+        decoder = get_decoder(code)
+        if p1 == p2:
+            return
+        word = code.encode(m)
+        word[p1] ^= 1
+        word[p2] ^= 1
+        result = decoder.decode(word)
+        # dmin=4 with SEC-DED: double errors are always flagged.
+        assert result.detected_uncorrectable
+
+
+class TestWeightDistributionProperties:
+    @given(st.sampled_from(CODES))
+    @settings(max_examples=10, deadline=None)
+    def test_macwilliams_self_consistency(self, name):
+        """Weight enumerator transforms to the dual's enumerator."""
+        code = get_code(name)
+        dual = code.dual()
+        n = code.n
+        a = code.weight_distribution.astype(float)
+        # MacWilliams: B(z) = 2^-k (1+z)^n A((1-z)/(1+z)).
+        from math import comb
+
+        b_expected = np.zeros(n + 1)
+        for j in range(n + 1):
+            total = 0.0
+            for w in range(n + 1):
+                term = 0.0
+                for i in range(j + 1):
+                    term += (
+                        (-1) ** i * comb(w, i) * comb(n - w, j - i)
+                        if i <= w and (j - i) <= (n - w) else 0.0
+                    )
+                total += a[w] * term
+            b_expected[j] = total / (1 << code.k)
+        assert np.allclose(dual.weight_distribution, b_expected)

@@ -1,0 +1,106 @@
+"""Property-based tests (hypothesis) for the GF(2) substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf2.matrix import GF2Matrix
+from repro.gf2.polynomials import GF2Polynomial
+
+
+def bit_matrices(max_rows: int = 5, max_cols: int = 6):
+    return st.integers(1, max_rows).flatmap(
+        lambda r: st.integers(1, max_cols).flatmap(
+            lambda c: st.lists(
+                st.lists(st.integers(0, 1), min_size=c, max_size=c),
+                min_size=r, max_size=r,
+            )
+        )
+    ).map(GF2Matrix)
+
+
+def polynomials(max_mask: int = 0xFFFF):
+    return st.integers(0, max_mask).map(GF2Polynomial)
+
+
+class TestMatrixProperties:
+    @given(bit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_addition_self_inverse(self, m):
+        assert (m + m).to_array().sum() == 0
+
+    @given(bit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_double_transpose(self, m):
+        assert m.T.T == m
+
+    @given(bit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounds(self, m):
+        assert 0 <= m.rank() <= min(m.rows, m.cols)
+
+    @given(bit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rref_preserves_row_space(self, m):
+        reduced, _ = m.rref()
+        for row_index in range(m.rows):
+            assert reduced.row_space_contains(m.row(row_index))
+
+    @given(bit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_rank_nullity(self, m):
+        assert m.rank() + m.null_space().rows == m.cols
+
+    @given(bit_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_null_space_orthogonal(self, m):
+        ns = m.null_space()
+        if ns.rows:
+            assert (m @ ns.T).to_array().sum() == 0
+
+    @given(bit_matrices(max_rows=4, max_cols=4))
+    @settings(max_examples=60, deadline=None)
+    def test_inverse_roundtrip_when_invertible(self, m):
+        if m.rows == m.cols and m.rank() == m.rows:
+            assert (m @ m.inverse()) == GF2Matrix.identity(m.rows)
+
+
+class TestPolynomialProperties:
+    @given(polynomials(), polynomials())
+    @settings(max_examples=80, deadline=None)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=80, deadline=None)
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_distributive(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(polynomials(), polynomials(max_mask=0xFF))
+    @settings(max_examples=80, deadline=None)
+    def test_divmod_invariant(self, a, b):
+        if not b.is_zero:
+            q, r = a.divmod(b)
+            assert q * b + r == a
+            assert r.is_zero or r.degree < b.degree
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_gcd_divides_both(self, a, b):
+        if a.is_zero and b.is_zero:
+            return
+        g = a.gcd(b)
+        assert (a % g).is_zero if not a.is_zero else True
+        assert (b % g).is_zero if not b.is_zero else True
+
+    @given(polynomials())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_of_product(self, a):
+        x = GF2Polynomial.x_power(3)
+        if not a.is_zero:
+            assert (a * x).degree == a.degree + 3

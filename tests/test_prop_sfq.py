@@ -1,0 +1,128 @@
+"""Property-based tests on synthesis and the fault simulator."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import get_code
+from repro.encoders.designs import design_for_scheme
+from repro.sfq.cells import coldflux_library
+from repro.sfq.faults import CellFault, ChipFaults, FaultSimulator
+from repro.sfq.synthesis import EncoderSynthesizer, XorEquation
+
+SCHEMES = ["hamming74", "hamming84", "rm13"]
+
+_DESIGNS = {scheme: design_for_scheme(scheme) for scheme in SCHEMES}
+_SIMULATORS = {scheme: FaultSimulator(_DESIGNS[scheme].netlist) for scheme in SCHEMES}
+
+
+def random_equations(draw_inputs, draw_terms):
+    pass  # placeholder for readability
+
+
+@st.composite
+def xor_systems(draw):
+    """Random small XOR equation systems over 2-5 inputs.
+
+    Only inputs actually referenced by some equation are declared —
+    the netlist validator (correctly) rejects unused primary inputs.
+    """
+    n_inputs = draw(st.integers(2, 5))
+    candidates = [f"m{i + 1}" for i in range(n_inputs)]
+    n_outputs = draw(st.integers(1, 6))
+    equations = []
+    used = set()
+    for j in range(n_outputs):
+        size = draw(st.integers(1, n_inputs))
+        terms = tuple(sorted(draw(st.permutations(candidates))[:size]))
+        used.update(terms)
+        equations.append(XorEquation(f"c{j + 1}", terms))
+    inputs = [name for name in candidates if name in used]
+    return inputs, equations
+
+
+class TestSynthesisProperties:
+    @given(xor_systems())
+    @settings(max_examples=40, deadline=None)
+    def test_synthesised_netlist_computes_equations(self, system):
+        inputs, equations = system
+        synth = EncoderSynthesizer(coldflux_library())
+        netlist = synth.synthesize("prop", inputs, equations, auto_share=True)
+        simulator = FaultSimulator(netlist)
+        k = len(inputs)
+        msgs = np.array(
+            [[(i >> (k - 1 - b)) & 1 for b in range(k)] for i in range(1 << k)],
+            dtype=np.uint8,
+        )
+        out = simulator.run(msgs)
+        index = {name: col for col, name in enumerate(inputs)}
+        for row, msg in zip(out, msgs):
+            for j, eq in enumerate(equations):
+                expected = 0
+                for term in eq.terms:
+                    expected ^= int(msg[index[term]])
+                assert row[j] == expected
+
+    @given(xor_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_netlist_always_validates(self, system):
+        inputs, equations = system
+        synth = EncoderSynthesizer(coldflux_library())
+        netlist = synth.synthesize("prop", inputs, equations, auto_share=True)
+        netlist.validate()  # must not raise
+
+    @given(xor_systems())
+    @settings(max_examples=30, deadline=None)
+    def test_outputs_balanced_to_common_depth(self, system):
+        inputs, equations = system
+        synth = EncoderSynthesizer(coldflux_library())
+        netlist = synth.synthesize("prop", inputs, equations, auto_share=True)
+        depths = {netlist.logic_depth(o) for o in netlist.outputs}
+        assert len(depths) == 1
+
+
+def chip_faults(scheme: str):
+    cells = sorted(_DESIGNS[scheme].netlist.cells)
+    return st.dictionaries(
+        st.sampled_from(cells),
+        st.builds(
+            CellFault,
+            drop=st.sampled_from([0.0, 1.0]),
+            spurious=st.sampled_from([0.0, 1.0]),
+        ),
+        max_size=3,
+    ).map(ChipFaults)
+
+
+class TestFaultSimulatorProperties:
+    @given(st.sampled_from(SCHEMES), st.integers(0, 2**16 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_clean_run_equals_algebra(self, scheme, seed):
+        design = _DESIGNS[scheme]
+        simulator = _SIMULATORS[scheme]
+        rng = np.random.default_rng(seed)
+        msgs = rng.integers(0, 2, size=(16, 4)).astype(np.uint8)
+        out = simulator.run(msgs)
+        expected = design.code.encode_batch(msgs)
+        assert (out == expected).all()
+
+    @given(st.sampled_from(SCHEMES), chip_faults("hamming84"), st.integers(0, 999))
+    @settings(max_examples=40, deadline=None)
+    def test_hard_fault_corruption_stays_in_cones(self, scheme, faults, seed):
+        """Corrupted output columns are a subset of the union of fault cones."""
+        design = _DESIGNS[scheme]
+        simulator = _SIMULATORS[scheme]
+        valid = {
+            name: fault for name, fault in faults.cell_faults.items()
+            if name in design.netlist.cells
+        }
+        faults = ChipFaults(valid)
+        msgs = design.code.all_messages
+        out = simulator.run(msgs, faults, seed)
+        diff = out ^ design.code.all_codewords
+        corrupted = {design.netlist.outputs[j]
+                     for j in np.nonzero(diff.any(axis=0))[0]}
+        allowed = set()
+        for name in faults.active_cells():
+            allowed |= design.netlist.forward_cone(name, include_clock=True)
+        assert corrupted <= allowed

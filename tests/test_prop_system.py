@@ -1,0 +1,105 @@
+"""Property-based tests on the PPV/system layer invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ppv.flux_trapping import merge_faults
+from repro.ppv.margins import MarginModel
+from repro.ppv.spread import SpreadSpec
+from repro.sfq.faults import CellFault, ChipFaults
+
+
+class TestSpreadProperties:
+    @given(st.floats(0.01, 0.5), st.floats(0.0, 0.6))
+    @settings(max_examples=60, deadline=None)
+    def test_exceedance_in_unit_interval(self, fraction, threshold):
+        spec = SpreadSpec(fraction)
+        p = spec.exceedance_probability(threshold)
+        assert 0.0 <= p <= 1.0
+
+    @given(st.floats(0.05, 0.5), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_samples_within_bounds(self, fraction, seed):
+        spec = SpreadSpec(fraction)
+        draws = spec.sample(seed, 256)
+        assert float(np.abs(draws).max()) <= fraction + 1e-12
+
+    @given(st.floats(0.05, 0.4))
+    @settings(max_examples=40, deadline=None)
+    def test_exceedance_monotone_in_threshold(self, fraction):
+        spec = SpreadSpec(fraction)
+        grid = np.linspace(0.0, fraction, 8)
+        values = [spec.exceedance_probability(t) for t in grid]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+
+class TestMarginModelProperties:
+    @given(st.integers(1, 40), st.floats(0.05, 0.35))
+    @settings(max_examples=60, deadline=None)
+    def test_marginal_probability_monotone_in_params(self, n_params, spread_frac):
+        model = MarginModel()
+        spread = SpreadSpec(spread_frac)
+        q_small = model.marginal_probability("SFQDC", n_params, spread)
+        q_large = model.marginal_probability("SFQDC", n_params + 5, spread)
+        assert 0.0 <= q_small <= q_large <= 1.0
+
+    @given(st.floats(0.05, 0.18))
+    @settings(max_examples=40, deadline=None)
+    def test_within_design_margin_no_failures(self, spread_frac):
+        # All shipped margins are ~0.199+; spreads below never fail.
+        model = MarginModel()
+        spread = SpreadSpec(spread_frac)
+        for cell_type in ("SFQDC", "XOR", "DFF", "SPL"):
+            assert model.marginal_probability(cell_type, 12, spread) == 0.0
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_sampled_rates_within_severity_law(self, seed):
+        model = MarginModel()
+        rng = np.random.default_rng(seed)
+        fault = model.sample_cell_fault("SFQDC", 10, SpreadSpec(0.25), rng)
+        assert 0.0 <= fault.drop <= model.eps_max
+        assert fault.spurious <= model.spurious_ratio * model.eps_max + 1e-12
+
+
+class TestFaultMergeProperties:
+    rates = st.floats(0.0, 1.0)
+
+    @given(rates, rates)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutative(self, a, b):
+        fa = ChipFaults({"x": CellFault(drop=a)})
+        fb = ChipFaults({"x": CellFault(drop=b)})
+        ab = merge_faults(fa, fb).cell_faults["x"].drop
+        ba = merge_faults(fb, fa).cell_faults["x"].drop
+        assert abs(ab - ba) < 1e-12
+
+    @given(rates, rates)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_dominates_components(self, a, b):
+        fa = ChipFaults({"x": CellFault(drop=a)})
+        fb = ChipFaults({"x": CellFault(drop=b)})
+        merged = merge_faults(fa, fb).cell_faults["x"].drop
+        assert merged >= max(a, b) - 1e-12
+        assert merged <= 1.0 + 1e-12
+
+    @given(rates)
+    @settings(max_examples=30, deadline=None)
+    def test_merge_with_empty_is_identity(self, a):
+        fa = ChipFaults({"x": CellFault(drop=a, spurious=a / 2)})
+        merged = merge_faults(fa, ChipFaults())
+        assert abs(merged.cell_faults["x"].drop - a) < 1e-12
+
+
+class TestSerializationProperty:
+    @given(st.sampled_from(["hamming74", "hamming84", "rm13", "none"]))
+    @settings(max_examples=8, deadline=None)
+    def test_roundtrip_identity(self, scheme):
+        from repro.encoders.designs import design_for_scheme
+        from repro.sfq.serialization import netlist_from_dict, netlist_to_dict
+
+        netlist = design_for_scheme(scheme).netlist
+        data = netlist_to_dict(netlist)
+        rebuilt = netlist_from_dict(data)
+        assert netlist_to_dict(rebuilt) == data  # fixed point

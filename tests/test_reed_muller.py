@@ -1,0 +1,94 @@
+"""Tests for Reed-Muller codes (paper Section II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.coding.reed_muller import (
+    plotkin_combine,
+    reed_muller,
+    rm13_message_from_codeword,
+    rm13_paper,
+    rm_dimension,
+    rm_generator,
+)
+from repro.gf2.vectors import format_bits
+
+
+class TestRm13:
+    def test_parameters(self, rm13):
+        assert (rm13.n, rm13.k, rm13.minimum_distance) == (8, 4, 4)
+
+    def test_generator_rows(self, rm13):
+        g = rm13.generator.to_array()
+        assert g[0].tolist() == [1] * 8                    # all-ones (m1)
+        assert g[1].tolist() == [0, 1, 0, 1, 0, 1, 0, 1]   # x1 (m2)
+        assert g[2].tolist() == [0, 0, 1, 1, 0, 0, 1, 1]   # x2 (m3)
+        assert g[3].tolist() == [0, 0, 0, 0, 1, 1, 1, 1]   # x3 (m4)
+
+    def test_fig4_output_equations(self, rm13):
+        # c_i = m1 ^ m2*b0 ^ m3*b1 ^ m4*b2 with b = binary(i-1).
+        for msg in rm13.all_messages:
+            m1, m2, m3, m4 = (int(b) for b in msg)
+            cw = rm13.encode(msg)
+            for i in range(8):
+                b0, b1, b2 = i & 1, (i >> 1) & 1, (i >> 2) & 1
+                assert cw[i] == m1 ^ (m2 & b0) ^ (m3 & b1) ^ (m4 & b2)
+
+    def test_same_weight_distribution_as_extended_hamming(self, rm13, h84):
+        # RM(1,3) and extended Hamming(8,4) are equivalent (8,4,4) codes.
+        assert rm13.weight_distribution.tolist() == h84.weight_distribution.tolist()
+
+    def test_message_recovery_helper(self, rm13):
+        for msg in rm13.all_messages:
+            cw = rm13.encode(msg)
+            assert rm13_message_from_codeword(cw).tolist() == msg.tolist()
+
+    def test_message_recovery_shape_check(self):
+        with pytest.raises(ValueError):
+            rm13_message_from_codeword(np.zeros(7, dtype=np.uint8))
+
+
+class TestRmFamily:
+    @pytest.mark.parametrize("r,m", [(0, 3), (1, 3), (1, 4), (2, 4), (1, 5), (2, 5)])
+    def test_dimension(self, r, m):
+        code = reed_muller(r, m)
+        assert code.k == rm_dimension(r, m)
+        assert code.n == 1 << m
+
+    @pytest.mark.parametrize("r,m", [(0, 3), (1, 3), (1, 4), (2, 4), (1, 5)])
+    def test_minimum_distance(self, r, m):
+        assert reed_muller(r, m).minimum_distance == 1 << (m - r)
+
+    def test_rm0_is_repetition(self):
+        code = reed_muller(0, 3)
+        assert code.k == 1
+        assert code.all_codewords.tolist() == [[0] * 8, [1] * 8]
+
+    def test_rm_m_m_is_whole_space(self):
+        code = reed_muller(2, 2)
+        assert code.k == 4  # all of GF(2)^4
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            reed_muller(4, 3)
+        with pytest.raises(ValueError):
+            reed_muller(-1, 3)
+
+
+class TestPlotkin:
+    def test_rm13_from_plotkin(self, rm13):
+        # RM(1,3) = (u | u+v) with u in RM(1,2), v in RM(0,2).
+        combined = plotkin_combine(reed_muller(1, 2), reed_muller(0, 2))
+        assert (combined.n, combined.k) == (8, 4)
+        assert combined.minimum_distance == 4
+        # Same codeword *set* as RM(1,3) (possibly different msg mapping).
+        assert combined.codeword_set == rm13.codeword_set
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            plotkin_combine(reed_muller(1, 2), reed_muller(0, 3))
+
+    def test_recursive_distance(self):
+        # plotkin(RM(1,3), RM(0,3)) = RM(1,4): dmin 8.
+        combined = plotkin_combine(reed_muller(1, 3), reed_muller(0, 3))
+        assert combined.minimum_distance == 8

@@ -1,0 +1,84 @@
+"""Tests for the code registry and the trivial baseline codes."""
+
+import pytest
+
+from repro.coding.parity import parity_check_code
+from repro.coding.registry import (
+    DISPLAY_NAMES,
+    PAPER_SCHEMES,
+    available_codes,
+    available_decoders,
+    get_code,
+    get_decoder,
+)
+from repro.coding.repetition import bitwise_repetition_code, repetition_code
+
+
+class TestRegistry:
+    def test_available_codes(self):
+        assert set(available_codes()) == {"hamming74", "hamming84", "rm13"}
+
+    @pytest.mark.parametrize("name,expected", [
+        ("hamming74", "Hamming(7,4)"),
+        ("Hamming(7,4)", "Hamming(7,4)"),
+        ("hamming_84", "Hamming(8,4)"),
+        ("RM13", "RM(1,3)"),
+        ("rm-13", "RM(1,3)"),
+    ])
+    def test_aliases(self, name, expected):
+        assert get_code(name).name == expected
+
+    def test_unknown_code(self):
+        with pytest.raises(KeyError):
+            get_code("turbo")
+
+    def test_decoder_strategies(self, h84):
+        for strategy in available_decoders():
+            if strategy in ("fht", "reed-majority"):
+                continue  # RM-only decoders
+            decoder = get_decoder(h84, strategy)
+            assert decoder.code is h84
+
+    def test_unknown_decoder(self, h84):
+        with pytest.raises(KeyError):
+            get_decoder(h84, "belief-propagation")
+
+    def test_paper_schemes_have_display_names(self):
+        for scheme in PAPER_SCHEMES:
+            assert scheme in DISPLAY_NAMES
+
+
+class TestRepetition:
+    def test_parameters(self):
+        code = repetition_code(5)
+        assert (code.n, code.k, code.minimum_distance) == (5, 1, 5)
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            repetition_code(0)
+
+    def test_bitwise_repetition(self):
+        code = bitwise_repetition_code(4, 2)
+        assert (code.n, code.k, code.minimum_distance) == (8, 4, 2)
+        cw = code.encode([1, 0, 1, 1])
+        assert cw.tolist() == [1, 1, 0, 0, 1, 1, 1, 1]
+
+    def test_bitwise_message_positions(self):
+        code = bitwise_repetition_code(3, 3)
+        for msg in code.all_messages:
+            cw = code.encode(msg)
+            assert cw[code.message_positions].tolist() == msg.tolist()
+
+
+class TestParity:
+    def test_parameters(self):
+        code = parity_check_code(4)
+        assert (code.n, code.k, code.minimum_distance) == (5, 4, 2)
+
+    def test_even_parity(self):
+        code = parity_check_code(4)
+        assert all(int(cw.sum()) % 2 == 0 for cw in code.all_codewords)
+
+    def test_rejects_empty_message(self):
+        with pytest.raises(ValueError):
+            parity_check_code(0)

@@ -1,0 +1,102 @@
+"""Tests for netlist serialisation and the full-report generator."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.sfq.faults import FaultSimulator
+from repro.sfq.serialization import (
+    load_netlist,
+    netlist_from_dict,
+    netlist_to_dict,
+    save_netlist,
+)
+
+
+class TestNetlistSerialization:
+    def test_roundtrip_structure(self, h84_design):
+        data = netlist_to_dict(h84_design.netlist)
+        rebuilt = netlist_from_dict(data)
+        assert rebuilt.count_cells() == h84_design.netlist.count_cells()
+        assert rebuilt.inputs == h84_design.netlist.inputs
+        assert rebuilt.outputs == h84_design.netlist.outputs
+
+    def test_roundtrip_behaviour(self, h84_design, h84):
+        rebuilt = netlist_from_dict(netlist_to_dict(h84_design.netlist))
+        sim = FaultSimulator(rebuilt)
+        assert (sim.run(h84.all_messages) == h84.all_codewords).all()
+
+    def test_roundtrip_all_designs(self, paper_design_list):
+        for design in paper_design_list:
+            rebuilt = netlist_from_dict(netlist_to_dict(design.netlist))
+            sim = FaultSimulator(rebuilt)
+            assert (sim.run(design.code.all_messages)
+                    == design.code.all_codewords).all()
+
+    def test_file_roundtrip(self, tmp_path, rm13_design):
+        path = tmp_path / "rm13.json"
+        save_netlist(rm13_design.netlist, str(path))
+        rebuilt = load_netlist(str(path))
+        assert rebuilt.count_cells() == rm13_design.netlist.count_cells()
+
+    def test_json_is_valid(self, tmp_path, h74_design):
+        path = tmp_path / "h74.json"
+        save_netlist(h74_design.netlist, str(path))
+        data = json.loads(path.read_text())
+        assert data["format_version"] == 1
+        assert data["library"] == "coldflux-rsfq"
+
+    def test_rejects_unknown_version(self, h84_design):
+        data = netlist_to_dict(h84_design.netlist)
+        data["format_version"] = 99
+        with pytest.raises(NetlistError):
+            netlist_from_dict(data)
+
+    def test_rejects_library_mismatch(self, h84_design):
+        data = netlist_to_dict(h84_design.netlist)
+        data["library"] = "other-lib"
+        with pytest.raises(NetlistError):
+            netlist_from_dict(data)
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def manifest(self, tmp_path_factory):
+        from repro.experiments.report import generate_full_report
+
+        out = tmp_path_factory.mktemp("artifacts")
+        return generate_full_report(
+            str(out), n_chips=120, seed=7,
+            include_ablations=False,
+        )
+
+    def test_deterministic_checks_pass(self, manifest):
+        assert manifest.checks["table1_matches_paper"]
+        assert manifest.checks["table2_matches_paper"]
+        assert manifest.checks["fig3_worked_example"]
+
+    def test_files_written(self, manifest):
+        for name in ("table1.txt", "table2.txt", "fig3.txt", "fig5.txt",
+                     "fig3_waveforms.csv", "fig5_cdf.csv", "MANIFEST.txt",
+                     "josim_hamming84.cir"):
+            assert name in manifest.files
+            assert os.path.exists(os.path.join(manifest.output_dir, name))
+
+    def test_manifest_summary(self, manifest):
+        text = open(os.path.join(manifest.output_dir, "MANIFEST.txt")).read()
+        assert "table1_matches_paper: PASS" in text
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "report", "--output", str(tmp_path / "a"),
+            "--chips", "120", "--seed", "7", "--no-ablations",
+        ])
+        out = capsys.readouterr().out
+        assert "table2_matches_paper: PASS" in out
+        # Small-chip fig5 anchors can wobble outside 3%; the command
+        # still writes everything and reports the check result.
+        assert code in (0, 1)

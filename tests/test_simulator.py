@@ -1,0 +1,140 @@
+"""Tests for the event-driven pulse simulator (repro.sfq.simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError, TimingViolation
+from repro.gf2.vectors import format_bits, parse_bits
+from repro.sfq.simulator import (
+    CellFaultSpec,
+    PulseSimulator,
+    SimulationConfig,
+    run_encoder,
+)
+
+
+class TestSimulationConfig:
+    def test_period(self):
+        assert SimulationConfig(frequency_ghz=5.0).period_ps == 200.0
+
+    def test_defaults(self):
+        cfg = SimulationConfig()
+        assert cfg.timing_checks == "record"
+
+
+class TestFig3Scenario:
+    def test_paper_worked_example(self, h84_design):
+        run = run_encoder(h84_design.netlist, [parse_bits("1011")])
+        assert run.latency_cycles == 2
+        assert format_bits(run.bits_by_cycle[2]) == "01100110"
+
+    def test_pipelined_stream(self, h84_design):
+        msgs = [parse_bits(s) for s in ("1011", "0110", "1111", "0001", "1010", "0100")]
+        run = run_encoder(h84_design.netlist, msgs)
+        for i, msg in enumerate(msgs):
+            expected = format_bits(h84_design.code.encode(msg))
+            assert format_bits(run.bits_by_cycle[i + 2]) == expected
+
+    def test_no_timing_violations_at_5ghz(self, h84_design):
+        run = run_encoder(
+            h84_design.netlist, [parse_bits("1011")],
+            SimulationConfig(frequency_ghz=5.0),
+        )
+        assert run.timing_violations == []
+
+    def test_all_encoders_all_messages(self, paper_design_list):
+        for design in paper_design_list:
+            msgs = design.code.all_messages
+            run = run_encoder(design.netlist, list(msgs))
+            for i, msg in enumerate(msgs):
+                expected = format_bits(design.code.encode(msg))
+                assert format_bits(run.bits_by_cycle[i + 2]) == expected
+
+    def test_zero_message_produces_nothing(self, h84_design):
+        run = run_encoder(h84_design.netlist, [parse_bits("0000")])
+        assert run.bits_by_cycle.sum() == 0
+
+    def test_no_encoder_passthrough(self, baseline_design):
+        run = run_encoder(baseline_design.netlist, [parse_bits("1010")])
+        # Depth 0: bits appear in the window where they were applied.
+        assert format_bits(run.bits_by_cycle[0]) == "1010"
+
+
+class TestFrequencyLimits:
+    def test_works_at_20ghz(self, h84_design):
+        run = run_encoder(
+            h84_design.netlist, [parse_bits("1011")],
+            SimulationConfig(frequency_ghz=20.0),
+        )
+        assert format_bits(run.bits_by_cycle[2]) == "01100110"
+
+    def test_breaks_beyond_max_frequency(self, h84_design):
+        """A pipelined stream past f_max must corrupt or flag.
+
+        A *single* message cannot violate timing (no neighbour to collide
+        with); inter-symbol interference needs a stream.
+        """
+        from repro.sfq.timing import max_frequency_ghz
+
+        f_max = max_frequency_ghz(h84_design.netlist)
+        config = SimulationConfig(frequency_ghz=f_max * 1.6, timing_checks="record")
+        msgs = [parse_bits(s) for s in ("1011", "0110", "1111", "0001")]
+        run = run_encoder(h84_design.netlist, msgs, config)
+        lat = run.latency_cycles
+        produced = [
+            format_bits(run.bits_by_cycle[i + lat])
+            if i + lat < run.bits_by_cycle.shape[0] else ""
+            for i in range(len(msgs))
+        ]
+        expected = [format_bits(h84_design.code.encode(m)) for m in msgs]
+        assert run.timing_violations or produced != expected
+
+    def test_raise_mode(self, h84_design):
+        from repro.sfq.timing import max_frequency_ghz
+
+        config = SimulationConfig(
+            frequency_ghz=max_frequency_ghz(h84_design.netlist) * 1.6,
+            timing_checks="raise",
+        )
+        msgs = [parse_bits(s) for s in ("1111", "1010", "0101", "1111")]
+        with pytest.raises(TimingViolation):
+            run_encoder(h84_design.netlist, msgs, config)
+
+
+class TestFaultInjection:
+    def test_hard_drop_on_driver_zeroes_channel(self, h84_design):
+        faults = {"s2d_c3": CellFaultSpec(drop_probability=1.0)}
+        run = run_encoder(h84_design.netlist, [parse_bits("1011")], faults=faults,
+                          random_state=0)
+        bits = format_bits(run.bits_by_cycle[2])
+        assert bits[2] == "0"          # c3 suppressed (was 1)
+        assert bits == "01000110"
+
+    def test_spurious_on_xor(self, h84_design):
+        faults = {"xor_c1": CellFaultSpec(spurious_probability=1.0)}
+        run = run_encoder(h84_design.netlist, [parse_bits("0000")], faults=faults,
+                          random_state=0)
+        assert format_bits(run.bits_by_cycle[2]) == "10000000"
+
+    def test_clock_splitter_drop_kills_subtree(self, h84_design):
+        faults = {"cspl_1": CellFaultSpec(drop_probability=1.0)}
+        run = run_encoder(h84_design.netlist, [parse_bits("1111")], faults=faults,
+                          random_state=0)
+        # Clock root dead: nothing ever emerges from the clocked pipeline.
+        assert run.bits_by_cycle.sum() == 0
+
+
+class TestInputValidation:
+    def test_wrong_message_width(self, h84_design):
+        with pytest.raises(SimulationError):
+            run_encoder(h84_design.netlist, [np.array([1, 0], dtype=np.uint8)])
+
+    def test_unknown_input_rejected(self, h84_design):
+        simulator = PulseSimulator(h84_design.netlist)
+        with pytest.raises(SimulationError):
+            simulator.simulate({"zz": [100.0]})
+
+    def test_clock_not_drivable_externally(self, h84_design):
+        simulator = PulseSimulator(h84_design.netlist)
+        with pytest.raises(SimulationError):
+            simulator.simulate({"clk": [100.0]})

@@ -1,0 +1,208 @@
+"""Tests for the synthesiser and the paper encoder designs (Table II)."""
+
+import pytest
+
+from repro.coding import bch_15_11, get_code, parity_check_code
+from repro.encoders.builder import build_encoder_for_code
+from repro.encoders.designs import design_for_scheme, no_encoder_design, paper_designs
+from repro.encoders.verification import verify_encoder_netlist
+from repro.errors import SynthesisError
+from repro.sfq.physical import summarize_circuit, table2_rows
+from repro.sfq.synthesis import (
+    EncoderSynthesizer,
+    XorEquation,
+    equations_from_code,
+    greedy_shared_pairs,
+)
+
+
+class TestXorEquation:
+    def test_rejects_empty(self):
+        with pytest.raises(SynthesisError):
+            XorEquation("c1", ())
+
+    def test_rejects_duplicate_terms(self):
+        with pytest.raises(SynthesisError):
+            XorEquation("c1", ("m1", "m1"))
+
+
+class TestEquationsFromCode:
+    def test_h84_equations_match_paper_eq3(self, h84):
+        equations = {eq.output: set(eq.terms) for eq in equations_from_code(h84)}
+        assert equations["c1"] == {"m1", "m2", "m4"}
+        assert equations["c2"] == {"m1", "m3", "m4"}
+        assert equations["c3"] == {"m1"}
+        assert equations["c4"] == {"m2", "m3", "m4"}
+        assert equations["c8"] == {"m1", "m2", "m3"}
+
+    def test_greedy_sharing_finds_pairs(self, h84):
+        shares = greedy_shared_pairs(equations_from_code(h84))
+        assert len(shares) >= 2  # at least two beneficial pairs exist
+
+
+class TestPaperInventories:
+    """Pin the exact Table II standard-cell inventories."""
+
+    def test_hamming84(self, h84_design):
+        counts = h84_design.netlist.count_cells()
+        assert counts["XOR"] == 6
+        assert counts["DFF"] == 8
+        assert counts["SPL"] == 23
+        assert counts["SFQDC"] == 8
+
+    def test_hamming74(self, h74_design):
+        counts = h74_design.netlist.count_cells()
+        assert counts["XOR"] == 5
+        assert counts["DFF"] == 8
+        assert counts["SPL"] == 20
+        assert counts["SFQDC"] == 7
+
+    def test_rm13(self, rm13_design):
+        counts = rm13_design.netlist.count_cells()
+        assert counts["XOR"] == 8
+        assert counts["DFF"] == 7
+        assert counts["SPL"] == 26
+        assert counts["SFQDC"] == 8
+
+    def test_data_vs_clock_splitters_h84(self, h84_design):
+        # Paper: 10 data splitters (Fig. 2) + 13 clock splitters.
+        names = [n for n in h84_design.netlist.cells if n.startswith("cspl_")]
+        assert len(names) == 13
+        data = [n for n, c in h84_design.netlist.cells.items()
+                if c.cell_type.name == "SPL" and not n.startswith("cspl_")]
+        assert len(data) == 10
+
+    def test_no_encoder(self, baseline_design):
+        assert baseline_design.netlist.count_cells() == {"SFQDC": 4}
+
+    @pytest.mark.parametrize("scheme,jj,power,area", [
+        ("rm13", 305, 101.5, 0.193),
+        ("hamming74", 247, 81.7, 0.158),
+        ("hamming84", 278, 92.3, 0.177),
+    ])
+    def test_table2_totals(self, scheme, jj, power, area):
+        summary = summarize_circuit(design_for_scheme(scheme).netlist)
+        assert summary.jj_count == jj
+        assert round(summary.static_power_uw, 1) == power
+        assert round(summary.area_mm2, 3) == area
+
+    def test_all_depth_two(self, paper_design_list):
+        for design in paper_design_list:
+            assert design.netlist.max_logic_depth() == 2
+
+    def test_functional_equivalence(self, paper_design_list):
+        for design in paper_design_list:
+            ok, mismatches = verify_encoder_netlist(design.netlist, design.code)
+            assert ok, mismatches
+
+    def test_table2_rows_format(self, paper_design_list):
+        rows = table2_rows([summarize_circuit(d.netlist) for d in paper_design_list])
+        assert len(rows) == 3
+        assert rows[0][2] == 305  # RM JJ count
+
+    def test_design_factory_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            design_for_scheme("polar")
+
+    def test_summary_without_overhead(self, h84_design):
+        with_oh = summarize_circuit(h84_design.netlist)
+        without = summarize_circuit(h84_design.netlist, include_overhead=False)
+        assert with_oh.jj_count - without.jj_count == 9
+
+
+class TestSynthesizerGeneric:
+    def test_single_output_passthrough(self, library):
+        synth = EncoderSynthesizer(library)
+        net = synth.synthesize("wire", ["m1"], [XorEquation("c1", ("m1",))])
+        assert net.count_cells() == {"SFQDC": 1}
+        assert net.max_logic_depth() == 0
+
+    def test_two_input_xor(self, library):
+        synth = EncoderSynthesizer(library)
+        net = synth.synthesize("x", ["a", "b"], [XorEquation("q", ("a", "b"))])
+        counts = net.count_cells()
+        assert counts["XOR"] == 1
+        assert counts["SFQDC"] == 1
+        assert net.max_logic_depth() == 1
+
+    def test_wide_xor_tree_depth(self, library):
+        synth = EncoderSynthesizer(library)
+        net = synth.synthesize(
+            "wide", [f"m{i}" for i in range(1, 9)],
+            [XorEquation("q", tuple(f"m{i}" for i in range(1, 9)))],
+        )
+        assert net.max_logic_depth() == 3  # balanced tree over 8 terms
+
+    def test_target_depth_padding(self, library):
+        synth = EncoderSynthesizer(library)
+        net = synth.synthesize(
+            "padded", ["a", "b"], [XorEquation("q", ("a", "b"))], target_depth=4
+        )
+        assert net.max_logic_depth() == 4
+        assert net.count_cells()["DFF"] == 3
+
+    def test_target_depth_below_natural_rejected(self, library):
+        synth = EncoderSynthesizer(library)
+        with pytest.raises(SynthesisError):
+            synth.synthesize(
+                "bad", ["a", "b"], [XorEquation("q", ("a", "b"))], target_depth=0
+            )
+
+    def test_unknown_term_rejected(self, library):
+        synth = EncoderSynthesizer(library)
+        with pytest.raises(SynthesisError):
+            synth.synthesize("bad", ["a"], [XorEquation("q", ("zz",))])
+
+    def test_share_and_autoshare_conflict(self, library):
+        synth = EncoderSynthesizer(library)
+        with pytest.raises(SynthesisError):
+            synth.synthesize(
+                "bad", ["a", "b"], [XorEquation("q", ("a", "b"))],
+                shared_terms={"t": ("a", "b")}, auto_share=True,
+            )
+
+    def test_unresolvable_share_rejected(self, library):
+        synth = EncoderSynthesizer(library)
+        with pytest.raises(SynthesisError):
+            synth.synthesize(
+                "bad", ["a", "b"], [XorEquation("q", ("a", "b"))],
+                shared_terms={"t": ("a", "nope")},
+            )
+
+    def test_chained_shares_resolve(self, library):
+        synth = EncoderSynthesizer(library)
+        net = synth.synthesize(
+            "chain", ["a", "b", "c", "d"],
+            [XorEquation("q", ("t2", "d"))],
+            shared_terms={"t2": ("t1", "c"), "t1": ("a", "b")},
+        )
+        assert net.count_cells()["XOR"] == 3
+
+    def test_without_drivers(self, library):
+        synth = EncoderSynthesizer(library)
+        net = synth.synthesize(
+            "nodrv", ["a", "b"], [XorEquation("q", ("a", "b"))],
+            add_output_drivers=False,
+        )
+        assert "SFQDC" not in net.count_cells()
+        net.validate()
+
+
+class TestGenericBuilder:
+    def test_parity_code_encoder(self):
+        code = parity_check_code(4)
+        design = build_encoder_for_code(code)
+        ok, mismatches = verify_encoder_netlist(design.netlist, code)
+        assert ok, mismatches
+
+    def test_bch_encoder_functional(self):
+        code = bch_15_11()
+        design = build_encoder_for_code(code)
+        ok, mismatches = verify_encoder_netlist(design.netlist, code)
+        assert ok, mismatches
+
+    def test_generic_h84_costs_at_least_hand_design(self, h84_design):
+        generic = build_encoder_for_code(get_code("hamming84"))
+        hand = summarize_circuit(h84_design.netlist)
+        auto = summarize_circuit(generic.netlist)
+        assert auto.jj_count >= hand.jj_count

@@ -1,0 +1,138 @@
+"""Tests for utils (rng, tables) and analysis.stats."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    binomial_confidence_interval,
+    bootstrap_confidence_interval,
+    empirical_cdf,
+    summarize_counts,
+)
+from repro.utils.rng import (
+    as_generator,
+    bernoulli_mask,
+    check_probability,
+    sample_seeds,
+    spawn_generators,
+)
+from repro.utils.tables import format_cdf_plot, format_kv_block, format_table
+
+
+class TestRng:
+    def test_as_generator_from_seed(self):
+        a = as_generator(42).integers(0, 100, 10)
+        b = as_generator(42).integers(0, 100, 10)
+        assert (a == b).all()
+
+    def test_as_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_spawn_independent_and_reproducible(self):
+        a = spawn_generators(7, 3)
+        b = spawn_generators(7, 3)
+        for ga, gb in zip(a, b):
+            assert (ga.integers(0, 1000, 5) == gb.integers(0, 1000, 5)).all()
+
+    def test_spawn_streams_differ(self):
+        g1, g2 = spawn_generators(7, 2)
+        assert (g1.integers(0, 10**9, 8) != g2.integers(0, 10**9, 8)).any()
+
+    def test_spawn_negative(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+    def test_sample_seeds(self):
+        seeds = sample_seeds(1, 5)
+        assert len(seeds) == 5 and len(set(seeds)) == 5
+
+    def test_check_probability(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+
+    def test_bernoulli_mask_extremes(self):
+        rng = np.random.default_rng(0)
+        assert not bernoulli_mask(rng, 0.0, 100).any()
+        assert bernoulli_mask(rng, 1.0, 100).all()
+
+    def test_bernoulli_mask_rate(self):
+        rng = np.random.default_rng(1)
+        assert bernoulli_mask(rng, 0.3, 100_000).mean() == pytest.approx(0.3, abs=0.01)
+
+
+class TestStats:
+    def test_empirical_cdf_basic(self):
+        cdf = empirical_cdf([0, 0, 1, 3], support_max=4)
+        assert cdf.values.tolist() == [0.5, 0.75, 0.75, 1.0, 1.0]
+        assert cdf.probability_zero == 0.5
+        assert cdf.probability_at_most(2) == 0.75
+
+    def test_empirical_cdf_excludes_above_grid(self):
+        cdf = empirical_cdf([0, 10], support_max=5)
+        assert cdf.values[-1] == 0.5
+
+    def test_empirical_cdf_validation(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([], 5)
+        with pytest.raises(ValueError):
+            empirical_cdf([-1], 5)
+
+    def test_wilson_interval_contains_estimate(self):
+        lo, hi = binomial_confidence_interval(90, 100)
+        assert lo < 0.9 < hi
+        assert 0.0 <= lo and hi <= 1.0
+
+    def test_wilson_interval_near_one(self):
+        lo, hi = binomial_confidence_interval(100, 100)
+        assert hi == 1.0 and lo > 0.95
+
+    def test_wilson_validation(self):
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(5, 0)
+        with pytest.raises(ValueError):
+            binomial_confidence_interval(5, 4)
+
+    def test_bootstrap_interval(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 1.0, 400)
+        lo, hi = bootstrap_confidence_interval(
+            samples, np.mean, n_resamples=500, random_state=1
+        )
+        assert lo < 10.0 < hi
+        assert hi - lo < 0.5
+
+    def test_summarize_counts(self):
+        summary = summarize_counts([0, 0, 0, 5])
+        assert summary["chips"] == 4
+        assert summary["p_zero"] == 0.75
+        assert summary["max"] == 5
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert lines[0].startswith("+")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_table_wrong_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [[1, 2]])
+
+    def test_format_table_title(self):
+        assert format_table(["x"], [[1]], title="T").startswith("T\n")
+
+    def test_kv_block(self):
+        text = format_kv_block({"alpha": 1, "b": 2.5}, title="hdr")
+        assert "hdr" in text and "alpha" in text
+
+    def test_cdf_plot(self):
+        series = {"a": [0.8, 0.9, 1.0], "b": [0.75, 0.85, 0.95]}
+        plot = format_cdf_plot(series, width=30, height=8)
+        assert "legend:" in plot
+        assert "*" in plot and "o" in plot
+
+    def test_cdf_plot_empty(self):
+        assert "empty" in format_cdf_plot({})

@@ -1,0 +1,163 @@
+"""Tests for the waveform layer, static timing and JoSIM export."""
+
+import numpy as np
+import pytest
+
+from repro.gf2.vectors import format_bits, parse_bits
+from repro.sfq.josim import export_josim_deck
+from repro.sfq.simulator import SimulationConfig, run_encoder
+from repro.sfq.timing import analyze_timing, max_frequency_ghz
+from repro.sfq.waveform import (
+    PHI0_MV_PS,
+    WaveformConfig,
+    decode_output_window,
+    decode_run_from_waveforms,
+    render_pulse_train,
+    render_run_waveforms,
+)
+
+
+class TestPulseRendering:
+    def test_pulse_area_is_phi0(self):
+        config = WaveformConfig(noise_uvolt_rms=0.0)
+        t = np.arange(0.0, 100.0, config.sample_step_ps)
+        trace = render_pulse_train([50.0], t, config)
+        area_uv_ps = trace.sum() * config.sample_step_ps
+        assert area_uv_ps == pytest.approx(PHI0_MV_PS * 1000.0, rel=1e-3)
+
+    def test_peak_voltage(self):
+        config = WaveformConfig(pulse_sigma_ps=1.0, noise_uvolt_rms=0.0)
+        # Gaussian of unit flux with sigma=1ps peaks at ~825 uV.
+        assert config.pulse_peak_uvolt == pytest.approx(825.0, rel=0.01)
+
+    def test_noise_added(self):
+        config = WaveformConfig(noise_uvolt_rms=20.0)
+        t = np.arange(0.0, 200.0, 0.5)
+        rng = np.random.default_rng(1)
+        trace = render_pulse_train([], t, config, rng=rng)
+        assert 10.0 < trace.std() < 30.0
+
+    def test_empty_train_is_silent(self):
+        config = WaveformConfig(noise_uvolt_rms=0.0)
+        t = np.arange(0.0, 100.0, 0.5)
+        assert render_pulse_train([], t, config).sum() == 0.0
+
+
+class TestWindowDecoding:
+    def test_clean_roundtrip(self):
+        config = WaveformConfig(noise_uvolt_rms=0.0)
+        t = np.arange(0.0, 1000.0, config.sample_step_ps)
+        # Pulses in windows 1 and 3 (period 200 ps).
+        trace = render_pulse_train([300.0, 700.0], t, config)
+        bits = decode_output_window(t, trace, 200.0, 5, config=config)
+        assert bits.tolist() == [0, 1, 0, 1, 0]
+
+    def test_noisy_roundtrip(self):
+        config = WaveformConfig(noise_uvolt_rms=25.0)
+        t = np.arange(0.0, 1000.0, config.sample_step_ps)
+        rng = np.random.default_rng(3)
+        trace = render_pulse_train([100.0, 500.0, 900.0], t, config, rng=rng)
+        bits = decode_output_window(t, trace, 200.0, 5, config=config)
+        assert bits.tolist() == [1, 0, 1, 0, 1]
+
+    def test_full_run_decode(self, h84_design):
+        msgs = [parse_bits("1011"), parse_bits("1100")]
+        run = run_encoder(h84_design.netlist, msgs)
+        config = WaveformConfig(noise_uvolt_rms=15.0)
+        wf = render_run_waveforms(run, config, t_end_ps=1600.0, random_state=11)
+        bits = decode_run_from_waveforms(run, wf, 200.0, 8, config)
+        assert format_bits(bits[2]) == "01100110"
+        assert format_bits(bits[3]) == format_bits(h84_design.code.encode(msgs[1]))
+
+    def test_csv_export(self, h84_design):
+        run = run_encoder(h84_design.netlist, [parse_bits("1011")])
+        wf = render_run_waveforms(run, t_end_ps=600.0, random_state=1)
+        csv = wf.to_csv()
+        header = csv.splitlines()[0]
+        assert header.startswith("time_ns,")
+        assert "Vc1" in header and "Vclk" in header and "Vm1" in header
+
+
+class TestStaticTiming:
+    def test_all_encoders_meet_5ghz(self, paper_design_list):
+        for design in paper_design_list:
+            report = analyze_timing(design.netlist)
+            assert report.setup_slack_ps(5.0) > 0
+
+    def test_max_frequency_in_rsfq_range(self, paper_design_list):
+        # Single-digit-ps gates: expect tens of GHz (paper Section I).
+        for design in paper_design_list:
+            f_max = max_frequency_ghz(design.netlist)
+            assert 10.0 < f_max < 200.0
+
+    def test_no_hold_violations(self, paper_design_list):
+        for design in paper_design_list:
+            assert analyze_timing(design.netlist).hold_violations() == []
+
+    def test_worst_path_exists(self, h84_design):
+        report = analyze_timing(h84_design.netlist)
+        assert report.worst_path() is not None
+
+    def test_clock_skews_positive(self, h84_design):
+        report = analyze_timing(h84_design.netlist)
+        assert all(s > 0 for s in report.clock_skews.values())
+        # Balanced binary tree over 14 sinks: depth 3-4 splitters.
+        depths = {round(s / 4.3) for s in report.clock_skews.values()}
+        assert depths <= {3, 4}
+
+    def test_event_sim_agrees_with_sta_margin(self, h84_design):
+        """A pipelined stream just inside f_max decodes cleanly.
+
+        At high frequency the absolute gate and clock-tree delays can
+        push different output channels across a sampling-window
+        boundary (DFF-path channels land one window earlier than
+        XOR-path channels), so the receiver must phase-align each
+        channel — exactly what a real link's per-channel skew
+        calibration does.  After per-channel alignment every message
+        must decode exactly, with no timing violations.
+        """
+        f_max = max_frequency_ghz(h84_design.netlist)
+        config = SimulationConfig(frequency_ghz=f_max * 0.90)
+        msgs = list(h84_design.code.all_messages[1:])  # skip all-zero
+        run = run_encoder(h84_design.netlist, msgs, config)
+        assert run.timing_violations == []
+        expected = np.array([h84_design.code.encode(m) for m in msgs], dtype=np.uint8)
+        n = len(msgs)
+        for j in range(8):
+            column = run.bits_by_cycle[:, j]
+            aligned = None
+            for lag in (2, 3, 4):
+                if column.shape[0] >= n + lag and (
+                    column[lag:lag + n] == expected[:, j]
+                ).all():
+                    aligned = lag
+                    break
+            assert aligned is not None, f"channel c{j + 1} never aligns"
+
+
+class TestJosimExport:
+    def test_deck_structure(self, h84_design):
+        deck = export_josim_deck(h84_design.netlist, spread=0.2)
+        assert ".include" in deck
+        assert ".spread 0.2000" in deck
+        assert ".tran" in deck
+        assert deck.strip().endswith(".end")
+
+    def test_every_cell_instantiated(self, h84_design):
+        deck = export_josim_deck(h84_design.netlist)
+        for cell_name in h84_design.netlist.cells:
+            assert f"X{cell_name} " in deck
+
+    def test_clock_source_generated(self, h84_design):
+        deck = export_josim_deck(h84_design.netlist, frequency_ghz=5.0, t_stop_ns=2.5)
+        assert "Vclk" in deck
+
+    def test_input_pulses_serialised(self, h84_design):
+        deck = export_josim_deck(
+            h84_design.netlist, input_pulses_ps={"m1": [100.0]}
+        )
+        assert "pwl(0 0 99.0p 0 100.0p 827.1u 101.0p 0)" in deck
+
+    def test_no_spread_clause_when_zero(self, h84_design):
+        deck = export_josim_deck(h84_design.netlist, spread=0.0)
+        assert ".spread" not in deck
