@@ -1,0 +1,154 @@
+"""Batched vs scalar encode/decode throughput (codewords/sec).
+
+Measures the bit-packed batch pipeline of this PR against the honest
+baseline — a per-codeword Python loop over ``encode``/``decode`` — for
+batch sizes 1 through 65536, and verifies on every measured batch that
+the two paths are **bit-identical** (messages, and for decoding also
+the corrected-error counts and detected-uncorrectable flags).
+
+This is a standalone script, not a pytest-benchmark suite, so CI can
+run it as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py --quick
+
+Exit status is non-zero if any batch output deviates from the scalar
+path or if the batch speedup at the acceptance batch size (4096) falls
+below the 10x floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.coding import get_code, get_decoder
+
+FULL_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
+QUICK_SIZES = [1, 64, 1024, 4096]
+ACCEPTANCE_BATCH = 4096
+ACCEPTANCE_SPEEDUP = 10.0
+CODES = ["hamming74", "hamming84", "rm13"]
+
+
+def _time(fn: Callable[[], object], min_seconds: float = 0.02) -> float:
+    """Best-of-k wall time of ``fn`` with an adaptive repeat count."""
+    fn()  # warm caches (coset tables, packed matmuls, ...)
+    start = time.perf_counter()
+    fn()
+    once = max(time.perf_counter() - start, 1e-9)
+    repeats = max(1, min(50, int(min_seconds / once)))
+    best = once
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def bench_code(name: str, sizes: List[int], assert_speedup: bool = True) -> None:
+    code = get_code(name)
+    decoder = get_decoder(code)
+    rng = np.random.default_rng(0)
+    print(f"\n{code.name}  [n={code.n}, k={code.k}]  decoder={decoder.strategy_name}")
+    header = (
+        f"{'batch':>7} | {'scalar enc cw/s':>15} {'batch enc cw/s':>15} {'enc x':>7}"
+        f" | {'scalar dec cw/s':>15} {'batch dec cw/s':>15} {'dec x':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for size in sizes:
+        msgs = rng.integers(0, 2, size=(size, code.k)).astype(np.uint8)
+        words = code.encode_batch(msgs)
+        # one random bit flip per word keeps every decoder on its
+        # correction path
+        flip = rng.integers(0, code.n, size)
+        words = words.copy()
+        words[np.arange(size), flip] ^= 1
+
+        def scalar_encode():
+            return np.array([code.encode(m) for m in msgs], dtype=np.uint8)
+
+        def scalar_decode():
+            return np.array([decoder.decode(w).message for w in words], dtype=np.uint8)
+
+        batch_encoded = code.encode_batch(msgs)
+        if not np.array_equal(batch_encoded, scalar_encode()):
+            _fail(f"{name}: encode_batch deviates from scalar encode at batch {size}")
+        detailed = decoder.decode_batch_detailed(words)
+        scalar_results = [decoder.decode(w) for w in words]
+        if not np.array_equal(
+            detailed.messages, np.array([r.message for r in scalar_results], dtype=np.uint8)
+        ):
+            _fail(f"{name}: decode_batch deviates from scalar decode at batch {size}")
+        if not np.array_equal(
+            detailed.corrected_errors,
+            np.array([r.corrected_errors for r in scalar_results]),
+        ):
+            _fail(f"{name}: batched corrected_errors deviate at batch {size}")
+        if not np.array_equal(
+            detailed.detected_uncorrectable,
+            np.array([r.detected_uncorrectable for r in scalar_results]),
+        ):
+            _fail(f"{name}: batched error flags deviate at batch {size}")
+
+        t_enc_scalar = _time(scalar_encode)
+        t_enc_batch = _time(lambda: code.encode_batch(msgs))
+        t_dec_scalar = _time(scalar_decode)
+        t_dec_batch = _time(lambda: decoder.decode_batch(words))
+        enc_speedup = t_enc_scalar / t_enc_batch
+        dec_speedup = t_dec_scalar / t_dec_batch
+        print(
+            f"{size:>7} | {size / t_enc_scalar:>15,.0f} {size / t_enc_batch:>15,.0f}"
+            f" {enc_speedup:>6.1f}x | {size / t_dec_scalar:>15,.0f}"
+            f" {size / t_dec_batch:>15,.0f} {dec_speedup:>6.1f}x"
+        )
+        if assert_speedup and size == ACCEPTANCE_BATCH:
+            if enc_speedup < ACCEPTANCE_SPEEDUP or dec_speedup < ACCEPTANCE_SPEEDUP:
+                _fail(
+                    f"{name}: batch speedup at {ACCEPTANCE_BATCH} below "
+                    f"{ACCEPTANCE_SPEEDUP}x (enc {enc_speedup:.1f}x, "
+                    f"dec {dec_speedup:.1f}x)"
+                )
+
+
+def main(argv: List[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: batch sizes {QUICK_SIZES} only",
+    )
+    parser.add_argument(
+        "--codes",
+        nargs="+",
+        default=CODES,
+        choices=CODES,
+        help="subset of paper codes to benchmark",
+    )
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help="report speedups without enforcing the 10x acceptance floor",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    print(
+        "Batched bit-packed pipeline vs scalar per-codeword loop "
+        "(bit-identity checked at every size)"
+    )
+    for name in args.codes:
+        bench_code(name, sizes, assert_speedup=not args.no_assert)
+    print("\nAll batch outputs bit-identical to the scalar path.")
+
+
+if __name__ == "__main__":
+    main()

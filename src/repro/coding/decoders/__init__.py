@@ -19,7 +19,7 @@ Four strategies are provided:
   exhaustive nearest-codeword reference.
 """
 
-from repro.coding.decoders.base import Decoder, DecodeResult
+from repro.coding.decoders.base import BatchDecodeResult, Decoder, DecodeResult
 from repro.coding.decoders.syndrome import SyndromeDecoder
 from repro.coding.decoders.extended_hamming import ExtendedHammingDecoder
 from repro.coding.decoders.reed import ReedDecoder
@@ -28,6 +28,7 @@ from repro.coding.decoders.ml import MaximumLikelihoodDecoder
 from repro.coding.decoders.soft import SoftFhtDecoder
 
 __all__ = [
+    "BatchDecodeResult",
     "Decoder",
     "DecodeResult",
     "SyndromeDecoder",

@@ -47,6 +47,55 @@ class DecodeResult:
         return self.detected_uncorrectable or self.corrected_errors > 0
 
 
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Vectorised outcome of decoding a whole batch of received words.
+
+    The batched counterpart of :class:`DecodeResult`: one array per
+    field, aligned row-for-row with the input batch and bit-identical to
+    running the scalar decoder word by word.
+
+    Attributes
+    ----------
+    messages : numpy.ndarray
+        ``(batch, k)`` message estimates (always populated — flagged
+        rows hold the decoder's fallback estimate, matching the scalar
+        policy).
+    codewords : numpy.ndarray
+        ``(batch, n)`` codeword estimates.  Rows whose scalar decode
+        would return ``codeword=None`` (detected-uncorrectable with no
+        commitment) hold the *received* word unchanged; check
+        :attr:`detected_uncorrectable` before trusting a row.
+    corrected_errors : numpy.ndarray
+        ``(batch,)`` number of bit corrections applied per word.
+    detected_uncorrectable : numpy.ndarray
+        ``(batch,)`` boolean error flags (the paper's Fig. 1 "error
+        flags" line, vectorised).
+    """
+
+    messages: np.ndarray
+    codewords: np.ndarray
+    corrected_errors: np.ndarray
+    detected_uncorrectable: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    @property
+    def error_flags(self) -> np.ndarray:
+        """Per-word Fig. 1 'error flags': any detected anomaly."""
+        return self.detected_uncorrectable | (self.corrected_errors > 0)
+
+    def __getitem__(self, index: int) -> DecodeResult:
+        """Scalar view of row ``index`` as a :class:`DecodeResult`."""
+        return DecodeResult(
+            message=self.messages[index].copy(),
+            codeword=self.codewords[index].copy(),
+            corrected_errors=int(self.corrected_errors[index]),
+            detected_uncorrectable=bool(self.detected_uncorrectable[index]),
+        )
+
+
 class Decoder(ABC):
     """Base class for hard-decision decoders of a specific code."""
 
@@ -61,23 +110,101 @@ class Decoder(ABC):
         """Decode one received n-bit word."""
 
     def decode_batch(self, received: np.ndarray) -> np.ndarray:
-        """Decode a ``(batch, n)`` array; returns ``(batch, k)`` messages.
+        """Decode a batch of received words into message estimates.
 
-        Subclasses override this when a vectorised path exists; the
-        default loops over :meth:`decode`.
+        Parameters
+        ----------
+        received : numpy.ndarray
+            ``(batch, n)`` array of 0/1 received bits.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, k)`` ``uint8`` message estimates, row ``i``
+            decoding ``received[i]``.  Use :meth:`decode_batch_detailed`
+            when the error flags or correction counts are also needed.
         """
+        return self.decode_batch_detailed(received).messages
+
+    def decode_batch_detailed(self, received: np.ndarray) -> BatchDecodeResult:
+        """Decode a batch keeping per-word flags and correction counts.
+
+        Subclasses override this with a fully vectorised path; the base
+        implementation loops over :meth:`decode` and is the reference
+        the vectorised paths are tested against.
+
+        Parameters
+        ----------
+        received : numpy.ndarray
+            ``(batch, n)`` array of 0/1 received bits.
+
+        Returns
+        -------
+        BatchDecodeResult
+            Per-word messages, codeword estimates, correction counts and
+            detected-uncorrectable flags, bit-identical to scalar
+            :meth:`decode` calls.
+        """
+        words = self._check_received_batch(received)
+        batch = words.shape[0]
+        messages = np.empty((batch, self.code.k), dtype=np.uint8)
+        codewords = np.empty((batch, self.code.n), dtype=np.uint8)
+        corrected = np.zeros(batch, dtype=np.int64)
+        flagged = np.zeros(batch, dtype=bool)
+        for i, word in enumerate(words):
+            result = self.decode(word)
+            messages[i] = result.message
+            codewords[i] = word if result.codeword is None else result.codeword
+            corrected[i] = result.corrected_errors
+            flagged[i] = result.detected_uncorrectable
+        return BatchDecodeResult(
+            messages=messages,
+            codewords=codewords,
+            corrected_errors=corrected,
+            detected_uncorrectable=flagged,
+        )
+
+    def _check_received(self, received: Sequence[int]) -> np.ndarray:
+        return as_bit_array(received, length=self.code.n)
+
+    def _fallback_message(self, word: np.ndarray) -> np.ndarray:
+        """Best message estimate for a detected-uncorrectable word.
+
+        Reads the message bits verbatim when the code carries them at
+        known positions; otherwise trusts the received word (solving
+        against G when it happens to be a codeword, zeros when not).
+        """
+        positions = self.code.message_positions
+        if positions is not None:
+            return word[positions].copy()
+        try:
+            return self.code.extract_message(word)
+        except Exception:
+            return np.zeros(self.code.k, dtype=np.uint8)
+
+    def _apply_fallback_messages(
+        self, messages: np.ndarray, words: np.ndarray, flagged: np.ndarray
+    ) -> None:
+        """Overwrite flagged rows of ``messages`` with the scalar fallback.
+
+        Batch paths compute messages via
+        :meth:`~repro.coding.linear.LinearBlockCode.extract_message_batch`,
+        which assumes valid codewords; flagged rows are not codewords,
+        so when the code lacks verbatim message positions they must be
+        re-estimated exactly as the scalar :meth:`_fallback_message`
+        does (in-place, on the rare flagged subset only).
+        """
+        if flagged.any() and self.code.message_positions is None:
+            for i in np.flatnonzero(flagged):
+                messages[i] = self._fallback_message(words[i])
+
+    def _check_received_batch(self, received: np.ndarray) -> np.ndarray:
         words = np.asarray(received, dtype=np.uint8)
         if words.ndim != 2 or words.shape[1] != self.code.n:
             raise DimensionError(
                 f"expected (batch, {self.code.n}) received words, got {words.shape}"
             )
-        out = np.empty((words.shape[0], self.code.k), dtype=np.uint8)
-        for i, word in enumerate(words):
-            out[i] = self.decode(word).message
-        return out
-
-    def _check_received(self, received: Sequence[int]) -> np.ndarray:
-        return as_bit_array(received, length=self.code.n)
+        return words
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} for {self.code.name}>"

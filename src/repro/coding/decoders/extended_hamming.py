@@ -23,7 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.coding.decoders.base import DecodeResult, Decoder
+from repro.coding.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.coding.linear import LinearBlockCode
 
 
@@ -81,38 +81,35 @@ class ExtendedHammingDecoder(Decoder):
             detected_uncorrectable=True,
         )
 
-    def _fallback_message(self, word: np.ndarray) -> np.ndarray:
-        positions = self.code.message_positions
-        if positions is not None:
-            return word[positions].copy()
-        # Generic fallback: nearest-codeword projection of the systematic
-        # part is not defined without verbatim positions; use the
-        # least-squares-style solve on the received word.
-        try:
-            return self.code.extract_message(word)
-        except Exception:
-            return np.zeros(self.code.k, dtype=np.uint8)
+    def decode_batch_detailed(self, received: np.ndarray) -> BatchDecodeResult:
+        """Vectorised SEC-DED decoding of a whole batch.
 
-    def decode_batch(self, received: np.ndarray) -> np.ndarray:
-        words = np.asarray(received, dtype=np.uint8)
+        Parameters
+        ----------
+        received : numpy.ndarray
+            ``(batch, n)`` array of 0/1 received bits.
+
+        Returns
+        -------
+        BatchDecodeResult
+            Bit-identical to scalar :meth:`decode` per row: weight-1
+            syndromes flip their bit (``corrected_errors == 1``), any
+            other nonzero syndrome raises the detected-uncorrectable
+            flag and keeps the raw word (systematic fallback).
+        """
+        words = self._check_received_batch(received)
         syndromes = self.code.syndrome_batch(words)
         indices = syndromes.astype(np.int64) @ self._syndrome_weights
         positions = self._position_for_syndrome[indices]
         corrected = words.copy()
         rows = np.nonzero(positions >= 0)[0]
         corrected[rows, positions[rows]] ^= 1
-        msg_positions = self.code.message_positions
-        if msg_positions is None:
-            return np.array(
-                [self.code.extract_message(cw) if positions[i] >= 0 or indices[i] == 0
-                 else self._fallback_message(words[i])
-                 for i, cw in enumerate(corrected)],
-                dtype=np.uint8,
-            )
-        # Verbatim positions: detected-uncorrectable rows keep the raw
-        # word, which the fallback reads the same way.
-        out = corrected[:, msg_positions].copy()
         flagged = (indices != 0) & (positions < 0)
-        if flagged.any():
-            out[flagged] = words[flagged][:, msg_positions]
-        return out
+        messages = self.code.extract_message_batch(corrected)
+        self._apply_fallback_messages(messages, words, flagged)
+        return BatchDecodeResult(
+            messages=messages,
+            codewords=corrected,
+            corrected_errors=(positions >= 0).astype(np.int64),
+            detected_uncorrectable=flagged,
+        )

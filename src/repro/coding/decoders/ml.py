@@ -8,17 +8,24 @@ decoding regions are deterministic.
 
 from __future__ import annotations
 
+from functools import cached_property
 from typing import Sequence
 
 import numpy as np
 
-from repro.coding.decoders.base import DecodeResult, Decoder
+from repro.coding.decoders.base import BatchDecodeResult, DecodeResult, Decoder
+from repro.gf2.bitpack import pack_rows, packed_hamming_distance
 
 
 class MaximumLikelihoodDecoder(Decoder):
     """Brute-force nearest-codeword decoder (reference implementation)."""
 
     strategy_name = "ml"
+
+    @cached_property
+    def _packed_codebook(self) -> np.ndarray:
+        """All 2^k codewords bit-packed once per decoder instance."""
+        return pack_rows(self.code.all_codewords)
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
         word = self._check_received(received)
@@ -36,10 +43,34 @@ class MaximumLikelihoodDecoder(Decoder):
             detected_uncorrectable=len(candidates) > 1,
         )
 
-    def decode_batch(self, received: np.ndarray) -> np.ndarray:
-        words = np.asarray(received, dtype=np.uint8)
-        codewords = self.code.all_codewords
-        # (batch, 2^k) distance matrix; fine for the short codes here.
-        distances = (words[:, None, :] != codewords[None, :, :]).sum(axis=2)
+    def decode_batch_detailed(self, received: np.ndarray) -> BatchDecodeResult:
+        """Vectorised nearest-codeword search over the whole batch.
+
+        Parameters
+        ----------
+        received : numpy.ndarray
+            ``(batch, n)`` array of 0/1 received bits.
+
+        Returns
+        -------
+        BatchDecodeResult
+            Bit-identical to scalar :meth:`decode` per row.  Received
+            words and the codebook are bit-packed so the whole
+            ``(batch, 2^k)`` distance matrix is XOR + popcount on
+            ``uint64`` words; distance ties keep the smallest message
+            index and raise ``detected_uncorrectable``.
+        """
+        words = self._check_received_batch(received)
+        packed_words_ = pack_rows(words)
+        distances = packed_hamming_distance(
+            packed_words_[:, None, :], self._packed_codebook[None, :, :]
+        )
+        best = distances.min(axis=1) if len(words) else np.zeros(0, dtype=np.int64)
         indices = distances.argmin(axis=1)
-        return self.code.all_messages[indices].copy()
+        ties = (distances == best[:, None]).sum(axis=1) > 1
+        return BatchDecodeResult(
+            messages=self.code.all_messages[indices].copy(),
+            codewords=self.code.all_codewords[indices].copy(),
+            corrected_errors=best.astype(np.int64),
+            detected_uncorrectable=ties,
+        )

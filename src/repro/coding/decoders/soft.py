@@ -17,7 +17,11 @@ from typing import Sequence
 import numpy as np
 
 from repro.coding.decoders.base import DecodeResult, Decoder
-from repro.coding.decoders.fht import _check_rm1m, walsh_hadamard_transform
+from repro.coding.decoders.fht import (
+    _check_rm1m,
+    hadamard_matrix,
+    walsh_hadamard_transform,
+)
 from repro.coding.linear import LinearBlockCode
 
 
@@ -85,14 +89,7 @@ class SoftFhtDecoder(Decoder):
         values = np.asarray(confidences, dtype=float)
         if values.ndim != 2 or values.shape[1] != self.code.n:
             raise ValueError(f"expected (batch, {self.code.n}), got {values.shape}")
-        n = self.code.n
-        indices = np.arange(n)
-        parity = np.array(
-            [[bin(a & i).count("1") & 1 for i in indices] for a in range(n)],
-            dtype=np.int64,
-        )
-        hadamard = 1 - 2 * parity
-        spectra = values @ hadamard.T
+        spectra = values @ hadamard_matrix(self.code.n).T
         best_index = np.abs(spectra).argmax(axis=1)
         best_value = spectra[np.arange(len(values)), best_index]
         out = np.empty((len(values), self.code.k), dtype=np.uint8)

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import DimensionError, SingularMatrixError
+from repro.gf2.bitpack import PackedGF2Matmul
 from repro.gf2.matrix import GF2Matrix
 from repro.gf2.vectors import (
     all_binary_vectors,
@@ -149,25 +150,64 @@ class LinearBlockCode:
         """Encode one k-bit message into an n-bit codeword (row-vector G)."""
         return self._generator.left_multiply_vector(as_bit_array(message, length=self.k))
 
+    @cached_property
+    def _packed_encode(self) -> PackedGF2Matmul:
+        """Bit-sliced multiply by G, compiled once per code."""
+        return PackedGF2Matmul(self._generator.to_array())
+
+    @cached_property
+    def _packed_syndrome(self) -> PackedGF2Matmul:
+        """Bit-sliced multiply by H^T, compiled once per code."""
+        return PackedGF2Matmul(self.parity_check.to_array().T)
+
     def encode_batch(self, messages: np.ndarray) -> np.ndarray:
-        """Encode a ``(batch, k)`` array of messages into ``(batch, n)``."""
+        """Encode a whole batch of messages in one vectorised pass.
+
+        The hot path of the streaming pipeline: messages are bit-sliced
+        into ``uint64`` words (64 frames per word) and multiplied by G
+        with a handful of XORs per codeword bit — see
+        :class:`repro.gf2.bitpack.PackedGF2Matmul`.  Bit-identical to
+        calling :meth:`encode` row by row.
+
+        Parameters
+        ----------
+        messages : numpy.ndarray
+            ``(batch, k)`` array of 0/1 message bits.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, n)`` ``uint8`` array of codewords, row ``i``
+            encoding ``messages[i]``.
+        """
         msgs = np.asarray(messages, dtype=np.uint8)
         if msgs.ndim != 2 or msgs.shape[1] != self.k:
             raise DimensionError(f"expected (batch, {self.k}) messages, got {msgs.shape}")
-        g = self._generator.to_array().astype(np.uint32)
-        return ((msgs.astype(np.uint32) @ g) % 2).astype(np.uint8)
+        return self._packed_encode(msgs)
 
     def syndrome(self, received: Sequence[int]) -> np.ndarray:
         """Syndrome ``H r^T`` of a received word."""
         return self.parity_check.multiply_vector(as_bit_array(received, length=self.n))
 
     def syndrome_batch(self, received: np.ndarray) -> np.ndarray:
-        """Syndromes of a ``(batch, n)`` array, shape ``(batch, n-k)``."""
+        """Syndromes of a batch of received words in one vectorised pass.
+
+        Parameters
+        ----------
+        received : numpy.ndarray
+            ``(batch, n)`` array of 0/1 received bits.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, n - k)`` ``uint8`` array; row ``i`` is the
+            syndrome ``H received[i]^T``.  Bit-identical to calling
+            :meth:`syndrome` row by row.
+        """
         r = np.asarray(received, dtype=np.uint8)
         if r.ndim != 2 or r.shape[1] != self.n:
             raise DimensionError(f"expected (batch, {self.n}) words, got {r.shape}")
-        h = self.parity_check.to_array().astype(np.uint32)
-        return ((r.astype(np.uint32) @ h.T) % 2).astype(np.uint8)
+        return self._packed_syndrome(r)
 
     def is_codeword(self, word: Sequence[int]) -> bool:
         """True iff ``word`` has zero syndrome."""
@@ -184,6 +224,48 @@ class LinearBlockCode:
             return cw[self._message_positions].copy()
         # Solve m G = cw  <=>  G^T m^T = cw^T.
         return self._generator.T.solve(cw)
+
+    @cached_property
+    def _message_recovery(self) -> Tuple[List[int], Optional[np.ndarray]]:
+        """Pivot columns P and inverse A^-1 with ``m = cw[:, P] @ A^-1``.
+
+        When the code carries the message verbatim the inverse is the
+        identity and is elided (``None``).
+        """
+        if self._message_positions is not None:
+            return list(self._message_positions), None
+        _, pivots = self._generator.rref()
+        sub = GF2Matrix(self._generator.to_array()[:, pivots])
+        return list(pivots), sub.inverse().to_array()
+
+    def extract_message_batch(self, codewords: np.ndarray) -> np.ndarray:
+        """Recover messages from a batch of *valid* codewords.
+
+        Vectorised companion of :meth:`extract_message`: selects a set
+        of pivot positions ``P`` whose generator submatrix ``A`` is
+        invertible (the verbatim message positions when the code has
+        them, so this degenerates to a column gather) and computes
+        ``m = cw[:, P] A^{-1}`` over GF(2).
+
+        Parameters
+        ----------
+        codewords : numpy.ndarray
+            ``(batch, n)`` array of valid codewords.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, k)`` ``uint8`` array of messages, bit-identical to
+            calling :meth:`extract_message` row by row.
+        """
+        cws = np.asarray(codewords, dtype=np.uint8)
+        if cws.ndim != 2 or cws.shape[1] != self.n:
+            raise DimensionError(f"expected (batch, {self.n}) codewords, got {cws.shape}")
+        positions, inverse = self._message_recovery
+        sub = cws[:, positions]
+        if inverse is None:
+            return np.ascontiguousarray(sub)
+        return ((sub.astype(np.uint32) @ inverse.astype(np.uint32)) % 2).astype(np.uint8)
 
     # ------------------------------------------------------------------
     # Exhaustive structure (codes here are short: n <= ~24)

@@ -6,6 +6,16 @@ bit-vector helpers, polynomials over GF(2) and the extension fields
 GF(2^m) needed by the BCH comparison code.
 """
 
+from repro.gf2.bitpack import (
+    PackedGF2Matmul,
+    pack_cols,
+    pack_rows,
+    packed_hamming_distance,
+    packed_matmul,
+    popcount,
+    unpack_cols,
+    unpack_rows,
+)
 from repro.gf2.matrix import GF2Matrix
 from repro.gf2.vectors import (
     bits_from_int,
@@ -24,6 +34,14 @@ __all__ = [
     "GF2Matrix",
     "GF2Polynomial",
     "GF2mField",
+    "PackedGF2Matmul",
+    "pack_cols",
+    "pack_rows",
+    "packed_hamming_distance",
+    "packed_matmul",
+    "popcount",
+    "unpack_cols",
+    "unpack_rows",
     "bits_from_int",
     "bits_to_int",
     "hamming_distance",

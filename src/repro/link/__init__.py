@@ -11,7 +11,12 @@ attenuation, which the ablation benches superimpose on the PPV faults.
 from repro.link.driver import SuzukiStackDriver
 from repro.link.cable import CryogenicCable
 from repro.link.receiver import CmosReceiver
-from repro.link.channel import BinaryChannel, link_budget_channel
+from repro.link.channel import (
+    BinaryChannel,
+    FrameStreamPipeline,
+    FrameStreamResult,
+    link_budget_channel,
+)
 from repro.link.framing import ArqLink, ArqResult
 
 __all__ = [
@@ -19,6 +24,8 @@ __all__ = [
     "CryogenicCable",
     "CmosReceiver",
     "BinaryChannel",
+    "FrameStreamPipeline",
+    "FrameStreamResult",
     "link_budget_channel",
     "ArqLink",
     "ArqResult",

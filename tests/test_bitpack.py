@@ -1,0 +1,145 @@
+"""Unit and property tests for the bit-packed GF(2) kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DimensionError, NotBinaryError
+from repro.gf2.bitpack import (
+    WORD_BITS,
+    PackedGF2Matmul,
+    pack_cols,
+    pack_rows,
+    packed_hamming_distance,
+    packed_matmul,
+    packed_words,
+    popcount,
+    unpack_cols,
+    unpack_rows,
+)
+
+
+def random_bits(rng, rows, cols):
+    return rng.integers(0, 2, size=(rows, cols)).astype(np.uint8)
+
+
+class TestPackedWords:
+    def test_exact_boundaries(self):
+        assert packed_words(0) == 0
+        assert packed_words(1) == 1
+        assert packed_words(WORD_BITS) == 1
+        assert packed_words(WORD_BITS + 1) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            packed_words(-1)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "shape",
+        [(1, 1), (3, 7), (2, 64), (5, 65), (4, 127), (7, 130), (0, 8), (4, 0)],
+    )
+    def test_rows_roundtrip(self, shape):
+        rng = np.random.default_rng(sum(shape))
+        bits = random_bits(rng, *shape)
+        packed = pack_rows(bits)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (shape[0], packed_words(shape[1]))
+        assert np.array_equal(unpack_rows(packed, shape[1]), bits)
+
+    @pytest.mark.parametrize("shape", [(1, 1), (64, 3), (65, 5), (200, 8), (0, 4)])
+    def test_cols_roundtrip(self, shape):
+        rng = np.random.default_rng(sum(shape))
+        bits = random_bits(rng, *shape)
+        packed = pack_cols(bits)
+        assert packed.shape == (shape[1], packed_words(shape[0]))
+        assert np.array_equal(unpack_cols(packed, shape[0]), bits)
+
+    def test_one_dim_input_is_one_row(self):
+        packed = pack_rows(np.array([1, 0, 1], dtype=np.uint8))
+        assert packed.shape == (1, 1)
+        assert packed[0, 0] == 0b101
+
+    def test_lsb_first_layout(self):
+        bits = np.zeros((1, 70), dtype=np.uint8)
+        bits[0, 0] = 1
+        bits[0, 65] = 1
+        packed = pack_rows(bits)
+        assert packed[0, 0] == 1
+        assert packed[0, 1] == 2
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(NotBinaryError):
+            pack_rows(np.array([[0, 2]], dtype=np.uint8))
+
+    def test_unpack_width_mismatch_rejected(self):
+        with pytest.raises(DimensionError):
+            unpack_rows(np.zeros((2, 2), dtype=np.uint64), 64)
+
+
+class TestPopcount:
+    @given(st.integers(0, 1000), st.integers(1, 130))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_dense_sum(self, seed, n):
+        rng = np.random.default_rng(seed)
+        bits = random_bits(rng, 3, n)
+        assert np.array_equal(popcount(pack_rows(bits)), bits.sum(axis=1))
+
+    def test_hamming_distance_broadcast(self):
+        rng = np.random.default_rng(0)
+        a = random_bits(rng, 5, 100)
+        b = random_bits(rng, 4, 100)
+        dist = packed_hamming_distance(
+            pack_rows(a)[:, None, :], pack_rows(b)[None, :, :]
+        )
+        expected = (a[:, None, :] != b[None, :, :]).sum(axis=2)
+        assert np.array_equal(dist, expected)
+
+
+class TestPackedMatmul:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=100, deadline=None)
+    def test_matches_dense_product(self, seed):
+        rng = np.random.default_rng(seed)
+        k = int(rng.integers(1, 16))
+        n = int(rng.integers(1, 28))
+        batch = int(rng.integers(0, 200))
+        x = random_bits(rng, batch, k)
+        m = random_bits(rng, k, n)
+        expected = (x.astype(np.uint32) @ m.astype(np.uint32)) % 2
+        assert np.array_equal(packed_matmul(x, m), expected.astype(np.uint8))
+
+    def test_compiled_object_is_reusable(self):
+        rng = np.random.default_rng(1)
+        m = random_bits(rng, 4, 8)
+        mul = PackedGF2Matmul(m)
+        for batch in (1, 63, 64, 65, 1000):
+            x = random_bits(rng, batch, 4)
+            expected = (x.astype(np.uint32) @ m.astype(np.uint32)) % 2
+            assert np.array_equal(mul(x), expected.astype(np.uint8))
+
+    def test_multiply_packed_stays_packed(self):
+        rng = np.random.default_rng(2)
+        m = random_bits(rng, 5, 9)
+        x = random_bits(rng, 130, 5)
+        mul = PackedGF2Matmul(m)
+        out = mul.multiply_packed(pack_cols(x))
+        assert out.shape == (9, packed_words(130))
+        assert np.array_equal(unpack_cols(out, 130), mul(x))
+
+    def test_shape_mismatch_rejected(self):
+        mul = PackedGF2Matmul(np.eye(3, dtype=np.uint8))
+        with pytest.raises(DimensionError):
+            mul(np.zeros((2, 4), dtype=np.uint8))
+        with pytest.raises(DimensionError):
+            mul.multiply_packed(np.zeros((4, 1), dtype=np.uint64))
+
+    def test_zero_column_gives_zero_bit(self):
+        m = np.zeros((3, 2), dtype=np.uint8)
+        m[:, 1] = 1
+        x = np.ones((70, 3), dtype=np.uint8)
+        out = PackedGF2Matmul(m)(x)
+        assert not out[:, 0].any()
+        assert (out[:, 1] == 1).all()

@@ -12,10 +12,17 @@ import tempfile
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "src"))
 
 
 def run_example(name: str, *args: str, timeout: int = 240) -> str:
     path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    # The examples import repro from the source tree; the subprocess does
+    # not inherit the parent's sys.path, so propagate src/ explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (SRC_DIR, env.get("PYTHONPATH")) if p
+    )
     with tempfile.TemporaryDirectory() as scratch:
         result = subprocess.run(
             [sys.executable, path, *args],
@@ -23,6 +30,7 @@ def run_example(name: str, *args: str, timeout: int = 240) -> str:
             text=True,
             timeout=timeout,
             cwd=scratch,  # examples write CSVs/decks into their cwd
+            env=env,
         )
     assert result.returncode == 0, result.stderr
     return result.stdout
