@@ -19,6 +19,7 @@ below the 10x floor.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Callable, List
@@ -30,7 +31,9 @@ from repro.coding import get_code, get_decoder
 FULL_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
 QUICK_SIZES = [1, 64, 1024, 4096]
 ACCEPTANCE_BATCH = 4096
-ACCEPTANCE_SPEEDUP = 10.0
+#: The speedup floor is timing-sensitive; loaded/shared CI runners can
+#: lower it via the environment instead of flaking.
+ACCEPTANCE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10.0"))
 CODES = ["hamming74", "hamming84", "rm13"]
 
 

@@ -1,0 +1,150 @@
+"""Monte-Carlo engine scaling: chips/sec across worker counts.
+
+Runs the Fig. 5 populations through :class:`repro.runtime.MonteCarloEngine`
+at each requested ``--jobs`` value and reports wall-clock, chips/sec and
+speedup over the inline (``jobs=1``) baseline.  Three properties are
+asserted, so CI can run this as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --quick
+
+* **determinism** — every worker count produces counts bit-identical to
+  the inline run (hard failure otherwise);
+* **warm cache** — with a (temporary) result cache attached, a second
+  run executes zero shards and returns identical counts (hard failure
+  otherwise);
+* **scaling** — the best parallel run must beat the inline baseline by
+  ``REPRO_BENCH_ENGINE_MIN_SPEEDUP`` (default 2.5 at ``--jobs`` >= 4).
+  This floor is only enforced when the machine actually has at least as
+  many CPUs as workers; on smaller runners it is reported but skipped.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import time
+from typing import List
+
+import numpy as np
+
+from repro.runtime import MonteCarloEngine, ResultCache
+from repro.system.experiment import Fig5Config, scheme_specs
+
+DEFAULT_MIN_SPEEDUP = 2.5
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _run(specs, jobs: int, shard_size: int, cache=None):
+    engine = MonteCarloEngine(jobs=jobs, cache=cache, shard_size=shard_size)
+    start = time.perf_counter()
+    results = engine.run_many(specs)
+    elapsed = time.perf_counter() - start
+    return results, elapsed
+
+
+def bench_scaling(chips: int, jobs_list: List[int], shard_size: int) -> None:
+    if 1 not in jobs_list:
+        # Speedups (and the determinism reference) are always measured
+        # against the inline run.
+        jobs_list = [1] + jobs_list
+    specs = scheme_specs(Fig5Config(n_chips=chips, seed=20250831))
+    total_chips = sum(spec.n_chips for spec in specs)
+    # Untimed warm-up: synthesise every design once so the inline
+    # baseline doesn't pay the one-off link construction that forked
+    # workers inherit for free (which would inflate parallel speedups).
+    _run(scheme_specs(Fig5Config(n_chips=1, seed=20250831)), 1, shard_size)
+    print(
+        f"Fig. 5 populations: {len(specs)} schemes x {chips} chips "
+        f"(shard size {shard_size}, {os.cpu_count()} CPUs)"
+    )
+    header = f"{'jobs':>5} | {'wall (s)':>9} | {'chips/s':>10} | {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+
+    baseline_counts = None
+    baseline_time = None
+    best_speedup = 0.0
+    best_jobs = 1
+    for jobs in jobs_list:
+        results, elapsed = _run(specs, jobs, shard_size)
+        counts = [r.counts for r in results]
+        if baseline_counts is None:
+            baseline_counts, baseline_time = counts, elapsed
+        for spec, got, want in zip(specs, counts, baseline_counts):
+            if not np.array_equal(got, want):
+                _fail(
+                    f"jobs={jobs} counts deviate from the inline run "
+                    f"for scheme {spec.scheme!r}"
+                )
+        speedup = baseline_time / elapsed
+        if jobs > 1 and speedup > best_speedup:
+            best_speedup, best_jobs = speedup, jobs
+        print(
+            f"{jobs:>5} | {elapsed:>9.2f} | {total_chips / elapsed:>10,.0f}"
+            f" | {speedup:>7.2f}x"
+        )
+    print("all worker counts bit-identical to the inline run")
+
+    floor = float(os.environ.get("REPRO_BENCH_ENGINE_MIN_SPEEDUP", DEFAULT_MIN_SPEEDUP))
+    parallel_jobs = [j for j in jobs_list if j > 1]
+    if not parallel_jobs:
+        return
+    if os.cpu_count() and os.cpu_count() < max(parallel_jobs):
+        print(
+            f"skipping the {floor:.1f}x scaling floor: "
+            f"{os.cpu_count()} CPU(s) < {max(parallel_jobs)} workers"
+        )
+    elif max(parallel_jobs) >= 4 and best_speedup < floor:
+        _fail(
+            f"best parallel speedup {best_speedup:.2f}x (jobs={best_jobs}) "
+            f"below the {floor:.1f}x floor"
+        )
+
+
+def bench_cache(chips: int, jobs: int, shard_size: int) -> None:
+    specs = scheme_specs(Fig5Config(n_chips=chips, seed=20250831))
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as root:
+        cache = ResultCache(root)
+        cold, cold_time = _run(specs, jobs, shard_size, cache=cache)
+        if not any(r.shards_executed for r in cold):
+            _fail("cold cache run executed no shards")
+        warm, warm_time = _run(specs, jobs, shard_size, cache=cache)
+        executed = sum(r.shards_executed for r in warm)
+        if executed:
+            _fail(f"warm cache run executed {executed} shards (expected 0)")
+        if not all(r.from_cache for r in warm):
+            _fail("warm cache run did not serve every spec from the cache")
+        for a, b in zip(cold, warm):
+            if not np.array_equal(a.counts, b.counts):
+                _fail(f"cached counts deviate for scheme {a.spec.scheme!r}")
+        print(
+            f"warm cache: 0 shards executed, counts identical "
+            f"({cold_time:.2f}s cold -> {warm_time:.3f}s warm)"
+        )
+
+
+def main(argv: List[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--chips", type=int, default=1000,
+                        help="chips per scheme (default 1000, the paper scale)")
+    parser.add_argument("--jobs", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts to measure (first is the baseline)")
+    parser.add_argument("--shard-size", type=int, default=64)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 120 chips, jobs 1 and 2")
+    args = parser.parse_args(argv)
+    chips = 120 if args.quick else args.chips
+    jobs_list = [1, 2] if args.quick else args.jobs
+    bench_scaling(chips, jobs_list, args.shard_size)
+    bench_cache(chips, max(jobs_list), args.shard_size)
+    print("\nengine determinism + warm-cache checks passed")
+
+
+if __name__ == "__main__":
+    main()

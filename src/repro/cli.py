@@ -14,6 +14,57 @@ from typing import List, Optional
 from repro._version import __version__
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, with a clean parser error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _spread_fraction(text: str) -> float:
+    """argparse type: a fractional spread in [0, 1]."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a spread fraction in [0, 1] (0.20 = +/-20%), got {value}"
+        )
+    return value
+
+
+def _add_runtime_args(parser: argparse.ArgumentParser) -> None:
+    """``--jobs`` / ``--cache-dir`` / ``--no-cache`` for engine-backed commands."""
+    group = parser.add_argument_group("runtime")
+    group.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the Monte-Carlo (1 = inline; results are "
+             "bit-identical for any value)",
+    )
+    group.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache root (default: $REPRO_CACHE_DIR or ~/.cache/repro)",
+    )
+    group.add_argument(
+        "--no-cache", action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+
+
+def _engine_from_args(args):
+    from repro.runtime import MonteCarloEngine, ResultCache, ThroughputReporter
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return MonteCarloEngine(
+        jobs=args.jobs, cache=cache, progress=ThroughputReporter()
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -36,16 +87,18 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the voltage traces as CSV")
 
     fig5 = sub.add_parser("fig5", help="Fig. 5: PPV Monte-Carlo CDF")
-    fig5.add_argument("--chips", type=int, default=1000)
-    fig5.add_argument("--messages", type=int, default=100)
-    fig5.add_argument("--spread", type=float, default=0.20)
+    fig5.add_argument("--chips", type=_positive_int, default=1000)
+    fig5.add_argument("--messages", type=_positive_int, default=100)
+    fig5.add_argument("--spread", type=_spread_fraction, default=0.20)
     fig5.add_argument("--seed", type=int, default=20250831)
     fig5.add_argument("--csv", metavar="PATH", default=None,
                       help="write the CDF curves as CSV")
+    _add_runtime_args(fig5)
 
     abl = sub.add_parser("ablations", help="spread/decoder/frequency/code-cost studies")
-    abl.add_argument("--chips", type=int, default=400)
+    abl.add_argument("--chips", type=_positive_int, default=400)
     abl.add_argument("--seed", type=int, default=7)
+    _add_runtime_args(abl)
 
     josim = sub.add_parser("export-josim", help="emit a JoSIM deck for an encoder")
     josim.add_argument("scheme", choices=["rm13", "hamming74", "hamming84", "none"])
@@ -56,9 +109,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate every artefact into a directory"
     )
     report.add_argument("--output", metavar="DIR", default="artifacts")
-    report.add_argument("--chips", type=int, default=1000)
+    report.add_argument("--chips", type=_positive_int, default=1000)
     report.add_argument("--seed", type=int, default=20250831)
     report.add_argument("--no-ablations", action="store_true")
+    _add_runtime_args(report)
     return parser
 
 
@@ -92,7 +146,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             spread=SpreadSpec(args.spread),
             seed=args.seed,
         )
-        report = fig5.run(config)
+        report = fig5.run(config, engine=_engine_from_args(args))
         print(fig5.render(report))
         if args.csv:
             with open(args.csv, "w") as handle:
@@ -101,7 +155,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "ablations":
         from repro.experiments import ablations
 
-        print(ablations.render(ablations.run(n_chips=args.chips, seed=args.seed)))
+        result = ablations.run(
+            n_chips=args.chips, seed=args.seed, engine=_engine_from_args(args)
+        )
+        print(ablations.render(result))
     elif args.command == "export-josim":
         from repro.encoders.designs import design_for_scheme
         from repro.sfq.josim import export_josim_deck
@@ -123,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_chips=args.chips,
             seed=args.seed,
             include_ablations=not args.no_ablations,
+            engine=_engine_from_args(args),
         )
         print(f"artefacts written to {manifest.output_dir}/")
         for name, ok in manifest.checks.items():

@@ -27,10 +27,13 @@ from repro.coding.hamming import extend_with_overall_parity, hamming_code
 from repro.coding.registry import DISPLAY_NAMES
 from repro.encoders.builder import build_encoder_for_code
 from repro.encoders.designs import paper_designs
+from repro.ppv.margins import MarginModel
 from repro.ppv.spread import SpreadSpec
+from repro.runtime import ExperimentSpec, MonteCarloEngine
 from repro.sfq.physical import summarize_circuit
 from repro.sfq.timing import analyze_timing, max_frequency_ghz
-from repro.system.experiment import Fig5Config, run_fig5_experiment
+from repro.system.experiment import Fig5Config, scheme_specs
+from repro.utils.rng import SeedPlan
 from repro.utils.tables import format_table
 
 
@@ -47,15 +50,25 @@ def run_spread_sweep(
     spreads: Sequence[float] = (0.10, 0.15, 0.20, 0.25, 0.30),
     n_chips: int = 400,
     seed: int = 7,
+    engine: Optional[MonteCarloEngine] = None,
 ) -> SpreadSweepResult:
-    anchors: Dict[str, List[float]] = {}
-    for spread in spreads:
-        config = Fig5Config(
-            n_chips=n_chips, spread=SpreadSpec(spread), seed=seed + int(spread * 1000)
+    engine = engine or MonteCarloEngine()
+    # One spec per (spread, scheme); a single run_many call lets the
+    # engine interleave shards of the whole sweep across its workers.
+    spec_groups = [
+        scheme_specs(
+            Fig5Config(
+                n_chips=n_chips,
+                spread=SpreadSpec(spread),
+                seed=seed + int(spread * 1000),
+            )
         )
-        result = run_fig5_experiment(config)
-        for scheme, res in result.schemes.items():
-            anchors.setdefault(scheme, []).append(res.probability_zero_errors)
+        for spread in spreads
+    ]
+    flat_specs = [spec for group in spec_groups for spec in group]
+    anchors: Dict[str, List[float]] = {}
+    for spec, outcome in zip(flat_specs, engine.run_many(flat_specs)):
+        anchors.setdefault(spec.scheme, []).append(outcome.probability_zero_errors)
     return SpreadSweepResult(spreads=list(spreads), anchors=anchors)
 
 
@@ -92,33 +105,41 @@ DECODER_SWEEP_CASES = (
 )
 
 
-def run_decoder_sweep(n_chips: int = 400, seed: int = 11) -> DecoderSweepResult:
-    from repro.coding.decoders import SyndromeDecoder
-    from repro.coding.registry import get_code
-    from repro.encoders.designs import design_for_scheme
-    from repro.ppv.margins import MarginModel
-    from repro.ppv.montecarlo import ChipSampler
-    from repro.system.datalink import CryogenicDataLink
-
-    anchors: Dict[str, float] = {}
+def run_decoder_sweep(
+    n_chips: int = 400,
+    seed: int = 11,
+    engine: Optional[MonteCarloEngine] = None,
+) -> DecoderSweepResult:
+    engine = engine or MonteCarloEngine()
     spread = SpreadSpec(0.20)
     model = MarginModel()
+    # Every case samples the same chip population (same seed): only the
+    # decoding policy differs, which is the point of the ablation.
+    seed_plan = SeedPlan.from_random_state(seed)
+    specs: List[ExperimentSpec] = []
     for scheme, strategy in DECODER_SWEEP_CASES:
-        design = design_for_scheme(scheme)
-        if strategy == "sec-ded-like":
-            link = CryogenicDataLink(design)
-            link.decoder = SyndromeDecoder(design.code, max_correctable_weight=1)
-            label = f"{scheme}/bounded-syndrome"
-        else:
-            link = CryogenicDataLink(design, decoder_strategy=strategy)
-            label = f"{scheme}/{strategy or 'paper-default'}"
-        sampler = ChipSampler(design.netlist, spread, model)
-        zero = 0
-        for chip in sampler.sample(n_chips, seed):
-            msgs = chip.rng.integers(0, 2, size=(100, 4)).astype(np.uint8)
-            if link.transmit(msgs, chip.faults, chip.rng).n_erroneous == 0:
-                zero += 1
-        anchors[label] = zero / n_chips
+        bounded = strategy == "sec-ded-like"
+        label = (
+            f"{scheme}/bounded-syndrome" if bounded
+            else f"{scheme}/{strategy or 'paper-default'}"
+        )
+        specs.append(
+            ExperimentSpec(
+                scheme=scheme,
+                n_chips=n_chips,
+                n_messages=100,
+                spread=spread,
+                margin_model=model,
+                seed_plan=seed_plan,
+                decoder_strategy=None if bounded else strategy,
+                bounded_syndrome_weight=1 if bounded else None,
+                label=label,
+            )
+        )
+    anchors = {
+        spec.label: outcome.probability_zero_errors
+        for spec, outcome in zip(specs, engine.run_many(specs))
+    }
     return DecoderSweepResult(anchors=anchors)
 
 
@@ -216,10 +237,15 @@ class AblationsResult:
     code_cost: CodeCostResult
 
 
-def run(n_chips: int = 400, seed: int = 7) -> AblationsResult:
+def run(
+    n_chips: int = 400,
+    seed: int = 7,
+    engine: Optional[MonteCarloEngine] = None,
+) -> AblationsResult:
+    engine = engine or MonteCarloEngine()
     return AblationsResult(
-        spread=run_spread_sweep(n_chips=n_chips, seed=seed),
-        decoders=run_decoder_sweep(n_chips=n_chips, seed=seed + 1),
+        spread=run_spread_sweep(n_chips=n_chips, seed=seed, engine=engine),
+        decoders=run_decoder_sweep(n_chips=n_chips, seed=seed + 1, engine=engine),
         frequency=run_frequency_study(),
         code_cost=run_code_cost_study(),
     )

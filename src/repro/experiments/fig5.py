@@ -15,6 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.analysis.stats import binomial_confidence_interval
+from repro.runtime import MonteCarloEngine
 from repro.system.calibration import PAPER_FIG5_TARGETS
 from repro.system.experiment import (
     Fig5Config,
@@ -45,8 +46,11 @@ class Fig5Report:
         )
 
 
-def run(config: Optional[Fig5Config] = None) -> Fig5Report:
-    return Fig5Report(result=run_fig5_experiment(config))
+def run(
+    config: Optional[Fig5Config] = None,
+    engine: Optional[MonteCarloEngine] = None,
+) -> Fig5Report:
+    return Fig5Report(result=run_fig5_experiment(config, engine=engine))
 
 
 def cdf_csv(report: Fig5Report, max_n: int = 100) -> str:

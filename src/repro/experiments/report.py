@@ -35,12 +35,22 @@ def generate_full_report(
     seed: int = 20250831,
     include_ablations: bool = True,
     ablation_chips: int = 400,
+    engine: Optional["MonteCarloEngine"] = None,
 ) -> ReportManifest:
-    """Regenerate every artefact into ``output_dir``."""
+    """Regenerate every artefact into ``output_dir``.
+
+    ``engine`` (a :class:`repro.runtime.MonteCarloEngine`) controls how
+    the Monte-Carlo artefacts — Fig. 5 and the ablation sweeps — are
+    executed: worker count, result cache, progress reporting.  ``None``
+    runs them inline and uncached.
+    """
     from repro.encoders.designs import design_for_scheme
     from repro.experiments import ablations, fig3, fig5, table1, table2
+    from repro.runtime import MonteCarloEngine
     from repro.sfq.josim import export_josim_deck
     from repro.system.experiment import Fig5Config
+
+    engine = engine or MonteCarloEngine()
 
     os.makedirs(output_dir, exist_ok=True)
     manifest = ReportManifest(output_dir=output_dir)
@@ -68,7 +78,7 @@ def generate_full_report(
     manifest.checks["fig3_worked_example"] = f3.paper_example_ok
 
     # Fig. 5
-    f5 = fig5.run(Fig5Config(n_chips=n_chips, seed=seed))
+    f5 = fig5.run(Fig5Config(n_chips=n_chips, seed=seed), engine=engine)
     write("fig5.txt", fig5.render(f5))
     write("fig5_cdf.csv", fig5.cdf_csv(f5))
     manifest.checks["fig5_ordering"] = f5.ordering_matches_paper()
@@ -76,7 +86,7 @@ def generate_full_report(
 
     # Ablations
     if include_ablations:
-        abl = ablations.run(n_chips=ablation_chips, seed=seed % 1000)
+        abl = ablations.run(n_chips=ablation_chips, seed=seed % 1000, engine=engine)
         write("ablations.txt", ablations.render(abl))
 
     # JoSIM decks

@@ -18,7 +18,7 @@ from repro.ppv.margins import MarginModel
 from repro.ppv.spread import SpreadSpec
 from repro.sfq.faults import ChipFaults
 from repro.sfq.netlist import Netlist
-from repro.utils.rng import RandomState, spawn_generators
+from repro.utils.rng import RandomState, SeedPlan
 
 
 @dataclass
@@ -52,10 +52,23 @@ class ChipSampler:
         """
         if n_chips < 0:
             raise ValueError("n_chips must be non-negative")
-        streams = spawn_generators(random_state, 2 * n_chips)
-        for i in range(n_chips):
-            ppv_rng = streams[2 * i]
-            run_rng = streams[2 * i + 1]
+        yield from self.sample_range(0, n_chips, SeedPlan.from_random_state(random_state))
+
+    def sample_range(
+        self, start: int, stop: int, seed_plan: SeedPlan
+    ) -> Iterator[SampledChip]:
+        """Yield chips ``[start, stop)`` of the population ``seed_plan`` seeds.
+
+        Chip ``i`` always consumes the plan's children ``2i`` and
+        ``2i + 1``, independently of which range it is sampled through —
+        so sharded (and parallel) sampling is bit-identical to
+        :meth:`sample` over the full population.
+        """
+        if not 0 <= start <= stop:
+            raise ValueError(f"invalid chip range [{start}, {stop})")
+        for i in range(start, stop):
+            ppv_rng = np.random.default_rng(seed_plan.child_sequence(2 * i))
+            run_rng = np.random.default_rng(seed_plan.child_sequence(2 * i + 1))
             faults = self.margin_model.sample_chip_faults(
                 self.netlist, self.spread, ppv_rng
             )

@@ -1,0 +1,43 @@
+"""The Monte-Carlo runtime layer: sharded, cached, parallel experiments.
+
+Every paper experiment that samples a chip population — Fig. 5, the
+spread sweep, the decoder-policy sweep, the full report — runs on
+:class:`MonteCarloEngine`:
+
+* an :class:`ExperimentSpec` pins a population down completely (link,
+  chip/message counts, spread, margin model, seed plan);
+* a :class:`ShardPlan` partitions it into deterministic chip ranges
+  whose random substreams are independent of execution order;
+* the engine executes shards inline (``jobs=1``) or across a process
+  pool (``jobs=N``) — bit-identically — and streams per-shard counts
+  into one accumulator per spec;
+* a :class:`ResultCache` makes finished runs free to repeat and
+  interrupted runs resumable at shard granularity.
+"""
+
+from repro.runtime.cache import ResultCache, default_cache_root
+from repro.runtime.engine import EngineResult, MonteCarloEngine
+from repro.runtime.progress import ProgressEvent, ThroughputReporter
+from repro.runtime.spec import (
+    CACHE_SCHEMA_VERSION,
+    DEFAULT_SHARD_SIZE,
+    ExperimentSpec,
+    Shard,
+    ShardPlan,
+)
+from repro.runtime.worker import run_shard
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_SHARD_SIZE",
+    "EngineResult",
+    "ExperimentSpec",
+    "MonteCarloEngine",
+    "ProgressEvent",
+    "ResultCache",
+    "Shard",
+    "ShardPlan",
+    "ThroughputReporter",
+    "default_cache_root",
+    "run_shard",
+]

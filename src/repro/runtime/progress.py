@@ -1,0 +1,77 @@
+"""Progress and throughput reporting for engine runs.
+
+The engine emits :class:`ProgressEvent`\\ s as shards complete; a
+progress callback is any callable taking one event.
+:class:`ThroughputReporter` is the stderr implementation the CLI uses:
+on a TTY it redraws a single status line as shards land, otherwise it
+stays quiet until the final summary, so piped/captured output sees
+exactly one ``chips/s`` line per engine run.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+from typing import Optional, TextIO
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """A snapshot of one ``run_many`` call's progress."""
+
+    label: str           # spec label of the shard that just landed
+    chips_done: int      # chips accounted for (cached + resumed + executed)
+    chips_total: int     # population size across all specs in the run
+    chips_executed: int  # chips actually simulated this run
+    elapsed_seconds: float
+    done: bool = False
+
+    @property
+    def chips_per_second(self) -> float:
+        """Execution throughput (cached/resumed chips excluded)."""
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.chips_executed / self.elapsed_seconds
+
+
+class ThroughputReporter:
+    """Render progress events as a chips/sec status line on a stream."""
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        min_interval_seconds: float = 0.25,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.min_interval_seconds = min_interval_seconds
+        self._last_emit = 0.0
+        self._line_open = False
+
+    def _format(self, event: ProgressEvent) -> str:
+        rate = event.chips_per_second
+        rate_text = f"{rate / 1000:.1f}k" if rate >= 10_000 else f"{rate:.0f}"
+        return (
+            f"[{event.label}] {event.chips_done}/{event.chips_total} chips"
+            f" | {event.chips_executed} simulated"
+            f" | {rate_text} chips/s"
+        )
+
+    def __call__(self, event: ProgressEvent) -> None:
+        interactive = getattr(self.stream, "isatty", lambda: False)()
+        if event.done:
+            if self._line_open:
+                self.stream.write("\r\x1b[2K")
+                self._line_open = False
+            self.stream.write(self._format(event) + "\n")
+            self.stream.flush()
+            return
+        if not interactive:
+            return
+        now = time.monotonic()
+        if now - self._last_emit < self.min_interval_seconds:
+            return
+        self._last_emit = now
+        self.stream.write("\r\x1b[2K" + self._format(event))
+        self.stream.flush()
+        self._line_open = True

@@ -1,0 +1,76 @@
+"""The shard worker: the one per-chip loop in the codebase.
+
+:func:`run_shard` executes a contiguous chip range of one
+:class:`~repro.runtime.spec.ExperimentSpec` and returns the per-chip
+erroneous-message counts.  It is a module-level function with picklable
+arguments so a ``ProcessPoolExecutor`` can dispatch it; the inline
+(``jobs=1``) engine path calls exactly the same function, which is what
+makes serial and parallel runs bit-identical by construction.
+
+Link construction (design synthesis + decoder build) is memoised per
+process keyed on ``(scheme, decoder_strategy, bounded_syndrome_weight)``,
+so a long-lived worker synthesises each netlist once however many shards
+it executes.
+
+Imports of the system layer happen inside the functions: ``repro.system``
+itself imports the engine (the Fig. 5 experiment runs on it), and the
+lazy imports keep ``repro.runtime`` importable from either direction.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.spec import ExperimentSpec, Shard
+
+
+@lru_cache(maxsize=None)
+def _link_for(
+    scheme: str,
+    decoder_strategy: Optional[str],
+    bounded_syndrome_weight: Optional[int],
+):
+    from repro.coding.decoders import SyndromeDecoder
+    from repro.encoders.designs import design_for_scheme
+    from repro.system.datalink import CryogenicDataLink
+
+    design = design_for_scheme(scheme)
+    if bounded_syndrome_weight is not None:
+        if design.code is None:
+            raise ValueError(f"scheme {scheme!r} has no code to bound-decode")
+        link = CryogenicDataLink(design)
+        link.decoder = SyndromeDecoder(
+            design.code, max_correctable_weight=bounded_syndrome_weight
+        )
+        return link
+    return CryogenicDataLink(
+        design,
+        decoder_strategy=None if design.code is None else decoder_strategy,
+    )
+
+
+def run_shard(spec: ExperimentSpec, shard: Shard) -> np.ndarray:
+    """Simulate chips ``[shard.start, shard.stop)`` of ``spec``.
+
+    Returns the ``(shard.n_chips,)`` int64 array of per-chip erroneous
+    message counts (the paper's per-chip statistic N).
+    """
+    from repro.ppv.montecarlo import ChipSampler
+
+    if shard.stop > spec.n_chips:
+        raise ValueError(
+            f"shard [{shard.start}, {shard.stop}) exceeds population of "
+            f"{spec.n_chips} chips"
+        )
+    link = _link_for(spec.scheme, spec.decoder_strategy, spec.bounded_syndrome_weight)
+    sampler = ChipSampler(link.design.netlist, spec.spread, spec.margin_model)
+    counts = np.empty(shard.n_chips, dtype=np.int64)
+    k = link.message_bits
+    for chip in sampler.sample_range(shard.start, shard.stop, spec.seed_plan):
+        messages = chip.rng.integers(0, 2, size=(spec.n_messages, k)).astype(np.uint8)
+        result = link.transmit(messages, chip.faults, chip.rng)
+        counts[chip.index - shard.start] = result.n_erroneous
+    return counts

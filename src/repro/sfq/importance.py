@@ -20,13 +20,13 @@ from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
-from repro.ppv.margins import MarginModel
-from repro.ppv.spread import SpreadSpec
 from repro.sfq.faults import CellFault, ChipFaults, FaultSimulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.coding.decoders.base import Decoder
     from repro.encoders.designs import EncoderDesign
+    from repro.ppv.margins import MarginModel
+    from repro.ppv.spread import SpreadSpec
 
 
 @dataclass(frozen=True)
@@ -67,7 +67,9 @@ class CriticalityReport:
         return sum(c.jj_count for c in self.protected_cells()) / total
 
     def single_fault_survival_bound(
-        self, model: Optional[MarginModel] = None, spread: Optional[SpreadSpec] = None
+        self,
+        model: Optional["MarginModel"] = None,
+        spread: Optional["SpreadSpec"] = None,
     ) -> float:
         """P(no *single-cell-critical* cell is marginal) — an upper bound.
 
@@ -79,6 +81,11 @@ class CriticalityReport:
         union-rule estimate.  For the unprotected no-encoder baseline
         the bound *is* the anchor (up to shallow-fault luck).
         """
+        # Imported here, not at module top: repro.ppv.margins itself
+        # imports repro.sfq, and this is the only runtime use.
+        from repro.ppv.margins import MarginModel
+        from repro.ppv.spread import SpreadSpec
+
         model = model or MarginModel()
         spread = spread or SpreadSpec(0.20)
         p = 1.0

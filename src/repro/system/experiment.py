@@ -4,6 +4,13 @@ Setup (paper, Fig. 5 caption and Section IV): 100 random 4-bit messages
 are sent through each encoder under one sampled +/-20% PPV assignment;
 the whole run is repeated 1000 times (1000 virtual chips), and the CDF
 of the per-chip count N of erroneous decoded messages is reported.
+
+The per-chip simulation itself lives in the runtime layer
+(:mod:`repro.runtime`): this module translates a :class:`Fig5Config`
+into per-scheme :class:`~repro.runtime.spec.ExperimentSpec`\\ s and runs
+them on a :class:`~repro.runtime.engine.MonteCarloEngine` — inline by
+default, sharded across worker processes (bit-identically) when the
+caller passes an engine with ``jobs > 1``.
 """
 
 from __future__ import annotations
@@ -15,12 +22,10 @@ import numpy as np
 
 from repro.analysis.stats import CdfResult, empirical_cdf, summarize_counts
 from repro.coding.registry import DISPLAY_NAMES, PAPER_SCHEMES
-from repro.encoders.designs import design_for_scheme
 from repro.ppv.margins import MarginModel
-from repro.ppv.montecarlo import ChipSampler
 from repro.ppv.spread import SpreadSpec
-from repro.system.datalink import CryogenicDataLink
-from repro.utils.rng import RandomState, spawn_generators
+from repro.runtime import ExperimentSpec, MonteCarloEngine
+from repro.utils.rng import RandomState, SeedPlan, spawn_generators
 
 
 @dataclass(frozen=True)
@@ -77,25 +82,38 @@ class Fig5Result:
         }
 
 
-def run_scheme(
-    scheme: str,
-    config: Fig5Config,
-    random_state: RandomState,
-) -> SchemeResult:
-    """Run the Monte-Carlo for one coding scheme."""
-    design = design_for_scheme(scheme)
-    link = CryogenicDataLink(
-        design,
-        decoder_strategy=None if design.code is None else config.decoder_strategy,
+def spec_for_scheme(
+    scheme: str, config: Fig5Config, seed_plan: SeedPlan
+) -> ExperimentSpec:
+    """The runtime spec of one scheme's Fig. 5 population."""
+    return ExperimentSpec(
+        scheme=scheme,
+        n_chips=config.n_chips,
+        n_messages=config.n_messages,
+        spread=config.spread,
+        margin_model=config.margin_model or MarginModel(),
+        seed_plan=seed_plan,
+        decoder_strategy=None if scheme == "none" else config.decoder_strategy,
+        label=scheme,
     )
-    margin_model = config.margin_model or MarginModel()
-    sampler = ChipSampler(design.netlist, config.spread, margin_model)
-    counts = np.empty(config.n_chips, dtype=np.int64)
-    k = link.message_bits
-    for chip in sampler.sample(config.n_chips, random_state):
-        messages = chip.rng.integers(0, 2, size=(config.n_messages, k)).astype(np.uint8)
-        result = link.transmit(messages, chip.faults, chip.rng)
-        counts[chip.index] = result.n_erroneous
+
+
+def scheme_specs(config: Fig5Config) -> List[ExperimentSpec]:
+    """One spec per scheme, seeded exactly as the sequential experiment.
+
+    Each scheme's chip population derives from its own child stream of
+    ``config.seed`` (one ``SeedSequence`` child per scheme, in scheme
+    order), so adding or reordering *engine workers* — as opposed to
+    schemes — can never move a chip onto different random draws.
+    """
+    streams = spawn_generators(config.seed, len(config.schemes))
+    return [
+        spec_for_scheme(scheme, config, SeedPlan.from_random_state(stream))
+        for scheme, stream in zip(config.schemes, streams)
+    ]
+
+
+def _scheme_result(config: Fig5Config, scheme: str, counts: np.ndarray) -> SchemeResult:
     return SchemeResult(
         scheme=scheme,
         display_name=DISPLAY_NAMES.get(scheme, scheme),
@@ -104,11 +122,29 @@ def run_scheme(
     )
 
 
-def run_fig5_experiment(config: Optional[Fig5Config] = None) -> Fig5Result:
+def run_scheme(
+    scheme: str,
+    config: Fig5Config,
+    random_state: RandomState,
+    engine: Optional[MonteCarloEngine] = None,
+) -> SchemeResult:
+    """Run the Monte-Carlo for one coding scheme."""
+    spec = spec_for_scheme(scheme, config, SeedPlan.from_random_state(random_state))
+    engine = engine or MonteCarloEngine()
+    return _scheme_result(config, scheme, engine.run(spec).counts)
+
+
+def run_fig5_experiment(
+    config: Optional[Fig5Config] = None,
+    engine: Optional[MonteCarloEngine] = None,
+) -> Fig5Result:
     """Run the full Fig. 5 experiment (all schemes)."""
     config = config or Fig5Config()
-    streams = spawn_generators(config.seed, len(config.schemes))
-    results: Dict[str, SchemeResult] = {}
-    for scheme, stream in zip(config.schemes, streams):
-        results[scheme] = run_scheme(scheme, config, stream)
+    engine = engine or MonteCarloEngine()
+    specs = scheme_specs(config)
+    outcomes = engine.run_many(specs)
+    results = {
+        spec.scheme: _scheme_result(config, spec.scheme, outcome.counts)
+        for spec, outcome in zip(specs, outcomes)
+    }
     return Fig5Result(config=config, schemes=results)

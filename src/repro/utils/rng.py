@@ -11,7 +11,8 @@ parallelisation order.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Union
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -57,6 +58,85 @@ def spawn_generators(random_state: RandomState, count: int) -> List[np.random.Ge
     else:
         seq = np.random.SeedSequence(random_state)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+@dataclass(frozen=True)
+class SeedPlan:
+    """A serialisable recipe for the substreams of :func:`spawn_generators`.
+
+    ``spawn_generators(rs, n)[i]`` derives child ``i`` as
+    ``SeedSequence(entropy, spawn_key=parent_key + (i,))``.  A
+    :class:`SeedPlan` captures ``(entropy, parent_key, offset)`` as plain
+    integers, so any process — in particular a Monte-Carlo shard worker —
+    can rebuild child ``i`` directly, without spawning the ``i - 1``
+    siblings before it and without shipping generator objects across
+    process boundaries.  ``SeedPlan.from_random_state(rs).generators(0, n)``
+    is bit-identical to ``spawn_generators(rs, n)``.
+    """
+
+    entropy: Union[int, Tuple[int, ...]]
+    spawn_key: Tuple[int, ...] = ()
+    child_offset: int = 0
+
+    @classmethod
+    def from_random_state(cls, random_state: RandomState) -> "SeedPlan":
+        """Capture the child derivation ``spawn_generators`` would use.
+
+        A ``Generator`` input is consumed exactly as ``spawn_generators``
+        consumes it (one 63-bit draw); ``None`` snapshots fresh OS
+        entropy, so the plan itself stays reproducible once built.
+        """
+        if isinstance(random_state, SeedPlan):
+            return random_state
+        if isinstance(random_state, np.random.Generator):
+            return cls(entropy=int(random_state.integers(0, 2**63 - 1)))
+        if isinstance(random_state, np.random.SeedSequence):
+            entropy = random_state.entropy
+            if not isinstance(entropy, int):
+                entropy = tuple(int(word) for word in np.atleast_1d(entropy))
+            return cls(
+                entropy=entropy,
+                spawn_key=tuple(int(k) for k in random_state.spawn_key),
+                child_offset=int(random_state.n_children_spawned),
+            )
+        if random_state is None:
+            return cls(entropy=int(np.random.SeedSequence().entropy))
+        return cls(entropy=int(random_state))
+
+    def child_sequence(self, index: int) -> np.random.SeedSequence:
+        """The ``index``-th child seed sequence of the plan."""
+        if index < 0:
+            raise ValueError(f"child index must be non-negative, got {index}")
+        entropy = self.entropy if isinstance(self.entropy, int) else list(self.entropy)
+        return np.random.SeedSequence(
+            entropy=entropy,
+            spawn_key=tuple(self.spawn_key) + (self.child_offset + index,),
+        )
+
+    def generators(self, start: int, stop: int) -> List[np.random.Generator]:
+        """Child generators ``[start, stop)`` — a slice of the spawn."""
+        return [
+            np.random.default_rng(self.child_sequence(i)) for i in range(start, stop)
+        ]
+
+    def to_dict(self) -> dict:
+        entropy = self.entropy
+        return {
+            "entropy": entropy if isinstance(entropy, int) else list(entropy),
+            "spawn_key": list(self.spawn_key),
+            "child_offset": self.child_offset,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SeedPlan":
+        entropy = payload["entropy"]
+        if not isinstance(entropy, int):
+            entropy = tuple(int(word) for word in entropy)
+        return cls(
+            entropy=entropy,
+            spawn_key=tuple(int(k) for k in payload.get("spawn_key", ())),
+            child_offset=int(payload.get("child_offset", 0)),
+        )
 
 
 def sample_seeds(random_state: RandomState, count: int) -> List[int]:

@@ -6,6 +6,11 @@ from repro.cli import main
 
 
 class TestCli:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        # Keep CLI runs away from the user's real ~/.cache/repro.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
         out = capsys.readouterr().out
@@ -52,6 +57,49 @@ class TestCli:
         target = tmp_path / "deck.cir"
         assert main(["export-josim", "rm13", "--output", str(target)]) == 0
         assert target.read_text().strip().endswith(".end")
+
+    def test_fig5_parallel_warm_cache(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = [
+            "fig5", "--chips", "12", "--messages", "10", "--seed", "5",
+            "--jobs", "2", "--cache-dir", cache_dir,
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr()
+        assert "12 simulated" not in cold.err  # 4 schemes x 12 chips = 48
+        assert "48 simulated" in cold.err
+        assert main(argv) == 0
+        warm = capsys.readouterr()
+        assert "0 simulated" in warm.err
+        assert warm.out == cold.out  # cached counts render identically
+
+    def test_fig5_no_cache_leaves_no_entries(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        assert main([
+            "fig5", "--chips", "8", "--messages", "10", "--no-cache",
+        ]) == 0
+        assert not (tmp_path / "cache").exists()
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fig5", "--chips", "0"],
+            ["fig5", "--chips", "abc"],
+            ["fig5", "--messages", "-3"],
+            ["fig5", "--spread", "1.5"],
+            ["fig5", "--spread", "oops"],
+            ["fig5", "--jobs", "0"],
+            ["ablations", "--chips", "0"],
+            ["report", "--chips", "0"],
+        ],
+    )
+    def test_numeric_argument_validation(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2  # argparse parser.error, not a traceback
+        err = capsys.readouterr().err
+        assert "error: argument" in err
+        assert "expected" in err
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):

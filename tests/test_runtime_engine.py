@@ -1,0 +1,352 @@
+"""Tests for the Monte-Carlo runtime layer (repro.runtime)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.ppv.margins import MarginModel
+from repro.ppv.montecarlo import ChipSampler
+from repro.ppv.spread import SpreadSpec
+from repro.runtime import (
+    ExperimentSpec,
+    MonteCarloEngine,
+    ProgressEvent,
+    ResultCache,
+    Shard,
+    ShardPlan,
+    run_shard,
+    worker,
+)
+from repro.system.experiment import Fig5Config, run_fig5_experiment, scheme_specs
+from repro.utils.rng import SeedPlan, spawn_generators
+
+
+def _spec(scheme="hamming84", n_chips=24, n_messages=20, seed=11, **kwargs):
+    return ExperimentSpec(
+        scheme=scheme,
+        n_chips=n_chips,
+        n_messages=n_messages,
+        spread=kwargs.pop("spread", SpreadSpec(0.20)),
+        margin_model=kwargs.pop("margin_model", MarginModel()),
+        seed_plan=SeedPlan.from_random_state(seed),
+        **kwargs,
+    )
+
+
+class TestSeedPlan:
+    @pytest.mark.parametrize(
+        "make_state",
+        [
+            lambda: 42,
+            lambda: np.random.default_rng(7),
+            lambda: np.random.SeedSequence(9),
+            lambda: np.random.SeedSequence(entropy=5, spawn_key=(3,)),
+        ],
+    )
+    def test_matches_spawn_generators(self, make_state):
+        reference = spawn_generators(make_state(), 8)
+        sliced = SeedPlan.from_random_state(make_state()).generators(0, 8)
+        for a, b in zip(reference, sliced):
+            assert a.integers(0, 2**32, 16).tolist() == b.integers(0, 2**32, 16).tolist()
+
+    def test_respects_prior_spawns(self):
+        # A SeedSequence that already spawned children must keep counting
+        # from its offset, exactly as spawn_generators would.
+        seq = np.random.SeedSequence(123)
+        seq.spawn(5)
+        plan = SeedPlan.from_random_state(seq)
+        reference = spawn_generators(np.random.SeedSequence(123), 8)
+        assert (
+            plan.generators(0, 1)[0].integers(0, 2**32, 8).tolist()
+            == reference[5].integers(0, 2**32, 8).tolist()
+        )
+
+    def test_slice_equals_prefix_skip(self):
+        plan = SeedPlan.from_random_state(99)
+        full = plan.generators(0, 10)
+        tail = plan.generators(6, 10)
+        for a, b in zip(full[6:], tail):
+            assert a.integers(0, 2**32, 8).tolist() == b.integers(0, 2**32, 8).tolist()
+
+    def test_round_trips_through_dict(self):
+        plan = SeedPlan(entropy=(1, 2, 3), spawn_key=(4,), child_offset=2)
+        assert SeedPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) == plan
+
+    def test_none_snapshots_fresh_entropy(self):
+        plan = SeedPlan.from_random_state(None)
+        first = plan.generators(0, 2)
+        second = plan.generators(0, 2)
+        assert (
+            first[0].integers(0, 2**32, 4).tolist()
+            == second[0].integers(0, 2**32, 4).tolist()
+        )
+
+
+class TestChipSamplerRange:
+    def test_ranges_reassemble_full_population(self):
+        from repro.encoders.designs import design_for_scheme
+
+        netlist = design_for_scheme("hamming74").netlist
+        sampler = ChipSampler(netlist, SpreadSpec(0.20))
+        plan = SeedPlan.from_random_state(31)
+        full = list(sampler.sample(12, 31))
+        pieces = [
+            chip
+            for start, stop in [(0, 5), (5, 9), (9, 12)]
+            for chip in sampler.sample_range(start, stop, plan)
+        ]
+        assert [c.index for c in pieces] == [c.index for c in full]
+        for a, b in zip(full, pieces):
+            assert a.faults == b.faults
+            assert (
+                a.rng.integers(0, 2**32, 8).tolist()
+                == b.rng.integers(0, 2**32, 8).tolist()
+            )
+
+    def test_invalid_range(self):
+        from repro.encoders.designs import design_for_scheme
+
+        sampler = ChipSampler(design_for_scheme("none").netlist, SpreadSpec(0.20))
+        with pytest.raises(ValueError):
+            list(sampler.sample_range(5, 3, SeedPlan.from_random_state(0)))
+
+
+class TestShardPlan:
+    def test_split_covers_population(self):
+        plan = ShardPlan.split(103, shard_size=25)
+        assert [s.start for s in plan.shards] == [0, 25, 50, 75, 100]
+        assert plan.shards[-1].stop == 103
+        assert sum(s.n_chips for s in plan.shards) == 103
+
+    def test_split_is_jobs_independent(self):
+        assert ShardPlan.split(1000, 64) == ShardPlan.split(1000, 64)
+
+    def test_empty_population(self):
+        assert ShardPlan.split(0).shards == ()
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            ShardPlan.split(10, shard_size=0)
+        with pytest.raises(ValueError):
+            ShardPlan.split(-1)
+        with pytest.raises(ValueError):
+            Shard(4, 2)
+
+
+class TestExperimentSpec:
+    def test_hash_is_stable(self):
+        assert _spec().config_hash() == _spec().config_hash()
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"scheme": "rm13"},
+            {"n_chips": 25},
+            {"n_messages": 21},
+            {"seed": 12},
+            {"spread": SpreadSpec(0.25)},
+            {"decoder_strategy": "ml"},
+            {"bounded_syndrome_weight": 1},
+            {"margin_model": MarginModel(eps_max=0.5)},
+        ],
+    )
+    def test_hash_is_sensitive(self, change):
+        assert _spec().config_hash() != _spec(**change).config_hash()
+
+    def test_label_not_part_of_identity(self):
+        assert _spec().config_hash() == _spec(label="renamed").config_hash()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _spec(n_chips=-1)
+        with pytest.raises(ValueError):
+            _spec(n_messages=0)
+
+
+class TestEngineDeterminism:
+    def test_matches_legacy_sequential_loop(self):
+        """The engine reproduces the pre-runtime per-chip loop bit for bit."""
+        from repro.encoders.designs import design_for_scheme
+        from repro.system.datalink import CryogenicDataLink
+
+        spec = _spec(scheme="hamming74", n_chips=18, n_messages=30, seed=77)
+        engine_counts = MonteCarloEngine(shard_size=5).run(spec).counts
+
+        design = design_for_scheme(spec.scheme)
+        link = CryogenicDataLink(design)
+        sampler = ChipSampler(design.netlist, spec.spread, spec.margin_model)
+        legacy = np.empty(spec.n_chips, dtype=np.int64)
+        for chip in sampler.sample(spec.n_chips, 77):
+            msgs = chip.rng.integers(0, 2, size=(spec.n_messages, 4)).astype(np.uint8)
+            legacy[chip.index] = link.transmit(msgs, chip.faults, chip.rng).n_erroneous
+        assert np.array_equal(engine_counts, legacy)
+
+    def test_shard_size_does_not_change_counts(self):
+        spec = _spec(n_chips=30, seed=5)
+        a = MonteCarloEngine(shard_size=30).run(spec).counts
+        b = MonteCarloEngine(shard_size=7).run(spec).counts
+        assert np.array_equal(a, b)
+
+    def test_jobs_parallel_bit_identical(self):
+        """jobs=1 and jobs=4 produce bit-identical Fig. 5 counts."""
+        config = Fig5Config(n_chips=24, n_messages=20, seed=13)
+        inline = run_fig5_experiment(config, engine=MonteCarloEngine(shard_size=6))
+        parallel = run_fig5_experiment(
+            config, engine=MonteCarloEngine(jobs=4, shard_size=6)
+        )
+        assert set(inline.schemes) == set(parallel.schemes)
+        for scheme in inline.schemes:
+            assert np.array_equal(
+                inline.schemes[scheme].counts, parallel.schemes[scheme].counts
+            ), scheme
+
+    def test_bounded_syndrome_spec_matches_direct_link(self):
+        from repro.coding.decoders import SyndromeDecoder
+        from repro.encoders.designs import design_for_scheme
+        from repro.system.datalink import CryogenicDataLink
+
+        spec = _spec(
+            scheme="hamming74", n_chips=15, n_messages=40, seed=3,
+            bounded_syndrome_weight=1,
+        )
+        engine_counts = MonteCarloEngine(shard_size=4).run(spec).counts
+
+        design = design_for_scheme("hamming74")
+        link = CryogenicDataLink(design)
+        link.decoder = SyndromeDecoder(design.code, max_correctable_weight=1)
+        sampler = ChipSampler(design.netlist, spec.spread, spec.margin_model)
+        legacy = np.empty(spec.n_chips, dtype=np.int64)
+        for chip in sampler.sample(spec.n_chips, 3):
+            msgs = chip.rng.integers(0, 2, size=(40, 4)).astype(np.uint8)
+            legacy[chip.index] = link.transmit(msgs, chip.faults, chip.rng).n_erroneous
+        assert np.array_equal(engine_counts, legacy)
+
+    def test_invalid_engine_params(self):
+        with pytest.raises(ValueError):
+            MonteCarloEngine(jobs=0)
+        with pytest.raises(ValueError):
+            MonteCarloEngine(shard_size=0)
+
+
+class TestResultCache:
+    def test_cache_hit_skips_execution(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        spec = _spec(n_chips=16, seed=21)
+        cold = MonteCarloEngine(cache=cache, shard_size=4).run(spec)
+        assert not cold.from_cache
+        assert cold.shards_executed == 4
+
+        def boom(*args, **kwargs):  # any execution on a warm cache is a bug
+            raise AssertionError("run_shard called on a warm cache")
+
+        monkeypatch.setattr(worker, "run_shard", boom)
+        warm = MonteCarloEngine(cache=cache, shard_size=4).run(spec)
+        assert warm.from_cache
+        assert warm.shards_executed == 0
+        assert np.array_equal(warm.counts, cold.counts)
+
+    def test_interrupted_run_resumes_from_checkpoints(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(n_chips=20, seed=8)
+        plan = ShardPlan.split(spec.n_chips, 5)
+        # Simulate an interrupted run: two of four shards checkpointed.
+        for shard in plan.shards[:2]:
+            cache.store_shard(spec, shard, run_shard(spec, shard))
+        result = MonteCarloEngine(cache=cache, shard_size=5).run(spec)
+        assert result.shards_resumed == 2
+        assert result.shards_executed == 2
+        reference = MonteCarloEngine(shard_size=5).run(spec)
+        assert np.array_equal(result.counts, reference.counts)
+        # Finalisation promoted the checkpoints into a merged result.
+        assert not (cache.entry_dir(spec) / "shards").exists()
+        assert cache.load_result(spec) is not None
+
+    def test_different_specs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        a, b = _spec(seed=1), _spec(seed=2)
+        MonteCarloEngine(cache=cache).run(a)
+        assert cache.load_result(b) is None
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(n_chips=8, seed=4)
+        MonteCarloEngine(cache=cache).run(spec)
+        (cache.entry_dir(spec) / "result.npz").write_bytes(b"not an npz")
+        assert cache.load_result(spec) is None
+
+    def test_meta_mismatch_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(n_chips=8, seed=4)
+        MonteCarloEngine(cache=cache).run(spec)
+        meta_path = cache.entry_dir(spec) / "meta.json"
+        payload = json.loads(meta_path.read_text())
+        payload["spec"]["n_messages"] += 1
+        meta_path.write_text(json.dumps(payload))
+        assert cache.load_result(spec) is None
+
+    def test_env_var_sets_default_root(self, tmp_path, monkeypatch):
+        from repro.runtime import default_cache_root
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+
+class TestEngineProgress:
+    def test_events_account_for_every_chip(self):
+        events = []
+        engine = MonteCarloEngine(shard_size=6, progress=events.append)
+        spec = _spec(n_chips=18, seed=6)
+        engine.run(spec)
+        assert events, "no progress events emitted"
+        final = events[-1]
+        assert isinstance(final, ProgressEvent)
+        assert final.done
+        assert final.chips_done == final.chips_total == 18
+        assert final.chips_executed == 18
+        assert final.chips_per_second >= 0.0
+
+    def test_warm_cache_reports_zero_executed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = _spec(n_chips=12, seed=9)
+        MonteCarloEngine(cache=cache).run(spec)
+        events = []
+        MonteCarloEngine(cache=cache, progress=events.append).run(spec)
+        assert events[-1].chips_executed == 0
+        assert events[-1].chips_done == 12
+
+
+class TestSweepIntegration:
+    def test_spread_sweep_identical_across_engines(self, tmp_path):
+        from repro.experiments.ablations import run_spread_sweep
+
+        inline = run_spread_sweep(spreads=(0.15, 0.25), n_chips=10, seed=3)
+        parallel = run_spread_sweep(
+            spreads=(0.15, 0.25), n_chips=10, seed=3,
+            engine=MonteCarloEngine(jobs=2, shard_size=4, cache=ResultCache(tmp_path)),
+        )
+        assert inline.anchors == parallel.anchors
+
+    def test_decoder_sweep_identical_across_engines(self):
+        from repro.experiments.ablations import run_decoder_sweep
+
+        inline = run_decoder_sweep(n_chips=10, seed=5)
+        parallel = run_decoder_sweep(
+            n_chips=10, seed=5, engine=MonteCarloEngine(jobs=2, shard_size=4)
+        )
+        assert inline.anchors == parallel.anchors
+
+    def test_fig5_warm_cache_identical(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        config = Fig5Config(n_chips=12, n_messages=10, seed=2)
+        cold = run_fig5_experiment(config, engine=MonteCarloEngine(cache=cache))
+        warm = run_fig5_experiment(config, engine=MonteCarloEngine(cache=cache))
+        for scheme in cold.schemes:
+            assert np.array_equal(
+                cold.schemes[scheme].counts, warm.schemes[scheme].counts
+            )
+
+    def test_scheme_specs_distinct_seed_plans(self):
+        specs = scheme_specs(Fig5Config(n_chips=5, seed=1))
+        plans = {spec.seed_plan for spec in specs}
+        assert len(plans) == len(specs)
