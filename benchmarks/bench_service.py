@@ -1,0 +1,220 @@
+"""Streaming codec service: micro-batched vs per-request dispatch.
+
+A fleet of concurrent clients sends single-frame decode requests at the
+service scheduler; the same workload runs twice:
+
+* **per-request** — ``BatchPolicy(max_batch=1)``: every request becomes
+  its own ``decode_batch_detailed`` call (batch-1 dispatch, what a
+  naive server would do);
+* **micro-batched** — the default policy: concurrent requests coalesce
+  into large kernel batches (size flush) with a µs-scale latency bound
+  (deadline flush).
+
+Two properties are asserted so CI can run this as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --quick
+
+* **bit identity** — decoded messages, correction counts and error
+  flags collected through the micro-batched service are bit-identical
+  to one direct ``decode_batch_detailed`` call on the same seeded
+  inputs (hard failure otherwise);
+* **speedup** — with >= 64 concurrent clients the micro-batched path
+  must beat per-request dispatch by ``REPRO_BENCH_SERVICE_MIN_SPEEDUP``
+  (default 10).
+
+The asserted measurement drives the scheduler in-process (the transport
+below it is shared by both arms and identical, so the ratio isolates
+exactly what micro-batching buys).  The same comparison over real TCP
+connections is reported alongside for context; protocol + socket cost
+is paid per request in both arms, so its ratio is smaller.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import sys
+import time
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding import get_code, get_decoder
+from repro.link.channel import BinaryChannel
+from repro.service import BatchPolicy, CodecClient, CodecServer, MicroBatcher
+from repro.service.session import CodecSession, SessionConfig
+
+DEFAULT_MIN_SPEEDUP = 10.0
+CODE = "hamming84"
+ERROR_RATE = 0.02  # give the decoder real corrections to perform
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _workload(clients: int, requests: int, n: int, seed: int) -> np.ndarray:
+    """Seeded received words, ``clients * requests`` frames of width n."""
+    code = get_code(CODE)
+    rng = np.random.default_rng(seed)
+    messages = rng.integers(0, 2, (clients * requests, code.k)).astype(np.uint8)
+    channel = BinaryChannel(p01=ERROR_RATE, p10=ERROR_RATE)
+    return channel.transmit(code.encode_batch(messages), random_state=rng)
+
+
+async def _drive_scheduler(
+    policy: BatchPolicy, words: np.ndarray, clients: int, requests: int
+) -> Tuple[float, np.ndarray, np.ndarray, np.ndarray]:
+    """Closed-loop clients against the in-process scheduler.
+
+    Client ``c`` owns rows ``[c * requests, (c + 1) * requests)`` and
+    sends them one frame per request, awaiting each round trip.
+    Returns wall time plus the reassembled decode outputs, row-aligned
+    with ``words``.
+    """
+    session = CodecSession(1, SessionConfig(code=CODE))
+    batcher = MicroBatcher(policy)
+    messages = np.empty((len(words), session.k), dtype=np.uint8)
+    corrected = np.empty(len(words), dtype=np.int64)
+    detected = np.empty(len(words), dtype=bool)
+
+    async def client(c: int) -> None:
+        base = c * requests
+        for r in range(requests):
+            row = base + r
+            result = await batcher.submit(session, "decode", words[row:row + 1])
+            messages[row] = result.messages[0]
+            corrected[row] = result.corrected_errors[0]
+            detected[row] = result.detected_uncorrectable[0]
+
+    start = time.perf_counter()
+    await asyncio.gather(*(client(c) for c in range(clients)))
+    elapsed = time.perf_counter() - start
+    return elapsed, messages, corrected, detected
+
+
+async def _drive_tcp(
+    policy: BatchPolicy, words: np.ndarray, clients: int, requests: int
+) -> float:
+    """The same closed-loop workload over real TCP connections."""
+    server = CodecServer(policy=policy)
+    await server.start()
+    try:
+        handles = []
+        for _ in range(clients):
+            c = await CodecClient.connect(port=server.port)
+            handles.append((c, await c.open_session(CODE)))
+
+        async def client(c: int) -> None:
+            _, session = handles[c]
+            base = c * requests
+            for r in range(requests):
+                row = base + r
+                await session.decode(words[row:row + 1])
+
+        start = time.perf_counter()
+        await asyncio.gather(*(client(c) for c in range(clients)))
+        elapsed = time.perf_counter() - start
+        for conn, _ in handles:
+            await conn.close()
+        return elapsed
+    finally:
+        await server.stop()
+
+
+def bench(clients: int, requests: int, seed: int, tcp: bool, repeats: int = 3) -> None:
+    code = get_code(CODE)
+    words = _workload(clients, requests, code.n, seed)
+    total = len(words)
+    per_request = BatchPolicy(max_batch=1, max_delay_us=0.0, max_pending_frames=1)
+    batched = BatchPolicy(max_batch=256, max_delay_us=200.0)
+    print(
+        f"workload: {clients} clients x {requests} single-frame decode round trips "
+        f"({total} frames, {CODE}/{get_decoder(code).strategy_name}, "
+        f"p={ERROR_RATE:g} channel)"
+    )
+
+    # -- asserted measurement: the scheduler path ----------------------
+    # Best of `repeats` alternating runs per arm: wall-clock on a shared
+    # machine is noisy, and the *capability* ratio is what the floor
+    # asserts.  Bit identity is checked on every run.
+    direct = get_decoder(code).decode_batch_detailed(words)
+
+    def run_arm(label: str, policy: BatchPolicy) -> float:
+        wall, m, c, d = asyncio.run(
+            _drive_scheduler(policy, words, clients, requests)
+        )
+        if not (
+            np.array_equal(m, direct.messages)
+            and np.array_equal(c, direct.corrected_errors)
+            and np.array_equal(d, direct.detected_uncorrectable)
+        ):
+            _fail(f"{label} service outputs deviate from decode_batch_detailed")
+        return wall
+
+    naive_s = min(run_arm("per-request", per_request) for _ in range(repeats))
+    micro_s = min(run_arm("micro-batched", batched) for _ in range(repeats))
+    print(
+        "bit identity: service outputs == direct decode_batch_detailed "
+        f"(both arms, every run; best of {repeats})"
+    )
+
+    speedup = naive_s / micro_s
+    header = f"{'dispatch':>14} | {'wall (s)':>9} | {'frames/s':>10} | {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    print(f"{'per-request':>14} | {naive_s:>9.3f} | {total / naive_s:>10,.0f} | {'1.00x':>8}")
+    print(
+        f"{'micro-batched':>14} | {micro_s:>9.3f} | {total / micro_s:>10,.0f}"
+        f" | {speedup:>7.2f}x"
+    )
+
+    # -- context: the same comparison over real sockets ----------------
+    if tcp:
+        tcp_naive = asyncio.run(_drive_tcp(per_request, words, clients, requests))
+        tcp_micro = asyncio.run(_drive_tcp(batched, words, clients, requests))
+        print(
+            f"over TCP: per-request {total / tcp_naive:,.0f} frames/s, "
+            f"micro-batched {total / tcp_micro:,.0f} frames/s "
+            f"({tcp_naive / tcp_micro:.2f}x; protocol+socket cost is per-request "
+            "in both arms)"
+        )
+
+    floor = float(
+        os.environ.get("REPRO_BENCH_SERVICE_MIN_SPEEDUP", DEFAULT_MIN_SPEEDUP)
+    )
+    if clients >= 64 and speedup < floor:
+        _fail(
+            f"micro-batched speedup {speedup:.2f}x below the {floor:.1f}x floor "
+            f"at {clients} clients"
+        )
+    if clients < 64:
+        print(f"note: {clients} clients < 64, the {floor:.1f}x floor is not enforced")
+    print("\nservice micro-batching checks passed")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=64,
+                        help="concurrent closed-loop clients (floor needs >= 64)")
+    parser.add_argument("--requests", type=int, default=100,
+                        help="single-frame round trips per client")
+    parser.add_argument("--seed", type=int, default=20250831)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per arm; the fastest is kept")
+    parser.add_argument("--no-tcp", action="store_true",
+                        help="skip the (slower) TCP context measurement")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 64 clients x 40 requests, no TCP arm")
+    args = parser.parse_args(argv)
+    if args.quick:
+        bench(64, 40, args.seed, tcp=False, repeats=args.repeats)
+    else:
+        bench(args.clients, args.requests, args.seed, tcp=not args.no_tcp,
+              repeats=args.repeats)
+
+
+if __name__ == "__main__":
+    main()

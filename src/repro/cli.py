@@ -25,6 +25,41 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    """argparse type: an integer >= 0, with a clean parser error."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"expected a non-negative integer, got {value}"
+        )
+    return value
+
+
+def _port_number(text: str) -> int:
+    """argparse type: a TCP port in [0, 65535] (0 = pick a free port)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(f"expected a port in [0, 65535], got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    """argparse type: a float >= 0, with a clean parser error."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"expected a non-negative number, got {value}")
+    return value
+
+
 def _spread_fraction(text: str) -> float:
     """argparse type: a fractional spread in [0, 1]."""
     try:
@@ -105,6 +140,50 @@ def _build_parser() -> argparse.ArgumentParser:
     josim.add_argument("--spread", type=float, default=0.0)
     josim.add_argument("--output", metavar="PATH", default=None)
 
+    sub.add_parser(
+        "codes",
+        help="list the registered codes/decoders (valid service session configs)",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming codec service (micro-batched encode/decode)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=_port_number, default=7350,
+                       help="TCP port (0 picks a free port; default 7350)")
+    serve.add_argument("--max-batch", type=_positive_int, default=256, metavar="FRAMES",
+                       help="flush a lane once this many frames are queued")
+    serve.add_argument("--max-delay-us", type=_nonnegative_float, default=200.0,
+                       metavar="US",
+                       help="deadline flush: max queueing delay for the oldest frame")
+    serve.add_argument("--max-pending", type=_positive_int, default=8192,
+                       metavar="FRAMES",
+                       help="backpressure bound on queued frames per lane")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive a traffic scenario against a running codec service"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=_port_number, default=7350)
+    loadgen.add_argument("--scenario", default="steady",
+                         choices=["steady", "bursty", "mixed", "adversarial"])
+    loadgen.add_argument("--clients", type=_positive_int, default=16)
+    loadgen.add_argument("--requests", type=_positive_int, default=50,
+                         help="encode->decode round trips per client")
+    loadgen.add_argument("--frames", type=_positive_int, default=4,
+                         help="frames per request")
+    loadgen.add_argument("--seed", type=_nonnegative_int, default=0,
+                         help="seed of the clients' message streams")
+    loadgen.add_argument("--code", default="hamming84",
+                         help="code for single-code scenarios (ignored by 'mixed')")
+    loadgen.add_argument("--decoder", default=None,
+                         help="decoder strategy (default: the paper's pairing)")
+    loadgen.add_argument("--json", action="store_true",
+                         help="emit the full report (incl. server stats) as JSON")
+    loadgen.add_argument("--assert-zero-residual", action="store_true",
+                         help="exit 1 if any frame came back wrong "
+                              "(only meaningful for injection-free scenarios)")
+
     report = sub.add_parser(
         "report", help="regenerate every artefact into a directory"
     )
@@ -172,6 +251,113 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"JoSIM deck written to {args.output}")
         else:
             print(deck)
+    elif args.command == "codes":
+        from repro.service.session import catalog
+
+        listing = catalog()
+        header = (
+            f"{'name':<12} {'display':<14} {'(n, k)':<8} {'rate':>6} "
+            f"{'d_min':>5}  {'default decoder'}"
+        )
+        print(header)
+        print("-" * len(header))
+        for entry in listing["codes"]:
+            print(
+                f"{entry['name']:<12} {entry['display_name']:<14} "
+                f"({entry['n']}, {entry['k']})".ljust(37)
+                + f"{entry['rate']:>6.3f} {entry['d_min']:>5}  "
+                + entry["default_decoder"]
+            )
+        print(f"\ndecoder strategies: {', '.join(listing['decoders'])}")
+    elif args.command == "serve":
+        import asyncio
+
+        from repro.service import BatchPolicy, CodecServer
+
+        if args.max_pending < args.max_batch:
+            print(
+                f"repro serve: error: --max-pending ({args.max_pending}) must be "
+                f">= --max-batch ({args.max_batch})",
+                file=sys.stderr,
+            )
+            return 2
+
+        async def _serve() -> None:
+            server = CodecServer(
+                host=args.host,
+                port=args.port,
+                policy=BatchPolicy(
+                    max_batch=args.max_batch,
+                    max_delay_us=args.max_delay_us,
+                    max_pending_frames=args.max_pending,
+                ),
+            )
+            await server.start()
+            print(f"serving codec sessions on {args.host}:{server.port}", flush=True)
+            print(
+                f"  policy: max_batch={args.max_batch} "
+                f"max_delay_us={args.max_delay_us:g} "
+                f"max_pending={args.max_pending}",
+                flush=True,
+            )
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_serve())
+        except KeyboardInterrupt:
+            print("codec service stopped")
+        except OSError as exc:
+            print(
+                f"repro serve: error: cannot bind {args.host}:{args.port} ({exc})",
+                file=sys.stderr,
+            )
+            return 1
+    elif args.command == "loadgen":
+        import asyncio
+        import json as _json
+
+        from repro.service import loadgen as loadgen_mod
+
+        scenario = loadgen_mod.make_scenario(
+            args.scenario, code=args.code, decoder=args.decoder
+        )
+        try:
+            report_ = asyncio.run(
+                loadgen_mod.run_scenario(
+                    args.host,
+                    args.port,
+                    scenario,
+                    clients=args.clients,
+                    requests=args.requests,
+                    frames_per_request=args.frames,
+                    seed=args.seed,
+                )
+            )
+        except OSError as exc:
+            print(
+                f"repro loadgen: error: cannot reach a codec service at "
+                f"{args.host}:{args.port} ({exc}); start one with 'repro serve'",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            print(_json.dumps(report_.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(loadgen_mod.render(report_))
+            print("server stats: " + _json.dumps(report_.server_stats, sort_keys=True))
+        if args.assert_zero_residual and (
+            report_.residual_frames or report_.client_errors
+        ):
+            print(
+                f"FAIL: {report_.residual_frames} residual frame(s), "
+                f"{len(report_.client_errors)} failed client(s) "
+                "on a zero-noise run",
+                file=sys.stderr,
+            )
+            return 1
     elif args.command == "report":
         from repro.experiments.report import generate_full_report
 

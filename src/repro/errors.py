@@ -62,6 +62,18 @@ class TimingViolation(SimulationError):
     """A pulse arrived inside a gate's setup/hold window."""
 
 
+class ServiceError(ReproError):
+    """Base class for streaming-codec-service errors."""
+
+
+class SessionError(ServiceError):
+    """A codec session id or configuration is unknown or invalid."""
+
+
+class BackpressureError(ServiceError):
+    """A bounded scheduler queue rejected work (non-blocking admission)."""
+
+
 class ExperimentError(ReproError):
     """Base class for experiment-harness errors."""
 

@@ -38,19 +38,36 @@ class BinaryChannel:
     p10: Union[float, np.ndarray] = 0.0
 
     def __post_init__(self):
+        noiseless = True
         for name, value in (("p01", self.p01), ("p10", self.p10)):
             arr = np.atleast_1d(np.asarray(value, dtype=float))
             if ((arr < 0) | (arr > 1)).any():
                 raise ValueError(f"{name} must lie in [0, 1]")
+            noiseless &= not arr.any()
+        # Frozen dataclass: cache the flag so the transmit fast path
+        # doesn't re-inspect the probability arrays on every call.
+        object.__setattr__(self, "_noiseless", bool(noiseless))
 
     def transmit(self, bits: np.ndarray, random_state: RandomState = None) -> np.ndarray:
-        """Flip bits of a ``(batch, n)`` array independently."""
-        rng = as_generator(random_state)
+        """Flip bits of a ``(batch, n)`` array independently.
+
+        A noiseless channel (``p01 == p10 == 0`` everywhere) returns a
+        copy of the input without drawing any random numbers, so hot
+        paths that thread a shared generator through a mix of noisy and
+        noiseless channels pay nothing for the latter.  Consequently a
+        seeded stream yields the same draws as earlier releases only for
+        *noisy* channels; noiseless transmits no longer consume from it.
+        """
         words = np.asarray(bits, dtype=np.uint8)
         if words.ndim != 2:
             raise ValueError(f"expected a (batch, n) bit array, got {words.shape}")
+        # Shape-check per-channel probabilities even on the fast path, so
+        # a misconfigured channel fails loudly regardless of noise level.
         p01 = np.broadcast_to(np.asarray(self.p01, dtype=float), words.shape[1:])
         p10 = np.broadcast_to(np.asarray(self.p10, dtype=float), words.shape[1:])
+        if self.is_noiseless():
+            return words.copy()
+        rng = as_generator(random_state)
         draws = rng.random(words.shape)
         flip = np.where(words == 0, draws < p01[None, :], draws < p10[None, :])
         return words ^ flip.astype(np.uint8)
@@ -63,10 +80,7 @@ class BinaryChannel:
         )
 
     def is_noiseless(self) -> bool:
-        return (
-            float(np.max(np.atleast_1d(np.asarray(self.p01)))) == 0.0
-            and float(np.max(np.atleast_1d(np.asarray(self.p10)))) == 0.0
-        )
+        return self._noiseless
 
 
 def _received_eye(

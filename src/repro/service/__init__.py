@@ -1,0 +1,56 @@
+"""Streaming codec service: online encode/decode over the batch kernels.
+
+The paper's encoders sit *inline* on a live cryo-to-room-temperature
+link; this subsystem is that workload in software.  An asyncio
+:class:`~repro.service.server.CodecServer` hosts many codec sessions
+(code x decoder x error-injection policy), coalesces concurrent
+requests through the :class:`~repro.service.batcher.MicroBatcher` into
+the PR 1 bit-packed batch kernels, and exposes per-session telemetry.
+:mod:`repro.service.loadgen` drives it with shaped traffic; the
+``repro serve`` / ``repro loadgen`` CLI subcommands wrap both.
+"""
+
+from repro.service.batcher import BatchPolicy, MicroBatcher
+from repro.service.client import CodecClient, DecodedBlock, SessionHandle
+from repro.service.loadgen import (
+    LoadReport,
+    SCENARIO_FACTORIES,
+    Scenario,
+    make_scenario,
+    run_scenario,
+)
+from repro.service.protocol import ProtocolError
+from repro.service.server import CodecServer
+from repro.service.session import (
+    CodecSession,
+    SessionConfig,
+    SessionRegistry,
+    catalog,
+)
+from repro.service.telemetry import (
+    LatencyReservoir,
+    ServiceTelemetry,
+    SessionTelemetry,
+)
+
+__all__ = [
+    "BatchPolicy",
+    "MicroBatcher",
+    "CodecClient",
+    "DecodedBlock",
+    "SessionHandle",
+    "LoadReport",
+    "Scenario",
+    "SCENARIO_FACTORIES",
+    "make_scenario",
+    "run_scenario",
+    "ProtocolError",
+    "CodecServer",
+    "CodecSession",
+    "SessionConfig",
+    "SessionRegistry",
+    "catalog",
+    "LatencyReservoir",
+    "ServiceTelemetry",
+    "SessionTelemetry",
+]

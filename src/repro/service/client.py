@@ -1,0 +1,201 @@
+"""Asyncio client for the streaming codec service.
+
+A :class:`CodecClient` keeps one TCP connection, pipelines requests
+(request ids match responses, so many calls may be in flight at once)
+and exposes the service as plain coroutines over numpy arrays.  The
+typical loop::
+
+    client = await CodecClient.connect(port=port)
+    session = await client.open_session("hamming84")
+    words = await session.encode(messages)      # server-side encode (+injection)
+    decoded = await session.decode(words)       # micro-batched decode
+    stats = await client.stats()
+    await client.close()
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.service import protocol
+
+
+@dataclass(frozen=True)
+class DecodedBlock:
+    """Client-side view of a DECODE response, row-aligned with the request."""
+
+    messages: np.ndarray            #: (batch, k) message estimates
+    corrected_errors: np.ndarray    #: (batch,) bits corrected per frame
+    detected_uncorrectable: np.ndarray  #: (batch,) error flags
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
+class SessionHandle:
+    """A served session bound to the client connection that opened it."""
+
+    def __init__(self, client: "CodecClient", info: Dict):
+        self._client = client
+        self.info = info
+        self.session_id = int(info["session_id"])
+        self.n = int(info["n"])
+        self.k = int(info["k"])
+
+    def _check_width(self, frames: np.ndarray, width: int, what: str) -> np.ndarray:
+        # The wire packs rows to bytes, so a width that shares the same
+        # packed length would be silently truncated server-side; reject
+        # mismatches before they leave the client.
+        arr = np.asarray(frames, dtype=np.uint8)
+        if arr.ndim != 2 or arr.shape[1] != width:
+            raise DimensionError(
+                f"expected (batch, {width}) {what} for session "
+                f"{self.session_id}, got {arr.shape}"
+            )
+        return arr
+
+    async def encode(self, messages: np.ndarray) -> np.ndarray:
+        """Encode ``(batch, k)`` messages; returns ``(batch, n)`` words.
+
+        With error injection configured on the session, the returned
+        words are the post-channel (corrupted) words.
+        """
+        msgs = self._check_width(messages, self.k, "messages")
+        body = protocol.build_batch_body(self.session_id, msgs)
+        response = await self._client.request(protocol.OP_ENCODE, body)
+        return protocol.parse_encode_response_body(response.body, self.n)
+
+    async def decode(self, received: np.ndarray) -> DecodedBlock:
+        """Decode ``(batch, n)`` received words on the server."""
+        words = self._check_width(received, self.n, "received words")
+        body = protocol.build_batch_body(self.session_id, words)
+        response = await self._client.request(protocol.OP_DECODE, body)
+        messages, corrected, detected = protocol.parse_decode_response_body(
+            response.body, self.k
+        )
+        return DecodedBlock(messages, corrected, detected)
+
+
+class CodecClient:
+    """One pipelined connection to a :class:`~repro.service.server.CodecServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._request_ids = itertools.count(1)
+        self._inflight: Dict[int, asyncio.Future] = {}
+        self._closed = False
+        self._conn_error: Optional[BaseException] = None
+        # Serialises write+drain: concurrent drain() calls on one
+        # transport are not allowed by asyncio's flow control.
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_responses())
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0, timeout: float = 10.0
+    ) -> "CodecClient":
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout
+        )
+        return cls(reader, writer)
+
+    async def _read_responses(self) -> None:
+        error: Optional[BaseException] = None
+        try:
+            while True:
+                payload = await protocol.read_frame(self._reader)
+                if payload is None:
+                    break
+                response = protocol.parse_response(payload)
+                future = self._inflight.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            error = ConnectionResetError("client closed")
+        except Exception as exc:
+            error = exc
+        fail = error or ConnectionResetError("server closed the connection")
+        # Remember why the connection died so *later* requests fail fast
+        # instead of awaiting a response that can never arrive.
+        self._conn_error = fail
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(fail)
+        self._inflight.clear()
+
+    async def request(self, opcode: int, body: bytes = b"") -> protocol.Response:
+        """Send one request and await its (status-checked) response."""
+        if self._closed:
+            raise ConnectionResetError("client is closed")
+        if self._conn_error is not None:
+            raise ConnectionResetError(
+                f"connection is dead: {self._conn_error}"
+            ) from self._conn_error
+        request_id = next(self._request_ids)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[request_id] = future
+        wire = protocol.frame_bytes(protocol.build_request(opcode, request_id, body))
+        try:
+            async with self._write_lock:
+                self._writer.write(wire)
+                await self._writer.drain()
+        except BaseException:
+            # Nobody will await this future now; deregister it so the
+            # reader's teardown doesn't set an exception no one retrieves.
+            self._inflight.pop(request_id, None)
+            raise
+        response = await future
+        return response.raise_for_status()
+
+    async def open_session(
+        self,
+        code: str,
+        decoder: Optional[str] = None,
+        p01: float = 0.0,
+        p10: float = 0.0,
+        seed: Optional[int] = None,
+    ) -> SessionHandle:
+        """Open (or join) a codec session and return its handle."""
+        body = protocol.build_json_body(
+            {"code": code, "decoder": decoder, "p01": p01, "p10": p10, "seed": seed}
+        )
+        response = await self.request(protocol.OP_OPEN, body)
+        return SessionHandle(self, protocol.parse_json_body(response.body))
+
+    async def stats(self) -> Dict:
+        """Scrape the server's JSON telemetry snapshot."""
+        response = await self.request(protocol.OP_STATS)
+        return protocol.parse_json_body(response.body)
+
+    async def codes(self) -> Dict:
+        """The server's code/decoder discovery catalog."""
+        response = await self.request(protocol.OP_CODES)
+        return protocol.parse_json_body(response.body)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "CodecClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()

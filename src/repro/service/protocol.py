@@ -1,0 +1,244 @@
+"""Length-prefixed binary wire protocol of the streaming codec service.
+
+Every frame on the wire is a 4-byte big-endian payload length followed
+by the payload.  Requests open with a ``!BBI`` header (magic, opcode,
+request id); responses echo the header plus a status byte.  Frame
+payloads carry bit matrices packed 8 bits/byte row-wise
+(:func:`pack_bits` / :func:`unpack_bits`), so a Hamming(8,4) codeword
+costs one byte on the wire.
+
+The request id is chosen by the client and echoed verbatim, which lets
+clients pipeline many requests over one connection and match responses
+out of order — the server's micro-batching scheduler completes them in
+batch order, not arrival order.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ReproError
+
+#: First payload byte of every well-formed frame.
+MAGIC = 0xEC
+
+#: Hard cap on a single frame's payload, requests beyond it are refused
+#: before any allocation happens (1 MiB fits ~1M packed Hamming(8,4) words).
+MAX_FRAME_BYTES = 1 << 20
+
+# Opcodes -------------------------------------------------------------
+OP_OPEN = 0x01    #: open a codec session (JSON config body)
+OP_ENCODE = 0x02  #: encode k-bit messages -> n-bit (possibly corrupted) words
+OP_DECODE = 0x03  #: decode n-bit received words -> k-bit messages + flags
+OP_STATS = 0x04   #: JSON telemetry snapshot
+OP_CODES = 0x05   #: JSON listing of registered codes/decoders
+
+# Response status bytes ----------------------------------------------
+ST_OK = 0x00
+ST_ERROR = 0x01
+
+_REQ_HEADER = struct.Struct("!BBI")     # magic, opcode, request_id
+_RESP_HEADER = struct.Struct("!BBIB")   # magic, opcode, request_id, status
+_BATCH_HEADER = struct.Struct("!HI")    # session_id, n_frames
+_LEN_PREFIX = struct.Struct("!I")
+
+
+class ProtocolError(ReproError):
+    """Malformed frame, unknown opcode, or oversized payload."""
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a ``(batch, width)`` 0/1 array row-wise, 8 bits per byte."""
+    arr = np.ascontiguousarray(bits, dtype=np.uint8)
+    if arr.ndim != 2:
+        raise ProtocolError(f"expected a (batch, width) bit array, got {arr.shape}")
+    return np.packbits(arr, axis=1).tobytes()
+
+
+def unpack_bits(data: bytes, n_frames: int, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits`: recover the ``(n_frames, width)`` rows."""
+    row_bytes = (width + 7) // 8
+    expected = n_frames * row_bytes
+    if len(data) != expected:
+        raise ProtocolError(
+            f"expected {expected} packed bytes for {n_frames} x {width} bits, "
+            f"got {len(data)}"
+        )
+    if n_frames == 0:
+        return np.zeros((0, width), dtype=np.uint8)
+    raw = np.frombuffer(data, dtype=np.uint8).reshape(n_frames, row_bytes)
+    return np.unpackbits(raw, axis=1)[:, :width].copy()
+
+
+# ---------------------------------------------------------------------
+# Request/response payload builders and parsers
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """A parsed request frame."""
+
+    opcode: int
+    request_id: int
+    body: bytes
+
+
+@dataclass(frozen=True)
+class Response:
+    """A parsed response frame."""
+
+    opcode: int
+    request_id: int
+    status: int
+    body: bytes
+
+    def raise_for_status(self) -> "Response":
+        if self.status != ST_OK:
+            raise ProtocolError(
+                f"server error for request {self.request_id}: "
+                f"{self.body.decode('utf-8', 'replace')}"
+            )
+        return self
+
+
+def build_request(opcode: int, request_id: int, body: bytes = b"") -> bytes:
+    return _REQ_HEADER.pack(MAGIC, opcode, request_id & 0xFFFFFFFF) + body
+
+
+def build_response(
+    opcode: int, request_id: int, status: int, body: bytes = b""
+) -> bytes:
+    return _RESP_HEADER.pack(MAGIC, opcode, request_id & 0xFFFFFFFF, status) + body
+
+
+def parse_request(payload: bytes) -> Request:
+    if len(payload) < _REQ_HEADER.size:
+        raise ProtocolError(f"request frame too short ({len(payload)} bytes)")
+    magic, opcode, request_id = _REQ_HEADER.unpack_from(payload)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic byte 0x{magic:02x}")
+    return Request(opcode, request_id, payload[_REQ_HEADER.size:])
+
+
+def parse_response(payload: bytes) -> Response:
+    if len(payload) < _RESP_HEADER.size:
+        raise ProtocolError(f"response frame too short ({len(payload)} bytes)")
+    magic, opcode, request_id, status = _RESP_HEADER.unpack_from(payload)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic byte 0x{magic:02x}")
+    return Response(opcode, request_id, status, payload[_RESP_HEADER.size:])
+
+
+def build_batch_body(session_id: int, bits: np.ndarray) -> bytes:
+    """ENCODE/DECODE request body: session id + frame count + packed rows."""
+    return _BATCH_HEADER.pack(session_id & 0xFFFF, bits.shape[0]) + pack_bits(bits)
+
+
+def parse_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarray]:
+    """Parse an ENCODE/DECODE body given ``width_of_session(session_id)``.
+
+    ``width_of_session`` maps the session id to the per-frame bit width
+    (k for encode requests, n for decode requests) so the packed rows
+    can be sliced without carrying the width on the wire.
+    """
+    if len(body) < _BATCH_HEADER.size:
+        raise ProtocolError(f"batch body too short ({len(body)} bytes)")
+    session_id, n_frames = _BATCH_HEADER.unpack_from(body)
+    width = width_of_session(session_id)
+    bits = unpack_bits(body[_BATCH_HEADER.size:], n_frames, width)
+    return session_id, bits
+
+
+def build_decode_response_body(
+    messages: np.ndarray, corrected: np.ndarray, detected: np.ndarray
+) -> bytes:
+    """DECODE response: frame count, packed messages, per-frame flag bytes."""
+    n = messages.shape[0]
+    corrected8 = np.minimum(corrected, 255).astype(np.uint8)
+    return (
+        struct.pack("!I", n)
+        + pack_bits(messages)
+        + corrected8.tobytes()
+        + detected.astype(np.uint8).tobytes()
+    )
+
+
+def parse_decode_response_body(
+    body: bytes, k: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    if len(body) < 4:
+        raise ProtocolError("decode response body too short")
+    (n_frames,) = struct.unpack_from("!I", body)
+    row_bytes = (k + 7) // 8
+    offset = 4
+    packed = body[offset:offset + n_frames * row_bytes]
+    offset += n_frames * row_bytes
+    corrected = np.frombuffer(body[offset:offset + n_frames], dtype=np.uint8)
+    offset += n_frames
+    detected = np.frombuffer(body[offset:offset + n_frames], dtype=np.uint8)
+    if len(detected) != n_frames:
+        raise ProtocolError("decode response body truncated")
+    messages = unpack_bits(packed, n_frames, k)
+    return messages, corrected.astype(np.int64), detected.astype(bool)
+
+
+def build_encode_response_body(codewords: np.ndarray) -> bytes:
+    """ENCODE response: frame count + packed (possibly corrupted) words."""
+    return struct.pack("!I", codewords.shape[0]) + pack_bits(codewords)
+
+
+def parse_encode_response_body(body: bytes, n: int) -> np.ndarray:
+    if len(body) < 4:
+        raise ProtocolError("encode response body too short")
+    (n_frames,) = struct.unpack_from("!I", body)
+    return unpack_bits(body[4:], n_frames, n)
+
+
+def build_json_body(payload: Dict[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def parse_json_body(body: bytes) -> Dict[str, Any]:
+    try:
+        parsed = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"malformed JSON body: {exc}") from exc
+    if not isinstance(parsed, dict):
+        raise ProtocolError("JSON body must be an object")
+    return parsed
+
+
+# ---------------------------------------------------------------------
+# Stream helpers
+# ---------------------------------------------------------------------
+async def read_frame(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read one length-prefixed frame; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(_LEN_PREFIX.size)
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise ProtocolError("connection closed mid-frame") from exc
+        return None
+    (length,) = _LEN_PREFIX.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    """Prefix ``payload`` with its length, ready for ``writer.write``."""
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LEN_PREFIX.pack(len(payload)) + payload

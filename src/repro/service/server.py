@@ -1,0 +1,248 @@
+"""Asyncio streaming codec server.
+
+One :class:`CodecServer` hosts many codec sessions (see
+:mod:`repro.service.session`) behind the length-prefixed protocol of
+:mod:`repro.service.protocol`.  Clients pipeline requests over a single
+connection; every ENCODE/DECODE request is handed to the shared
+:class:`~repro.service.batcher.MicroBatcher`, so frames from *all*
+connections coalesce into the bit-packed batch kernels.  STATS returns
+the JSON telemetry snapshot (the stats endpoint), CODES the discovery
+catalog.
+
+The server is transport-thin on purpose: all scheduling policy lives in
+the batcher, all codec state in the registry, so tests and benchmarks
+can drive the exact same path in-process via :meth:`CodecServer.dispatch`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from typing import Optional, Set
+
+from repro.errors import ServiceError
+from repro.service import protocol
+from repro.service.batcher import BatchPolicy, MicroBatcher
+from repro.service.session import SessionConfig, SessionRegistry, catalog
+from repro.service.telemetry import ServiceTelemetry
+
+logger = logging.getLogger(__name__)
+
+
+class CodecServer:
+    """Serve codec sessions over TCP with micro-batched dispatch.
+
+    Parameters
+    ----------
+    host, port : str, int
+        Bind address; ``port=0`` picks a free port (read it back from
+        :attr:`port` after :meth:`start`).
+    policy : BatchPolicy, optional
+        Flush/backpressure policy shared by every lane.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        policy: Optional[BatchPolicy] = None,
+    ):
+        self.host = host
+        self._requested_port = port
+        self.registry = SessionRegistry()
+        self.batcher = MicroBatcher(policy)
+        self.telemetry = ServiceTelemetry()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conn_tasks: Set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._server is None:
+            return self._requested_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> "CodecServer":
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self._requested_port
+        )
+        return self
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        self.batcher.flush_all()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+
+    async def __aenter__(self) -> "CodecServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self.telemetry.connection_opened()
+        write_lock = asyncio.Lock()
+        request_tasks: Set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    payload = await protocol.read_frame(reader)
+                except protocol.ProtocolError:
+                    # Framing-level violation (oversized prefix, torn frame).
+                    self.telemetry.protocol_errors += 1
+                    raise
+                if payload is None:
+                    break
+                try:
+                    request = protocol.parse_request(payload)
+                except protocol.ProtocolError:
+                    self.telemetry.protocol_errors += 1
+                    raise
+                # Dispatch concurrently: a request awaiting its batch
+                # must not stall the read loop, or pipelined requests
+                # could never coalesce.
+                rtask = asyncio.ensure_future(
+                    self._serve_request(request, writer, write_lock)
+                )
+                request_tasks.add(rtask)
+                rtask.add_done_callback(request_tasks.discard)
+        except (protocol.ProtocolError, ConnectionResetError) as exc:
+            logger.debug("connection dropped: %s", exc)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            for rtask in list(request_tasks):
+                rtask.cancel()
+            if request_tasks:
+                await asyncio.gather(*request_tasks, return_exceptions=True)
+            self.telemetry.connection_closed()
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._conn_tasks.discard(task)
+
+    async def _serve_request(
+        self,
+        request: protocol.Request,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        try:
+            status, body = protocol.ST_OK, await self.dispatch(request)
+        except (ServiceError, protocol.ProtocolError) as exc:
+            self.telemetry.protocol_errors += isinstance(exc, protocol.ProtocolError)
+            status, body = protocol.ST_ERROR, str(exc).encode("utf-8")
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # defensive: never kill the connection task
+            logger.exception("internal error serving opcode 0x%02x", request.opcode)
+            status, body = protocol.ST_ERROR, f"internal error: {exc}".encode("utf-8")
+        try:
+            response = protocol.frame_bytes(
+                protocol.build_response(request.opcode, request.request_id, status, body)
+            )
+        except protocol.ProtocolError as exc:
+            # The success body itself is over the frame cap; the client
+            # must still get *a* response or it awaits this id forever.
+            self.telemetry.protocol_errors += 1
+            response = protocol.frame_bytes(
+                protocol.build_response(
+                    request.opcode,
+                    request.request_id,
+                    protocol.ST_ERROR,
+                    str(exc).encode("utf-8"),
+                )
+            )
+        async with write_lock:
+            writer.write(response)
+            try:
+                await writer.drain()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Opcode implementations (shared by TCP and in-process callers)
+    # ------------------------------------------------------------------
+    async def dispatch(self, request: protocol.Request) -> bytes:
+        """Serve one parsed request, returning the OK response body."""
+        if request.opcode == protocol.OP_OPEN:
+            return self._op_open(request.body)
+        if request.opcode == protocol.OP_ENCODE:
+            return await self._op_encode(request.body)
+        if request.opcode == protocol.OP_DECODE:
+            return await self._op_decode(request.body)
+        if request.opcode == protocol.OP_STATS:
+            return protocol.build_json_body(
+                self.telemetry.snapshot(self.registry.labels())
+            )
+        if request.opcode == protocol.OP_CODES:
+            return protocol.build_json_body(catalog())
+        raise protocol.ProtocolError(f"unknown opcode 0x{request.opcode:02x}")
+
+    def _op_open(self, body: bytes) -> bytes:
+        config = SessionConfig.from_dict(protocol.parse_json_body(body))
+        session = self.registry.open(config)
+        # Route the session's telemetry into the service aggregate.
+        session.telemetry = self.telemetry.session(session.session_id)
+        return protocol.build_json_body(session.describe())
+
+    @staticmethod
+    def _check_response_fits(n_frames: int, bytes_per_frame: int) -> None:
+        """Refuse a request whose *response* would exceed the frame cap.
+
+        Responses are larger than their requests (packed words widen on
+        encode; decode adds two flag bytes per frame), so a request can
+        be admitted whose reply is unsendable — catch that before any
+        kernel work is spent on it.
+        """
+        needed = 4 + n_frames * bytes_per_frame
+        if needed > protocol.MAX_FRAME_BYTES:
+            raise protocol.ProtocolError(
+                f"response of {needed} bytes for {n_frames} frames would exceed "
+                f"the {protocol.MAX_FRAME_BYTES}-byte frame cap; send fewer "
+                "frames per request"
+            )
+
+    async def _op_encode(self, body: bytes) -> bytes:
+        session_id, messages = protocol.parse_batch_body(
+            body, lambda sid: self.registry.get(sid).k
+        )
+        session = self.registry.get(session_id)
+        self._check_response_fits(len(messages), (session.n + 7) // 8)
+        codewords = await self.batcher.submit(session, "encode", messages)
+        return protocol.build_encode_response_body(codewords)
+
+    async def _op_decode(self, body: bytes) -> bytes:
+        session_id, received = protocol.parse_batch_body(
+            body, lambda sid: self.registry.get(sid).n
+        )
+        session = self.registry.get(session_id)
+        self._check_response_fits(len(received), (session.k + 7) // 8 + 2)
+        result = await self.batcher.submit(session, "decode", received)
+        return protocol.build_decode_response_body(
+            result.messages, result.corrected_errors, result.detected_uncorrectable
+        )

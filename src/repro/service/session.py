@@ -1,0 +1,230 @@
+"""Codec sessions: (code x decoder x channel policy) served by one server.
+
+A :class:`CodecSession` binds a registered code, a decoder strategy and
+an optional error-injection channel into the unit the micro-batching
+scheduler dispatches to.  The :class:`SessionRegistry` hands out small
+integer ids so the wire protocol can reference sessions in two bytes,
+and is built directly on :mod:`repro.coding.registry` — any code/decoder
+the experiments can name, the service can serve.
+
+Error injection exists for fault-drill scenarios: with ``p01``/``p10``
+set, every *encode* response is corrupted by a
+:class:`~repro.link.channel.BinaryChannel` drawn from the session's own
+seeded stream, so a load generator can rehearse the full
+encode -> corrupt -> decode loop against a live server.  Injection draws
+depend on frame *arrival order* at the scheduler, so under concurrency
+they are reproducible only in aggregate, not frame-for-frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.coding.decoders import Decoder, default_decoder_for
+from repro.coding.linear import LinearBlockCode
+from repro.coding.registry import (
+    available_codes,
+    available_decoders,
+    get_code,
+    get_decoder,
+)
+from repro.errors import SessionError
+from repro.link.channel import BinaryChannel
+from repro.service.telemetry import SessionTelemetry
+from repro.utils.rng import as_generator
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to (re)build one codec session.
+
+    Attributes
+    ----------
+    code : str
+        Short code name accepted by :func:`repro.coding.registry.get_code`.
+    decoder : str, optional
+        Decoder strategy name; ``None`` picks the paper's pairing.
+    p01, p10 : float
+        Error-injection flip probabilities applied to *encode* responses
+        (0/0 disables injection entirely — no RNG is consumed).
+    seed : int, optional
+        Seed of the session's injection stream; ``None`` draws fresh
+        entropy per session.
+    """
+
+    code: str
+    decoder: Optional[str] = None
+    p01: float = 0.0
+    p10: float = 0.0
+    seed: Optional[int] = None
+
+    def label(self) -> str:
+        parts = [self.code, self.decoder or "default"]
+        if self.p01 or self.p10:
+            parts.append(f"p01={self.p01:g},p10={self.p10:g}")
+        return ":".join(parts)
+
+    def to_dict(self) -> Dict:
+        return {
+            "code": self.code,
+            "decoder": self.decoder,
+            "p01": self.p01,
+            "p10": self.p10,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "SessionConfig":
+        try:
+            code = payload["code"]
+        except KeyError:
+            raise SessionError("session config must name a 'code'")
+        return cls(
+            code=str(code),
+            decoder=payload.get("decoder") or None,
+            p01=float(payload.get("p01", 0.0)),
+            p10=float(payload.get("p10", 0.0)),
+            seed=None if payload.get("seed") is None else int(payload["seed"]),
+        )
+
+
+class CodecSession:
+    """One served (code, decoder, channel-policy) binding."""
+
+    def __init__(
+        self,
+        session_id: int,
+        config: SessionConfig,
+        telemetry: Optional[SessionTelemetry] = None,
+    ):
+        try:
+            self.code: LinearBlockCode = get_code(config.code)
+        except KeyError as exc:
+            raise SessionError(str(exc)) from exc
+        try:
+            self.decoder: Decoder = (
+                get_decoder(self.code, config.decoder)
+                if config.decoder is not None
+                else default_decoder_for(self.code)
+            )
+        except KeyError as exc:
+            raise SessionError(str(exc)) from exc
+        self.session_id = session_id
+        self.config = config
+        self.channel: Optional[BinaryChannel] = None
+        self._rng: Optional[np.random.Generator] = None
+        if config.p01 or config.p10:
+            self.channel = BinaryChannel(p01=config.p01, p10=config.p10)
+            self._rng = as_generator(config.seed)
+        self.telemetry = telemetry if telemetry is not None else SessionTelemetry()
+
+    @property
+    def n(self) -> int:
+        return self.code.n
+
+    @property
+    def k(self) -> int:
+        return self.code.k
+
+    def describe(self) -> Dict:
+        return {
+            "session_id": self.session_id,
+            "code": self.code.name,
+            "n": self.n,
+            "k": self.k,
+            "d_min": self.code.minimum_distance,
+            "decoder": self.decoder.strategy_name,
+            "p01": self.config.p01,
+            "p10": self.config.p10,
+        }
+
+    # -- kernels the scheduler dispatches to ---------------------------
+    def encode_frames(self, messages: np.ndarray) -> np.ndarray:
+        """Encode a ``(batch, k)`` block; inject channel errors if configured."""
+        codewords = self.code.encode_batch(messages)
+        if self.channel is not None:
+            codewords = self.channel.transmit(codewords, random_state=self._rng)
+        return codewords
+
+    def decode_frames(self, received: np.ndarray):
+        """Decode a ``(batch, n)`` block; returns a ``BatchDecodeResult``."""
+        result = self.decoder.decode_batch_detailed(received)
+        self.telemetry.record_decode_outcome(
+            result.corrected_errors, result.detected_uncorrectable
+        )
+        return result
+
+
+class SessionRegistry:
+    """Id-indexed store of live sessions, deduplicating identical configs."""
+
+    def __init__(self, max_sessions: int = 1024):
+        self._sessions: Dict[int, CodecSession] = {}
+        self._by_config: Dict[SessionConfig, int] = {}
+        self._next_id = 1
+        self._max_sessions = max_sessions
+
+    def open(self, config: SessionConfig) -> CodecSession:
+        """Open (or return the existing) session for ``config``.
+
+        Identical config tuples share one session — and, for noisy
+        configs, one injection stream — so repeated opens from a fleet
+        of clients (or a long-lived server's worth of loadgen runs)
+        cannot grow the registry without bound.  Clients that need
+        *independent* injection streams must pass distinct seeds; an
+        unseeded noisy config draws fresh entropy once, at first open.
+        """
+        if config in self._by_config:
+            return self._sessions[self._by_config[config]]
+        if len(self._sessions) >= self._max_sessions:
+            raise SessionError(
+                f"session limit reached ({self._max_sessions}); close the server"
+            )
+        session_id = self._next_id
+        self._next_id += 1
+        session = CodecSession(session_id, config)
+        self._sessions[session_id] = session
+        self._by_config[config] = session_id
+        return session
+
+    def get(self, session_id: int) -> CodecSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session id {session_id}")
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def describe_all(self) -> List[Dict]:
+        return [s.describe() for _, s in sorted(self._sessions.items())]
+
+    def labels(self) -> Dict[int, str]:
+        return {sid: s.config.label() for sid, s in self._sessions.items()}
+
+
+def catalog() -> Dict:
+    """The discovery payload behind ``repro codes`` and ``OP_CODES``.
+
+    Lists every registered code with its parameters and the paper's
+    default decoder pairing, plus the decoder strategies a session
+    config may name.
+    """
+    codes = []
+    for name in available_codes():
+        code = get_code(name)
+        codes.append(
+            {
+                "name": name,
+                "display_name": code.name,
+                "n": code.n,
+                "k": code.k,
+                "rate": round(code.rate, 4),
+                "d_min": code.minimum_distance,
+                "default_decoder": default_decoder_for(code).strategy_name,
+            }
+        )
+    return {"codes": codes, "decoders": available_decoders()}

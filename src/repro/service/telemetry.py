@@ -1,0 +1,149 @@
+"""Per-session and service-wide telemetry for the streaming codec server.
+
+Counters follow the decoder's own vocabulary: a frame is *corrected*
+when the decoder repaired at least one bit, *detected* when it raised
+the detected-uncorrectable flag, and *accepted* otherwise (delivered
+with no anomaly).  Latency is sampled per request into a bounded
+reservoir, so percentile queries stay O(reservoir) regardless of how
+long the server has been up.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter, deque
+from typing import Deque, Dict, Optional
+
+import numpy as np
+
+
+class LatencyReservoir:
+    """Sliding window of the most recent per-request latencies (µs)."""
+
+    def __init__(self, maxlen: int = 8192):
+        self._samples: Deque[float] = deque(maxlen=maxlen)
+
+    def record(self, latency_us: float) -> None:
+        self._samples.append(float(latency_us))
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0-100) of the window, 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.fromiter(self._samples, dtype=float), q))
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "samples": len(self._samples),
+            "p50_us": round(self.percentile(50.0), 1),
+            "p99_us": round(self.percentile(99.0), 1),
+        }
+
+
+class SessionTelemetry:
+    """Counters and latency percentiles for one codec session."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self.requests: Counter = Counter()        # per op: "encode"/"decode"
+        self.frames: Counter = Counter()          # per op
+        self.frames_corrected = 0                 # decoder repaired >= 1 bit
+        self.frames_detected = 0                  # detected-uncorrectable flag
+        self.frames_accepted = 0                  # no anomaly at all
+        self.bits_corrected = 0
+        self.batches = 0
+        self.batch_frames_max = 0
+        self.flush_reasons: Counter = Counter()   # "size" / "deadline" / "drain"
+        self.latency = LatencyReservoir()
+
+    def record_request(self, op: str, n_frames: int) -> None:
+        self.requests[op] += 1
+        self.frames[op] += n_frames
+
+    def record_batch(self, op: str, n_frames: int, reason: str) -> None:
+        self.batches += 1
+        self.batch_frames_max = max(self.batch_frames_max, n_frames)
+        self.flush_reasons[reason] += 1
+
+    def record_decode_outcome(
+        self, corrected_errors: np.ndarray, detected_uncorrectable: np.ndarray
+    ) -> None:
+        corrected = np.asarray(corrected_errors)
+        detected = np.asarray(detected_uncorrectable, dtype=bool)
+        corrected_frames = (corrected > 0) & ~detected
+        self.frames_corrected += int(corrected_frames.sum())
+        self.frames_detected += int(detected.sum())
+        self.frames_accepted += int((~detected & (corrected == 0)).sum())
+        self.bits_corrected += int(corrected.sum())
+
+    def record_latency_us(self, latency_us: float) -> None:
+        self.latency.record(latency_us)
+
+    def snapshot(self) -> Dict:
+        elapsed = max(self._clock() - self.started_at, 1e-9)
+        total_frames = sum(self.frames.values())
+        mean_batch = (total_frames / self.batches) if self.batches else 0.0
+        return {
+            "uptime_s": round(elapsed, 3),
+            "requests": dict(self.requests),
+            "frames": dict(self.frames),
+            "throughput_fps": round(total_frames / elapsed, 1),
+            "corrected_frames": self.frames_corrected,
+            "detected_frames": self.frames_detected,
+            "accepted_frames": self.frames_accepted,
+            "corrected_bits": self.bits_corrected,
+            "batches": self.batches,
+            "mean_batch_frames": round(mean_batch, 2),
+            "max_batch_frames": self.batch_frames_max,
+            "flush_reasons": dict(self.flush_reasons),
+            "latency": self.latency.snapshot(),
+        }
+
+
+class ServiceTelemetry:
+    """Aggregates per-session telemetry into the stats-endpoint payload."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self.started_at = clock()
+        self.connections_total = 0
+        self.connections_open = 0
+        self.protocol_errors = 0
+        self._sessions: Dict[int, "SessionTelemetry"] = {}
+
+    def session(self, session_id: int) -> SessionTelemetry:
+        if session_id not in self._sessions:
+            self._sessions[session_id] = SessionTelemetry(self._clock)
+        return self._sessions[session_id]
+
+    def connection_opened(self) -> None:
+        self.connections_total += 1
+        self.connections_open += 1
+
+    def connection_closed(self) -> None:
+        self.connections_open -= 1
+
+    def snapshot(self, session_labels: Optional[Dict[int, str]] = None) -> Dict:
+        sessions = {}
+        for sid, telemetry in sorted(self._sessions.items()):
+            entry = telemetry.snapshot()
+            if session_labels and sid in session_labels:
+                entry["config"] = session_labels[sid]
+            sessions[str(sid)] = entry
+        total_frames = sum(
+            sum(t.frames.values()) for t in self._sessions.values()
+        )
+        elapsed = max(self._clock() - self.started_at, 1e-9)
+        return {
+            "uptime_s": round(elapsed, 3),
+            "connections_total": self.connections_total,
+            "connections_open": self.connections_open,
+            "protocol_errors": self.protocol_errors,
+            "frames_total": total_frames,
+            "throughput_fps": round(total_frames / elapsed, 1),
+            "sessions": sessions,
+        }

@@ -47,6 +47,67 @@ class TestCli:
         assert "P(N=0)" in out
         assert target.exists()
 
+    def test_codes(self, capsys):
+        assert main(["codes"]) == 0
+        out = capsys.readouterr().out
+        for expected in ("hamming74", "hamming84", "rm13", "d_min",
+                         "sec-ded", "decoder strategies:"):
+            assert expected in out
+
+    def test_serve_rejects_inconsistent_policy(self, capsys):
+        assert main(["serve", "--max-batch", "64", "--max-pending", "8"]) == 2
+        err = capsys.readouterr().err
+        assert "--max-pending" in err and ">= --max-batch" in err
+
+    def test_loadgen_against_live_server(self, capsys):
+        import asyncio
+        import threading
+
+        from repro.service import CodecServer
+
+        ready = threading.Event()
+        holder = {}
+
+        def serve():
+            async def _run():
+                server = CodecServer()
+                await server.start()
+                stop = asyncio.Event()
+                holder.update(
+                    port=server.port, loop=asyncio.get_running_loop(), stop=stop
+                )
+                ready.set()
+                await stop.wait()
+                await server.stop()
+
+            asyncio.run(_run())
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(10), "server thread never came up"
+        try:
+            code = main([
+                "loadgen", "--port", str(holder["port"]),
+                "--scenario", "steady", "--clients", "4", "--requests", "6",
+                "--frames", "2", "--seed", "3", "--assert-zero-residual",
+            ])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "residual frames    0" in out
+            assert "server stats:" in out
+            assert '"accepted_frames": 48' in out
+
+            code = main([
+                "loadgen", "--port", str(holder["port"]),
+                "--scenario", "bursty", "--clients", "2", "--requests", "4",
+                "--json",
+            ])
+            assert code == 0
+            assert '"residual_frames": 0' in capsys.readouterr().out
+        finally:
+            holder["loop"].call_soon_threadsafe(holder["stop"].set)
+            thread.join(10)
+
     def test_export_josim(self, capsys):
         assert main(["export-josim", "hamming84", "--spread", "0.2"]) == 0
         out = capsys.readouterr().out

@@ -62,6 +62,12 @@ class TestExamples:
         assert "goodput" in out
         assert "soft-FHT MER" in out
 
+    def test_streaming_service(self):
+        out = run_example("streaming_service.py", "--clients", "4", "--requests", "8")
+        assert "codec service listening" in out
+        assert "residual frames    0" in out  # the steady scenario
+        assert "per-session telemetry" in out
+
     @pytest.mark.slow
     def test_design_space_sweep(self):
         out = run_example("design_space_sweep.py", timeout=500)

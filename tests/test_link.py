@@ -110,6 +110,32 @@ class TestBinaryChannel:
     def test_crossover(self):
         assert BinaryChannel(p01=0.2, p10=0.4).crossover_probability() == pytest.approx(0.3)
 
+    def test_noiseless_skips_rng_draws(self):
+        # The zero-noise fast path must not consume from a shared
+        # generator: draws after a noiseless transmit equal draws from a
+        # fresh generator with the same seed.
+        channel = BinaryChannel(p01=0.0, p10=0.0)
+        bits = np.random.default_rng(1).integers(0, 2, (64, 8)).astype(np.uint8)
+        rng = np.random.default_rng(42)
+        out = channel.transmit(bits, random_state=rng)
+        assert np.array_equal(out, bits)
+        assert out is not bits  # still a private copy
+        untouched = np.random.default_rng(42)
+        assert np.array_equal(rng.random(16), untouched.random(16))
+
+    def test_noiseless_per_channel_array_skips_rng(self):
+        channel = BinaryChannel(p01=np.zeros(4), p10=np.zeros(4))
+        rng = np.random.default_rng(5)
+        channel.transmit(np.ones((10, 4), dtype=np.uint8), random_state=rng)
+        assert np.array_equal(rng.random(4), np.random.default_rng(5).random(4))
+
+    def test_noiseless_fast_path_still_validates_width(self):
+        # A 4-channel probability vector applied to 8-wide words is a
+        # misconfiguration and must raise even when noiseless.
+        channel = BinaryChannel(p01=np.zeros(4), p10=np.zeros(4))
+        with pytest.raises(ValueError):
+            channel.transmit(np.ones((10, 8), dtype=np.uint8), random_state=0)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             BinaryChannel(p01=1.5)

@@ -1,0 +1,606 @@
+"""Streaming codec service: protocol, scheduler, server, client, loadgen."""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.coding import get_code, get_decoder
+from repro.errors import BackpressureError, SessionError
+from repro.service import (
+    BatchPolicy,
+    CodecClient,
+    CodecServer,
+    MicroBatcher,
+    SessionConfig,
+    SessionRegistry,
+    catalog,
+    make_scenario,
+    run_scenario,
+)
+from repro.service import protocol
+from repro.service.session import CodecSession
+from repro.service.telemetry import LatencyReservoir, SessionTelemetry
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+# ---------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------
+class TestProtocol:
+    def test_pack_unpack_bits_round_trip(self):
+        rng = np.random.default_rng(0)
+        for batch, width in [(0, 7), (1, 8), (5, 7), (17, 13)]:
+            bits = rng.integers(0, 2, (batch, width)).astype(np.uint8)
+            assert np.array_equal(
+                protocol.unpack_bits(protocol.pack_bits(bits), batch, width), bits
+            )
+
+    def test_unpack_rejects_wrong_length(self):
+        with pytest.raises(protocol.ProtocolError):
+            protocol.unpack_bits(b"\x00\x00\x00", 2, 8)
+
+    def test_request_round_trip(self):
+        wire = protocol.build_request(protocol.OP_DECODE, 77, b"body")
+        request = protocol.parse_request(wire)
+        assert request.opcode == protocol.OP_DECODE
+        assert request.request_id == 77
+        assert request.body == b"body"
+
+    def test_response_round_trip_and_status(self):
+        wire = protocol.build_response(protocol.OP_OPEN, 9, protocol.ST_ERROR, b"boom")
+        response = protocol.parse_response(wire)
+        assert response.request_id == 9
+        with pytest.raises(protocol.ProtocolError, match="boom"):
+            response.raise_for_status()
+
+    def test_bad_magic_rejected(self):
+        wire = bytearray(protocol.build_request(protocol.OP_STATS, 1))
+        wire[0] ^= 0xFF
+        with pytest.raises(protocol.ProtocolError, match="magic"):
+            protocol.parse_request(bytes(wire))
+
+    def test_batch_body_round_trip(self):
+        bits = np.random.default_rng(1).integers(0, 2, (6, 8)).astype(np.uint8)
+        body = protocol.build_batch_body(3, bits)
+        session_id, decoded = protocol.parse_batch_body(body, lambda sid: 8)
+        assert session_id == 3
+        assert np.array_equal(decoded, bits)
+
+    def test_decode_response_body_round_trip(self):
+        rng = np.random.default_rng(2)
+        messages = rng.integers(0, 2, (5, 4)).astype(np.uint8)
+        corrected = np.array([0, 1, 2, 0, 300])
+        detected = np.array([False, False, True, False, True])
+        body = protocol.build_decode_response_body(messages, corrected, detected)
+        m, c, d = protocol.parse_decode_response_body(body, 4)
+        assert np.array_equal(m, messages)
+        assert np.array_equal(c, [0, 1, 2, 0, 255])  # saturating uint8
+        assert np.array_equal(d, detected)
+
+    def test_oversized_frame_rejected(self):
+        with pytest.raises(protocol.ProtocolError, match="cap"):
+            protocol.frame_bytes(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+
+# ---------------------------------------------------------------------
+# Sessions and registry
+# ---------------------------------------------------------------------
+class TestSessions:
+    def test_open_and_describe(self):
+        registry = SessionRegistry()
+        session = registry.open(SessionConfig(code="hamming84"))
+        info = session.describe()
+        assert (info["n"], info["k"], info["d_min"]) == (8, 4, 4)
+        assert info["decoder"] == "sec-ded"
+
+    def test_identical_noiseless_configs_are_shared(self):
+        registry = SessionRegistry()
+        first = registry.open(SessionConfig(code="rm13"))
+        second = registry.open(SessionConfig(code="rm13"))
+        assert first is second
+        assert len(registry) == 1
+
+    def test_noisy_configs_are_shared_and_bounded(self):
+        # Identical configs (even unseeded noisy ones) share a session;
+        # a client fleet re-opening the same tuple cannot grow the
+        # registry without bound.  Distinct seeds get distinct sessions.
+        registry = SessionRegistry()
+        config = SessionConfig(code="rm13", p01=0.1, p10=0.1)
+        assert registry.open(config) is registry.open(config)
+        seeded = SessionConfig(code="rm13", p01=0.1, p10=0.1, seed=1)
+        other = SessionConfig(code="rm13", p01=0.1, p10=0.1, seed=2)
+        assert registry.open(seeded) is not registry.open(other)
+        assert len(registry) == 3
+
+    def test_unknown_code_and_id(self):
+        registry = SessionRegistry()
+        with pytest.raises(SessionError):
+            registry.open(SessionConfig(code="golay"))
+        with pytest.raises(SessionError):
+            registry.get(999)
+
+    def test_config_from_dict_requires_code(self):
+        with pytest.raises(SessionError):
+            SessionConfig.from_dict({"decoder": "ml"})
+
+    def test_encode_frames_injects_seeded_errors(self):
+        config = SessionConfig(code="hamming84", p01=0.2, p10=0.2, seed=11)
+        msgs = np.random.default_rng(0).integers(0, 2, (200, 4)).astype(np.uint8)
+        one = CodecSession(1, config).encode_frames(msgs)
+        two = CodecSession(2, config).encode_frames(msgs)
+        clean = get_code("hamming84").encode_batch(msgs)
+        assert np.array_equal(one, two)  # same seed, same stream
+        assert (one != clean).any()      # and it actually corrupts
+
+    def test_catalog_lists_registry(self):
+        listing = catalog()
+        names = [c["name"] for c in listing["codes"]]
+        assert names == sorted(names)
+        assert {"hamming74", "hamming84", "rm13"} <= set(names)
+        entry = next(c for c in listing["codes"] if c["name"] == "hamming74")
+        assert (entry["n"], entry["k"], entry["d_min"]) == (7, 4, 3)
+        assert entry["default_decoder"] == "syndrome"
+        assert "syndrome" in listing["decoders"]
+
+
+# ---------------------------------------------------------------------
+# Micro-batching scheduler
+# ---------------------------------------------------------------------
+def _session(**kwargs) -> CodecSession:
+    return CodecSession(1, SessionConfig(code="hamming84", **kwargs))
+
+
+class TestMicroBatcher:
+    def test_size_flush_coalesces_into_one_kernel_call(self):
+        async def scenario():
+            session = _session()
+            calls = []
+            kernel = session.encode_frames
+
+            def spy(batch):
+                calls.append(len(batch))
+                return kernel(batch)
+
+            session.encode_frames = spy
+            batcher = MicroBatcher(BatchPolicy(max_batch=8, max_delay_us=50_000))
+            msgs = np.random.default_rng(0).integers(0, 2, (8, 4)).astype(np.uint8)
+            results = await asyncio.gather(
+                *(batcher.submit(session, "encode", msgs[i:i + 1]) for i in range(8))
+            )
+            return calls, np.concatenate(results), session.code.encode_batch(msgs)
+
+        calls, got, want = run(scenario())
+        assert calls == [8], "eight 1-frame requests must flush as one batch"
+        assert np.array_equal(got, want)
+
+    def test_deadline_flush_fires_without_filling(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(BatchPolicy(max_batch=1024, max_delay_us=2_000))
+            msgs = np.ones((2, 4), dtype=np.uint8)
+            result = await asyncio.wait_for(
+                batcher.submit(session, "encode", msgs), timeout=2.0
+            )
+            reasons = session.telemetry.flush_reasons
+            return result, dict(reasons)
+
+        result, reasons = run(scenario())
+        assert result.shape == (2, 8)
+        assert reasons == {"deadline": 1}
+
+    def test_decode_slices_are_bit_identical_to_direct_call(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(BatchPolicy(max_batch=64, max_delay_us=1_000))
+            rng = np.random.default_rng(3)
+            words = rng.integers(0, 2, (40, 8)).astype(np.uint8)
+            chunks = [words[i:i + 5] for i in range(0, 40, 5)]
+            results = await asyncio.gather(
+                *(batcher.submit(session, "decode", chunk) for chunk in chunks)
+            )
+            return results, words
+
+        results, words = run(scenario())
+        direct = get_decoder(get_code("hamming84")).decode_batch_detailed(words)
+        got_messages = np.concatenate([r.messages for r in results])
+        got_corrected = np.concatenate([r.corrected_errors for r in results])
+        got_detected = np.concatenate([r.detected_uncorrectable for r in results])
+        assert np.array_equal(got_messages, direct.messages)
+        assert np.array_equal(got_corrected, direct.corrected_errors)
+        assert np.array_equal(got_detected, direct.detected_uncorrectable)
+
+    def test_empty_request_completes_immediately(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(BatchPolicy(max_batch=4, max_delay_us=60e6))
+            empty = await batcher.submit(
+                session, "decode", np.zeros((0, 8), dtype=np.uint8)
+            )
+            return empty
+
+        empty = run(scenario())
+        assert len(empty) == 0
+        assert empty.messages.shape == (0, 4)
+
+    def test_backpressure_try_submit_refuses_when_full(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(
+                BatchPolicy(max_batch=4, max_delay_us=50_000, max_pending_frames=4)
+            )
+            msgs = np.zeros((3, 4), dtype=np.uint8)
+            first = asyncio.ensure_future(batcher.submit(session, "encode", msgs))
+            await asyncio.sleep(0)  # let it enqueue (3 < 4: no size flush yet)
+            with pytest.raises(BackpressureError):
+                await batcher.try_submit(session, "encode", msgs)
+            batcher.flush_all()
+            await first
+            # After the flush there is capacity again.
+            await batcher.try_submit(session, "encode", np.zeros((4, 4), np.uint8))
+
+        run(scenario())
+
+    def test_request_larger_than_lane_capacity_is_chunked(self):
+        # A single request bigger than max_pending_frames can never be
+        # admitted whole; it must flow through in chunks, not deadlock.
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(
+                BatchPolicy(max_batch=8, max_delay_us=1_000, max_pending_frames=8)
+            )
+            rng = np.random.default_rng(9)
+            msgs = rng.integers(0, 2, (37, 4)).astype(np.uint8)
+            encoded = await asyncio.wait_for(
+                batcher.submit(session, "encode", msgs), timeout=5.0
+            )
+            words = rng.integers(0, 2, (21, 8)).astype(np.uint8)
+            decoded = await asyncio.wait_for(
+                batcher.submit(session, "decode", words), timeout=5.0
+            )
+            return msgs, encoded, words, decoded
+
+        msgs, encoded, words, decoded = run(scenario())
+        assert np.array_equal(encoded, get_code("hamming84").encode_batch(msgs))
+        direct = get_decoder(get_code("hamming84")).decode_batch_detailed(words)
+        assert np.array_equal(decoded.messages, direct.messages)
+        assert np.array_equal(decoded.corrected_errors, direct.corrected_errors)
+
+    def test_submit_waits_for_capacity_then_proceeds(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(
+                BatchPolicy(max_batch=8, max_delay_us=1_000, max_pending_frames=8)
+            )
+            big = np.zeros((6, 4), dtype=np.uint8)
+            small = np.zeros((6, 4), dtype=np.uint8)
+            first = asyncio.ensure_future(batcher.submit(session, "encode", big))
+            await asyncio.sleep(0)
+            # 6 pending + 6 > 8: the second submit must wait for the
+            # deadline flush of the first, then complete on its own.
+            second = await asyncio.wait_for(
+                batcher.submit(session, "encode", small), timeout=2.0
+            )
+            await first
+            return second
+
+        assert run(scenario()).shape == (6, 8)
+
+    def test_kernel_error_propagates_to_every_request(self):
+        async def scenario():
+            session = _session()
+            session.decode_frames = lambda batch: (_ for _ in ()).throw(
+                RuntimeError("kernel exploded")
+            )
+            batcher = MicroBatcher(BatchPolicy(max_batch=2, max_delay_us=50_000))
+            words = np.zeros((1, 8), dtype=np.uint8)
+            futures = [
+                asyncio.ensure_future(batcher.submit(session, "decode", words))
+                for _ in range(2)
+            ]
+            outcomes = await asyncio.gather(*futures, return_exceptions=True)
+            return outcomes
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+    def test_malformed_cohabitant_fails_its_cohort_not_strands_it(self):
+        # A wrong-width block breaks the batch concatenation; every
+        # request in that flush must get the exception — no future may
+        # be stranded (regression: concat ran outside the try/except).
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(BatchPolicy(max_batch=4, max_delay_us=50_000))
+            good = asyncio.ensure_future(
+                batcher.submit(session, "encode", np.zeros((2, 4), np.uint8))
+            )
+            await asyncio.sleep(0)
+            lane = batcher._lanes[(session.session_id, "encode")]
+            bad_future = lane.enqueue(np.zeros((2, 7), np.uint8))  # wrong width
+            outcomes = await asyncio.wait_for(
+                asyncio.gather(good, bad_future, return_exceptions=True), timeout=2.0
+            )
+            return outcomes
+
+        outcomes = run(scenario())
+        assert all(isinstance(o, Exception) for o in outcomes)
+
+    def test_invalid_op_rejected(self):
+        async def scenario():
+            with pytest.raises(ValueError):
+                await MicroBatcher().submit(_session(), "transcode", np.zeros((1, 4)))
+
+        run(scenario())
+
+
+# ---------------------------------------------------------------------
+# Telemetry
+# ---------------------------------------------------------------------
+class TestTelemetry:
+    def test_latency_reservoir_percentiles(self):
+        reservoir = LatencyReservoir(maxlen=100)
+        for value in range(1, 101):
+            reservoir.record(float(value))
+        assert reservoir.percentile(50) == pytest.approx(50.5)
+        assert reservoir.percentile(99) == pytest.approx(99.01)
+        assert LatencyReservoir().percentile(99) == 0.0
+
+    def test_reservoir_is_bounded(self):
+        reservoir = LatencyReservoir(maxlen=10)
+        for value in range(1000):
+            reservoir.record(float(value))
+        assert len(reservoir) == 10
+        assert reservoir.percentile(50) >= 990
+
+    def test_decode_outcome_counters(self):
+        telemetry = SessionTelemetry()
+        telemetry.record_decode_outcome(
+            corrected_errors=np.array([0, 1, 2, 0]),
+            detected_uncorrectable=np.array([False, False, True, False]),
+        )
+        assert telemetry.frames_accepted == 2
+        assert telemetry.frames_corrected == 1  # corrected and *not* flagged
+        assert telemetry.frames_detected == 1
+        assert telemetry.bits_corrected == 3
+        snapshot = telemetry.snapshot()
+        assert snapshot["accepted_frames"] == 2
+        assert json.dumps(snapshot)  # JSON-serialisable
+
+
+# ---------------------------------------------------------------------
+# Server + client end to end
+# ---------------------------------------------------------------------
+async def _with_server(policy, fn):
+    server = CodecServer(policy=policy)
+    await server.start()
+    try:
+        return await fn(server)
+    finally:
+        await server.stop()
+
+
+class TestServerEndToEnd:
+    def test_round_trip_and_stats(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming74")
+            assert (session.n, session.k) == (7, 4)
+            msgs = np.random.default_rng(0).integers(0, 2, (50, 4)).astype(np.uint8)
+            words = await session.encode(msgs)
+            assert np.array_equal(words, get_code("hamming74").encode_batch(msgs))
+            decoded = await session.decode(words)
+            assert np.array_equal(decoded.messages, msgs)
+            assert not decoded.detected_uncorrectable.any()
+            stats = await client.stats()
+            await client.close()
+            return stats
+
+        stats = run(_with_server(BatchPolicy(max_batch=16, max_delay_us=500), scenario))
+        session_stats = stats["sessions"]["1"]
+        assert session_stats["frames"] == {"encode": 50, "decode": 50}
+        assert session_stats["accepted_frames"] == 50
+        assert stats["connections_total"] == 1
+
+    def test_decode_bit_identical_to_direct_kernel_under_concurrency(self):
+        async def scenario(server):
+            rng = np.random.default_rng(7)
+            words = rng.integers(0, 2, (128, 8)).astype(np.uint8)
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            blocks = await asyncio.gather(
+                *(session.decode(words[i:i + 1]) for i in range(len(words)))
+            )
+            await client.close()
+            return blocks, words
+
+        blocks, words = run(
+            _with_server(BatchPolicy(max_batch=32, max_delay_us=200), scenario)
+        )
+        direct = get_decoder(get_code("hamming84")).decode_batch_detailed(words)
+        assert np.array_equal(
+            np.concatenate([b.messages for b in blocks]), direct.messages
+        )
+        assert np.array_equal(
+            np.concatenate([b.corrected_errors for b in blocks]),
+            direct.corrected_errors,
+        )
+
+    def test_pipelined_requests_coalesce(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("rm13")
+            msgs = np.random.default_rng(1).integers(0, 2, (64, 4)).astype(np.uint8)
+            # Fire 64 single-frame decodes without awaiting in between.
+            words = await session.encode(msgs)
+            blocks = await asyncio.gather(
+                *(session.decode(words[i:i + 1]) for i in range(64))
+            )
+            stats = await client.stats()
+            await client.close()
+            return blocks, msgs, stats
+
+        blocks, msgs, stats = run(
+            _with_server(BatchPolicy(max_batch=64, max_delay_us=5_000), scenario)
+        )
+        assert np.array_equal(np.concatenate([b.messages for b in blocks]), msgs)
+        decode_batches = stats["sessions"]["1"]["max_batch_frames"]
+        assert decode_batches > 1, "pipelined frames never coalesced"
+
+    def test_error_injection_session_over_wire(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84", p01=0.3, p10=0.3, seed=5)
+            msgs = np.random.default_rng(2).integers(0, 2, (200, 4)).astype(np.uint8)
+            words = await session.encode(msgs)
+            decoded = await session.decode(words)
+            stats = await client.stats()
+            await client.close()
+            clean = get_code("hamming84").encode_batch(msgs)
+            return words, decoded, stats, clean
+
+        words, decoded, stats, clean = run(
+            _with_server(BatchPolicy(max_batch=512, max_delay_us=200), scenario)
+        )
+        assert (words != clean).any(), "injection session returned clean words"
+        session_stats = stats["sessions"]["1"]
+        assert session_stats["corrected_frames"] + session_stats["detected_frames"] > 0
+        assert session_stats["corrected_frames"] == int(
+            ((decoded.corrected_errors > 0) & ~decoded.detected_uncorrectable).sum()
+        )
+
+    def test_unknown_session_and_code_surface_as_errors(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            with pytest.raises(protocol.ProtocolError, match="unknown session"):
+                await client.request(
+                    protocol.OP_DECODE,
+                    protocol.build_batch_body(42, np.zeros((1, 8), np.uint8)),
+                )
+            with pytest.raises(protocol.ProtocolError, match="unknown code"):
+                await client.open_session("golay")
+            # The connection survives both errors.
+            session = await client.open_session("hamming84")
+            assert session.k == 4
+            await client.close()
+
+        run(_with_server(None, scenario))
+
+    def test_response_over_frame_cap_yields_error_not_hang(self, monkeypatch):
+        # Decode responses are larger than their requests; when one
+        # exceeds the frame cap the client must get an ST_ERROR reply,
+        # not wait forever on its request id.
+        monkeypatch.setattr(protocol, "MAX_FRAME_BYTES", 256)
+
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            words = np.zeros((100, 8), dtype=np.uint8)  # request ~115 B, reply ~310 B
+            with pytest.raises(protocol.ProtocolError, match="cap"):
+                await asyncio.wait_for(session.decode(words), timeout=5.0)
+            # The connection is still serviceable afterwards.
+            small = await session.decode(np.zeros((2, 8), dtype=np.uint8))
+            assert len(small) == 2
+            await client.close()
+            # (The JSON stats snapshot itself exceeds the tiny test cap,
+            # so read the counter off the server object.)
+            return server.telemetry.protocol_errors
+
+        errors = run(_with_server(BatchPolicy(max_batch=256, max_delay_us=100), scenario))
+        assert errors >= 1
+
+    def test_client_rejects_wrong_frame_width(self):
+        from repro.errors import DimensionError
+
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            with pytest.raises(DimensionError, match=r"\(batch, 4\) messages"):
+                await session.encode(np.ones((2, 5), dtype=np.uint8))
+            with pytest.raises(DimensionError, match=r"\(batch, 8\) received"):
+                await session.decode(np.ones((2, 7), dtype=np.uint8))
+            await client.close()
+
+        run(_with_server(None, scenario))
+
+    def test_request_after_server_gone_fails_fast(self):
+        async def scenario():
+            server = CodecServer()
+            await server.start()
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            await server.stop()
+            await asyncio.sleep(0.05)  # let the client's reader see EOF
+            # A *new* request on the dead connection must raise, not
+            # await a response that can never arrive.
+            with pytest.raises(ConnectionResetError):
+                await asyncio.wait_for(
+                    session.encode(np.zeros((1, 4), dtype=np.uint8)), timeout=2.0
+                )
+            await client.close()
+
+        run(scenario())
+
+    def test_codes_endpoint(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            listing = await client.codes()
+            await client.close()
+            return listing
+
+        listing = run(_with_server(None, scenario))
+        assert listing == catalog()
+
+
+# ---------------------------------------------------------------------
+# Load harness
+# ---------------------------------------------------------------------
+class TestLoadgen:
+    @pytest.mark.parametrize("name", ["steady", "bursty", "mixed"])
+    def test_noiseless_scenarios_have_zero_residual(self, name):
+        async def scenario():
+            server = CodecServer(policy=BatchPolicy(max_batch=64, max_delay_us=300))
+            await server.start()
+            try:
+                return await run_scenario(
+                    "127.0.0.1", server.port, make_scenario(name),
+                    clients=5, requests=8, frames_per_request=3, seed=2,
+                )
+            finally:
+                await server.stop()
+
+        report = run(scenario())
+        assert report.frames_sent == 5 * 8 * 3
+        assert report.residual_frames == 0
+        assert report.flagged_frames == 0
+        assert report.server_stats["frames_total"] == 2 * report.frames_sent
+        assert report.throughput_fps > 0
+
+    def test_adversarial_scenario_reports_decoder_work(self):
+        async def scenario():
+            server = CodecServer(policy=BatchPolicy(max_batch=64, max_delay_us=300))
+            await server.start()
+            try:
+                return await run_scenario(
+                    "127.0.0.1", server.port, make_scenario("adversarial"),
+                    clients=6, requests=10, frames_per_request=4, seed=3,
+                )
+            finally:
+                await server.stop()
+
+        report = run(scenario())
+        # At p up to 0.08 on an SEC-DED code the decoder must have had
+        # something to do; residuals are possible and allowed.
+        assert report.corrupted_frames > 0
+        total_decodes = sum(
+            s["frames"].get("decode", 0)
+            for s in report.server_stats["sessions"].values()
+        )
+        assert total_decodes == report.frames_sent
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            make_scenario("tsunami")
