@@ -1,0 +1,161 @@
+"""Batched vs scalar soft (LLR) decoding throughput (frames/sec).
+
+Measures the float soft-decision kernels — the Hadamard-spectrum batch
+decoder for RM(1,3) and the generic correlation (soft-ML) kernel for
+the Hamming codes — against the honest baseline of calling scalar
+``decode_soft`` per frame, for batch sizes 1 through 16384.  On every
+measured batch the two paths are verified **bit-identical** (messages,
+and for the detailed kernel also the corrected-error counts and
+tie/detected flags).
+
+This is a standalone script, not a pytest-benchmark suite, so CI can
+run it as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_soft.py --quick
+
+Exit status is non-zero if any batch output deviates from the scalar
+path or if the batch speedup at the acceptance batch size (4096) falls
+below the floor (default 10x; ``REPRO_BENCH_SOFT_MIN_SPEEDUP`` lowers
+it on noisy shared runners, matching bench_batch/bench_service).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, List
+
+import numpy as np
+
+from repro.coding import get_code, get_decoder
+
+FULL_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384]
+QUICK_SIZES = [1, 64, 1024, 4096]
+ACCEPTANCE_BATCH = 4096
+#: The speedup floor is timing-sensitive; loaded/shared CI runners can
+#: lower it via the environment instead of flaking.
+ACCEPTANCE_SPEEDUP = float(os.environ.get("REPRO_BENCH_SOFT_MIN_SPEEDUP", "10.0"))
+CODES = ["hamming74", "hamming84", "rm13"]
+#: AWGN sigma on the ±1 symbols: enough noise that decoders do real work.
+NOISE_SIGMA = 0.35
+
+
+def _time(fn: Callable[[], object], min_seconds: float = 0.02) -> float:
+    """Best-of-k wall time of ``fn`` with an adaptive repeat count."""
+    fn()  # warm caches (codebook signs, Hadamard matrices, ...)
+    start = time.perf_counter()
+    fn()
+    once = max(time.perf_counter() - start, 1e-9)
+    repeats = max(1, min(50, int(min_seconds / once)))
+    best = once
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _confidences(code, size: int, rng: np.random.Generator) -> np.ndarray:
+    """Noisy BPSK confidences for ``size`` random codewords."""
+    msgs = rng.integers(0, 2, size=(size, code.k)).astype(np.uint8)
+    symbols = 1.0 - 2.0 * code.encode_batch(msgs).astype(np.float64)
+    return symbols + rng.normal(0.0, NOISE_SIGMA, symbols.shape)
+
+
+def bench_code(name: str, sizes: List[int], assert_speedup: bool = True) -> None:
+    code = get_code(name)
+    decoder = get_decoder(code)
+    rng = np.random.default_rng(0)
+    print(f"\n{code.name}  [n={code.n}, k={code.k}]  decoder={decoder.strategy_name}")
+    header = (
+        f"{'batch':>7} | {'scalar soft f/s':>15} {'batch soft f/s':>15} {'soft x':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    for size in sizes:
+        confidences = _confidences(code, size, rng)
+
+        def scalar_soft():
+            return np.array(
+                [decoder.decode_soft(row).message for row in confidences],
+                dtype=np.uint8,
+            )
+
+        # Bit-identity: batched messages, counts and flags must match
+        # the scalar path row for row at every measured size.
+        detailed = decoder.decode_soft_batch_detailed(confidences)
+        scalar_results = [decoder.decode_soft(row) for row in confidences]
+        if not np.array_equal(
+            detailed.messages,
+            np.array([r.message for r in scalar_results], dtype=np.uint8),
+        ):
+            _fail(f"{name}: decode_soft_batch deviates from scalar decode_soft "
+                  f"at batch {size}")
+        if not np.array_equal(
+            np.asarray(detailed.corrected_errors),
+            np.array([r.corrected_errors for r in scalar_results]),
+        ):
+            _fail(f"{name}: batched soft corrected_errors deviate at batch {size}")
+        if not np.array_equal(
+            np.asarray(detailed.detected_uncorrectable),
+            np.array([r.detected_uncorrectable for r in scalar_results]),
+        ):
+            _fail(f"{name}: batched soft tie flags deviate at batch {size}")
+        if not np.array_equal(decoder.decode_soft_batch(confidences), detailed.messages):
+            _fail(f"{name}: decode_soft_batch disagrees with the detailed kernel "
+                  f"at batch {size}")
+
+        t_scalar = _time(scalar_soft)
+        t_batch = _time(lambda: decoder.decode_soft_batch(confidences))
+        speedup = t_scalar / t_batch
+        print(
+            f"{size:>7} | {size / t_scalar:>15,.0f} {size / t_batch:>15,.0f}"
+            f" {speedup:>6.1f}x"
+        )
+        if assert_speedup and size == ACCEPTANCE_BATCH:
+            if speedup < ACCEPTANCE_SPEEDUP:
+                _fail(
+                    f"{name}: soft batch speedup at {ACCEPTANCE_BATCH} below "
+                    f"{ACCEPTANCE_SPEEDUP}x ({speedup:.1f}x)"
+                )
+
+
+def main(argv: List[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: batch sizes {QUICK_SIZES} only",
+    )
+    parser.add_argument(
+        "--codes",
+        nargs="+",
+        default=CODES,
+        choices=CODES,
+        help="subset of paper codes to benchmark",
+    )
+    parser.add_argument(
+        "--no-assert",
+        action="store_true",
+        help="report speedups without enforcing the acceptance floor",
+    )
+    args = parser.parse_args(argv)
+    sizes = QUICK_SIZES if args.quick else FULL_SIZES
+    print(
+        "Batched soft (LLR) decoding vs scalar per-frame decode_soft "
+        "(bit-identity checked at every size)"
+    )
+    for name in args.codes:
+        bench_code(name, sizes, assert_speedup=not args.no_assert)
+    print("\nAll soft batch outputs bit-identical to the scalar path.")
+
+
+if __name__ == "__main__":
+    main()

@@ -135,6 +135,25 @@ def _build_parser() -> argparse.ArgumentParser:
     abl.add_argument("--seed", type=int, default=7)
     _add_runtime_args(abl)
 
+    soft = sub.add_parser(
+        "soft-gain",
+        help="hard-vs-soft residual BER per registry code under AWGN",
+    )
+    soft.add_argument("--chips", type=_positive_int, default=200)
+    soft.add_argument("--messages", type=_positive_int, default=256,
+                      help="frames per chip")
+    soft.add_argument("--sigmas", type=_nonnegative_float, nargs="+", default=None,
+                      metavar="SIGMA",
+                      help="noise RMS values as fractions of the flux eye "
+                           "(default: 0.2 0.3 0.4 0.5 0.6)")
+    soft.add_argument("--codes", nargs="+", default=None,
+                      choices=["rm13", "hamming74", "hamming84"],
+                      help="subset of registry codes (default: all)")
+    soft.add_argument("--seed", type=int, default=20250831)
+    soft.add_argument("--csv", metavar="PATH", default=None,
+                      help="write the hard/soft BER curves as CSV")
+    _add_runtime_args(soft)
+
     josim = sub.add_parser("export-josim", help="emit a JoSIM deck for an encoder")
     josim.add_argument("scheme", choices=["rm13", "hamming74", "hamming84", "none"])
     josim.add_argument("--spread", type=float, default=0.0)
@@ -178,6 +197,13 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="code for single-code scenarios (ignored by 'mixed')")
     loadgen.add_argument("--decoder", default=None,
                          help="decoder strategy (default: the paper's pairing)")
+    loadgen.add_argument("--soft", action="store_true",
+                         help="decode through the float soft lane (LLR frames) "
+                              "instead of the hard bit lane")
+    loadgen.add_argument("--soft-sigma", type=_nonnegative_float, default=0.0,
+                         metavar="SIGMA",
+                         help="Gaussian jitter RMS added to the soft "
+                              "confidences (only with --soft)")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the full report (incl. server stats) as JSON")
     loadgen.add_argument("--assert-zero-residual", action="store_true",
@@ -238,6 +264,25 @@ def main(argv: Optional[List[str]] = None) -> int:
             n_chips=args.chips, seed=args.seed, engine=_engine_from_args(args)
         )
         print(ablations.render(result))
+    elif args.command == "soft-gain":
+        from repro.experiments import soft_gain
+
+        config_kwargs = dict(
+            n_chips=args.chips, n_messages=args.messages, seed=args.seed
+        )
+        if args.sigmas is not None:
+            config_kwargs["sigmas"] = tuple(args.sigmas)
+        if args.codes is not None:
+            config_kwargs["codes"] = tuple(args.codes)
+        result = soft_gain.run(
+            soft_gain.SoftGainConfig(**config_kwargs),
+            engine=_engine_from_args(args),
+        )
+        print(soft_gain.render(result))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(soft_gain.curves_csv(result))
+            print(f"BER curves written to {args.csv}")
     elif args.command == "export-josim":
         from repro.encoders.designs import design_for_scheme
         from repro.sfq.josim import export_josim_deck
@@ -321,6 +366,13 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         from repro.service import loadgen as loadgen_mod
 
+        if args.soft_sigma > 0 and not args.soft:
+            print(
+                "repro loadgen: error: --soft-sigma only makes sense with --soft",
+                file=sys.stderr,
+            )
+            return 2
+
         scenario = loadgen_mod.make_scenario(
             args.scenario, code=args.code, decoder=args.decoder
         )
@@ -334,6 +386,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                     requests=args.requests,
                     frames_per_request=args.frames,
                     seed=args.seed,
+                    soft=args.soft,
+                    soft_sigma=args.soft_sigma,
                 )
             )
         except OSError as exc:

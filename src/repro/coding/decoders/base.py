@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.coding.linear import LinearBlockCode
 from repro.errors import DimensionError
+from repro.gf2.bitpack import pack_rows, packed_hamming_distance
 from repro.gf2.vectors import as_bit_array
 
 
@@ -96,14 +97,38 @@ class BatchDecodeResult:
         )
 
 
+#: Largest code dimension the exhaustive correlation soft decoder will
+#: enumerate (2^k codeword scores per word; the paper's codes have k=4).
+SOFT_CODEBOOK_K_LIMIT = 16
+
+
 class Decoder(ABC):
-    """Base class for hard-decision decoders of a specific code."""
+    """Base class for decoders of a specific code.
+
+    Every decoder exposes two input domains:
+
+    * **hard** — 0/1 received words (:meth:`decode`,
+      :meth:`decode_batch`, :meth:`decode_batch_detailed`);
+    * **soft** — real per-bit confidences in the BPSK convention
+      (positive = "looks like 0", magnitude = reliability;
+      :meth:`decode_soft`, :meth:`decode_soft_batch`,
+      :meth:`decode_soft_batch_detailed`).
+
+    The base soft implementation is exhaustive correlation decoding —
+    score every codeword against the confidence vector and pick the
+    maximum, which *is* maximum-likelihood on an AWGN-style channel —
+    so every short code in the registry gets a working soft path for
+    free.  Structured codes override it with a faster kernel (RM(1, m)
+    uses the Hadamard spectrum, see
+    :class:`~repro.coding.decoders.fht.FhtDecoder`).
+    """
 
     #: Short identifier used in reports and the decoder-policy ablation.
     strategy_name: str = "abstract"
 
     def __init__(self, code: LinearBlockCode):
         self.code = code
+        self._codebook_signs: Optional[np.ndarray] = None
 
     @abstractmethod
     def decode(self, received: Sequence[int]) -> DecodeResult:
@@ -163,6 +188,118 @@ class Decoder(ABC):
             corrected_errors=corrected,
             detected_uncorrectable=flagged,
         )
+
+    # ------------------------------------------------------------------
+    # Soft-decision interface
+    # ------------------------------------------------------------------
+    def decode_soft(self, confidences: Sequence[float]) -> DecodeResult:
+        """Decode one n-vector of real confidences (BPSK convention).
+
+        Delegates to :meth:`decode_soft_batch_detailed` on a one-row
+        batch, so scalar and batched soft decoding are identical by
+        construction (same kernel, same tie-break).
+        """
+        values = np.asarray(confidences, dtype=np.float64)
+        if values.shape != (self.code.n,):
+            raise ValueError(
+                f"expected {self.code.n} confidences, got shape {values.shape}"
+            )
+        return self.decode_soft_batch_detailed(values[None, :])[0]
+
+    def decode_soft_batch(self, confidences: np.ndarray) -> np.ndarray:
+        """Soft-decode a ``(batch, n)`` confidence array into messages.
+
+        Message-only fast path for hot loops (the soft-gain Monte-Carlo
+        sweep): skips the codeword re-encode and correction-count
+        bookkeeping that :meth:`decode_soft_batch_detailed` adds,
+        mirroring the hard :meth:`decode_batch` / detailed split.
+
+        Parameters
+        ----------
+        confidences : numpy.ndarray
+            ``(batch, n)`` real confidences; positive means "looks like
+            0", magnitude is the reliability (LLR-like).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(batch, k)`` ``uint8`` message estimates.  Use
+            :meth:`decode_soft_batch_detailed` when the error flags or
+            correction counts are also needed.
+        """
+        values = self._check_soft_batch(confidences)
+        scores = self._correlation_scores(values)
+        return self.code.all_messages[scores.argmax(axis=1)]
+
+    def decode_soft_batch_detailed(self, confidences: np.ndarray) -> BatchDecodeResult:
+        """Vectorised correlation (soft-ML) decoding of a whole batch.
+
+        Scores all 2^k codewords against every row — exact maximum
+        likelihood for any memoryless symmetric soft channel — and
+        breaks score ties deterministically by the smallest message
+        index (ties also raise ``detected_uncorrectable``, mirroring
+        the hard decoders' ambiguity flag).  ``corrected_errors``
+        counts where the chosen codeword differs from the sign-sliced
+        input, aligning soft telemetry with the hard path's.
+
+        Parameters
+        ----------
+        confidences : numpy.ndarray
+            ``(batch, n)`` real confidence array.
+
+        Returns
+        -------
+        BatchDecodeResult
+            Row-aligned messages, codeword commitments, correction
+            counts and tie flags.
+        """
+        values = self._check_soft_batch(confidences)
+        scores = self._correlation_scores(values)
+        best_index = scores.argmax(axis=1)
+        best = scores[np.arange(len(values)), best_index]
+        ties = (scores == best[:, None]).sum(axis=1) > 1
+        messages = self.code.all_messages[best_index]
+        codewords = self.code.all_codewords[best_index]
+        hard = (values < 0).astype(np.uint8)
+        corrected = packed_hamming_distance(pack_rows(codewords), pack_rows(hard))
+        return BatchDecodeResult(
+            messages=messages,
+            codewords=codewords,
+            corrected_errors=corrected.astype(np.int64),
+            detected_uncorrectable=ties,
+        )
+
+    def _correlation_scores(self, values: np.ndarray) -> np.ndarray:
+        """``(batch, 2^k)`` correlation of each row with every codeword.
+
+        Elementwise product + axis sum (not BLAS matmul) keeps the
+        floating-point reduction order identical for every batch size,
+        so 1-row and 4096-row calls are bit-identical.
+        """
+        signs = self._soft_codebook_signs()
+        return (values[:, None, :] * signs[None, :, :]).sum(axis=2)
+
+    def _soft_codebook_signs(self) -> np.ndarray:
+        """±1 rows of the codebook (``+1`` encodes bit 0), cached."""
+        if self._codebook_signs is None:
+            if self.code.k > SOFT_CODEBOOK_K_LIMIT:
+                raise NotImplementedError(
+                    f"correlation soft decoding enumerates 2^k codewords; "
+                    f"k={self.code.k} exceeds the limit of "
+                    f"{SOFT_CODEBOOK_K_LIMIT} — override decode_soft_batch_detailed"
+                )
+            self._codebook_signs = 1.0 - 2.0 * self.code.all_codewords.astype(
+                np.float64
+            )
+        return self._codebook_signs
+
+    def _check_soft_batch(self, confidences: np.ndarray) -> np.ndarray:
+        values = np.asarray(confidences, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != self.code.n:
+            raise ValueError(
+                f"expected (batch, {self.code.n}) confidences, got {values.shape}"
+            )
+        return values
 
     def _check_received(self, received: Sequence[int]) -> np.ndarray:
         return as_bit_array(received, length=self.code.n)

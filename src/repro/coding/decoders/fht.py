@@ -73,6 +73,61 @@ def hadamard_matrix(n: int) -> np.ndarray:
     return hadamard
 
 
+def soft_spectrum_messages(values: np.ndarray, m: int):
+    """Batched soft Hadamard decoding: ``(messages, ties)`` for RM(1, m).
+
+    ``values`` is a ``(batch, 2^m)`` float array of BPSK confidences.
+    The whole batch is pushed through one dense Hadamard product; the
+    largest-magnitude spectrum coefficient per row gives the message,
+    its sign the constant term.  Ties in magnitude (or an all-zero
+    spectrum) are reported per row, matching the scalar tie-break:
+    smallest spectrum index wins, positive sign preferred.
+
+    The product is an elementwise multiply + axis sum rather than a
+    BLAS matmul so the floating-point reduction order is identical for
+    every batch size — a 1-row call and a 4096-row call are
+    bit-identical per row (``bench_soft.py`` asserts exactly that).
+    """
+    batch, n = values.shape
+    hadamard = hadamard_matrix(n).astype(np.float64)
+    spectra = (values[:, None, :] * hadamard[None, :, :]).sum(axis=2)
+    magnitudes = np.abs(spectra)
+    best = magnitudes.max(axis=1, initial=0.0)
+    best_index = (
+        magnitudes.argmax(axis=1) if batch else np.zeros(0, dtype=np.int64)
+    )
+    best_value = spectra[np.arange(batch), best_index]
+    ties = ((magnitudes == best[:, None]).sum(axis=1) > 1) | (best == 0.0)
+    messages = np.empty((batch, m + 1), dtype=np.uint8)
+    messages[:, 0] = (best_value < 0).astype(np.uint8)
+    for j in range(m):
+        messages[:, j + 1] = (best_index >> j) & 1
+    return messages, ties
+
+
+def soft_spectrum_detailed(
+    code: LinearBlockCode, values: np.ndarray, m: int
+) -> BatchDecodeResult:
+    """Full :class:`BatchDecodeResult` for a validated confidence batch.
+
+    Shared by :class:`FhtDecoder` and
+    :class:`~repro.coding.decoders.soft.SoftFhtDecoder`:
+    ``corrected_errors`` counts where the committed codeword differs
+    from the sign-sliced input, aligning soft telemetry with the hard
+    path's.
+    """
+    messages, ties = soft_spectrum_messages(values, m)
+    codewords = code.encode_batch(messages)
+    hard = (values < 0).astype(np.uint8)
+    corrected = packed_hamming_distance(pack_rows(codewords), pack_rows(hard))
+    return BatchDecodeResult(
+        messages=messages,
+        codewords=codewords,
+        corrected_errors=corrected.astype(np.int64),
+        detected_uncorrectable=ties,
+    )
+
+
 def _check_rm1m(code: LinearBlockCode, who: str) -> int:
     """Validate that ``code`` uses the RM(1, m) generator convention.
 
@@ -105,7 +160,7 @@ class FhtDecoder(Decoder):
 
     def __init__(self, code: LinearBlockCode):
         super().__init__(code)
-        self.m = _check_rm1m(code, "FhtDecoder")
+        self.m = _check_rm1m(code, type(self).__name__)
 
     def _spectrum_argmax(self, spectrum: np.ndarray) -> Tuple[int, int, bool]:
         """Return (index, sign, tie) of the max-|T| coefficient.
@@ -191,4 +246,21 @@ class FhtDecoder(Decoder):
             codewords=codewords,
             corrected_errors=corrected,
             detected_uncorrectable=ties,
+        )
+
+    def decode_soft_batch(self, confidences: np.ndarray) -> np.ndarray:
+        """Message-only batched soft decoding via the Hadamard spectrum.
+
+        The RM(1, m) spectrum *is* the correlation with every codeword,
+        so this replaces the base class's generic 2^k-codeword
+        correlation with one dense n x n product — the soft peer of the
+        hard :meth:`decode_batch` fast path.
+        """
+        values = self._check_soft_batch(confidences)
+        return soft_spectrum_messages(values, self.m)[0]
+
+    def decode_soft_batch_detailed(self, confidences: np.ndarray) -> BatchDecodeResult:
+        """Batched soft decoding keeping codewords, counts and tie flags."""
+        return soft_spectrum_detailed(
+            self.code, self._check_soft_batch(confidences), self.m
         )

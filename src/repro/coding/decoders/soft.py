@@ -8,6 +8,12 @@ coefficient.  Against the waveform layer this means decoding straight
 from per-window flux values instead of first slicing to bits — worth
 several dB at the noise levels where the hard slicer starts failing
 (demonstrated in ``tests/test_soft_decoding.py``).
+
+The batched kernels (``decode_soft_batch`` /
+``decode_soft_batch_detailed``) share the dense Hadamard product with
+the hard :class:`~repro.coding.decoders.fht.FhtDecoder`; the scalar
+``decode_soft`` delegates to the one-row batch so both paths are
+bit-identical by construction.
 """
 
 from __future__ import annotations
@@ -16,87 +22,28 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.coding.decoders.base import DecodeResult, Decoder
-from repro.coding.decoders.fht import (
-    _check_rm1m,
-    hadamard_matrix,
-    walsh_hadamard_transform,
-)
-from repro.coding.linear import LinearBlockCode
+from repro.coding.decoders.base import DecodeResult
+from repro.coding.decoders.fht import FhtDecoder
 
 
-class SoftFhtDecoder(Decoder):
+class SoftFhtDecoder(FhtDecoder):
     """Soft-input ML decoder for RM(1, m) via the Hadamard spectrum.
 
     Input confidences follow the BPSK convention: value > 0 means "bit
     looks like 0", value < 0 means "bit looks like 1", magnitude is the
-    reliability.  ``decode`` accepts hard bits for interface
-    compatibility (they are mapped to ±1); ``decode_soft`` is the real
-    entry point.
+    reliability.  All batched kernels (hard and soft) are inherited
+    from :class:`~repro.coding.decoders.fht.FhtDecoder` — the two
+    strategies share one spectrum implementation and differ only in
+    what ``decode`` accepts: here hard bits are a *degenerate soft
+    input* (mapped to ±1 and decoded through the soft path), so
+    ``decode_soft`` is the real entry point.
     """
 
     strategy_name = "soft-fht"
 
-    def __init__(self, code: LinearBlockCode):
-        super().__init__(code)
-        self.m = _check_rm1m(code, "SoftFhtDecoder")
-
-    def decode_soft(self, confidences: Sequence[float]) -> DecodeResult:
-        """Decode one n-vector of real confidences."""
-        values = np.asarray(confidences, dtype=float)
-        if values.shape != (self.code.n,):
-            raise ValueError(
-                f"expected {self.code.n} confidences, got shape {values.shape}"
-            )
-        spectrum = self._wht_real(values)
-        magnitudes = np.abs(spectrum)
-        best = float(magnitudes.max())
-        candidates = np.nonzero(magnitudes == best)[0]
-        index = int(candidates[0])
-        tie = len(candidates) > 1 or best == 0.0
-        m1 = 0 if spectrum[index] >= 0 else 1
-        coefficients = [(index >> j) & 1 for j in range(self.m)]
-        message = np.array([m1] + coefficients, dtype=np.uint8)
-        codeword = self.code.encode(message)
-        hard = (values < 0).astype(np.uint8)
-        return DecodeResult(
-            message=message,
-            codeword=codeword,
-            corrected_errors=int(np.count_nonzero(codeword ^ hard)),
-            detected_uncorrectable=tie,
-        )
-
-    @staticmethod
-    def _wht_real(values: np.ndarray) -> np.ndarray:
-        t = values.astype(float).copy()
-        n = t.size
-        h = 1
-        while h < n:
-            for start in range(0, n, 2 * h):
-                a = t[start : start + h].copy()
-                b = t[start + h : start + 2 * h].copy()
-                t[start : start + h] = a + b
-                t[start + h : start + 2 * h] = a - b
-            h *= 2
-        return t
-
     def decode(self, received: Sequence[int]) -> DecodeResult:
         word = self._check_received(received)
-        return self.decode_soft(1.0 - 2.0 * word.astype(float))
-
-    def decode_soft_batch(self, confidences: np.ndarray) -> np.ndarray:
-        """Vectorised soft decoding of a ``(batch, n)`` confidence array."""
-        values = np.asarray(confidences, dtype=float)
-        if values.ndim != 2 or values.shape[1] != self.code.n:
-            raise ValueError(f"expected (batch, {self.code.n}), got {values.shape}")
-        spectra = values @ hadamard_matrix(self.code.n).T
-        best_index = np.abs(spectra).argmax(axis=1)
-        best_value = spectra[np.arange(len(values)), best_index]
-        out = np.empty((len(values), self.code.k), dtype=np.uint8)
-        out[:, 0] = (best_value < 0).astype(np.uint8)
-        for j in range(self.m):
-            out[:, j + 1] = (best_index >> j) & 1
-        return out
+        return self.decode_soft(1.0 - 2.0 * word.astype(np.float64))
 
 
 def soft_confidences_from_flux(
@@ -106,7 +53,8 @@ def soft_confidences_from_flux(
 
     A window carrying a pulse integrates to ~Phi_0 * scale; an empty
     one to ~0.  Centre and normalise so 0 flux -> +1 (confident zero)
-    and full flux -> -1 (confident one).
+    and full flux -> -1 (confident one).  This is the scalar reference
+    of :class:`repro.link.awgn.AwgnFluxChannel`.
     """
     from repro.sfq.waveform import PHI0_MV_PS
 

@@ -15,6 +15,7 @@ from repro.coding.decoders import (
     FhtDecoder,
     MaximumLikelihoodDecoder,
     ReedDecoder,
+    SoftFhtDecoder,
     SyndromeDecoder,
     default_decoder_for,
 )
@@ -43,6 +44,7 @@ _DECODER_FACTORIES: Dict[str, Callable[[LinearBlockCode], Decoder]] = {
     "syndrome": SyndromeDecoder,
     "sec-ded": ExtendedHammingDecoder,
     "fht": FhtDecoder,
+    "soft-fht": SoftFhtDecoder,
     "reed-majority": ReedDecoder,
     "ml": MaximumLikelihoodDecoder,
 }

@@ -5,6 +5,6 @@ Each module exposes ``run()`` returning a structured result and
 benchmark harness call both.
 """
 
-from repro.experiments import ablations, fig3, fig5, report, table1, table2
+from repro.experiments import ablations, fig3, fig5, report, soft_gain, table1, table2
 
-__all__ = ["table1", "table2", "fig3", "fig5", "ablations", "report"]
+__all__ = ["table1", "table2", "fig3", "fig5", "ablations", "report", "soft_gain"]

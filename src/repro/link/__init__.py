@@ -11,6 +11,7 @@ attenuation, which the ablation benches superimpose on the PPV faults.
 from repro.link.driver import SuzukiStackDriver
 from repro.link.cable import CryogenicCable
 from repro.link.receiver import CmosReceiver
+from repro.link.awgn import AwgnFluxChannel
 from repro.link.channel import (
     BinaryChannel,
     FrameStreamPipeline,
@@ -23,6 +24,7 @@ __all__ = [
     "SuzukiStackDriver",
     "CryogenicCable",
     "CmosReceiver",
+    "AwgnFluxChannel",
     "BinaryChannel",
     "FrameStreamPipeline",
     "FrameStreamResult",

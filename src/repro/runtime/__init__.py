@@ -25,7 +25,8 @@ from repro.runtime.spec import (
     Shard,
     ShardPlan,
 )
-from repro.runtime.worker import run_shard
+from repro.runtime.spec import spec_config_hash
+from repro.runtime.worker import register_shard_runner, run_shard, shard_runner_for
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -39,5 +40,8 @@ __all__ = [
     "ShardPlan",
     "ThroughputReporter",
     "default_cache_root",
+    "register_shard_runner",
     "run_shard",
+    "shard_runner_for",
+    "spec_config_hash",
 ]

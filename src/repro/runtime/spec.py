@@ -37,9 +37,29 @@ CACHE_SCHEMA_VERSION = 1
 DEFAULT_SHARD_SIZE = 64
 
 
+def spec_config_hash(spec) -> str:
+    """Content-addressed identity shared by every spec kind.
+
+    SHA-256 of the spec's canonical dict plus the cache schema version
+    and the code version — any spec exposing ``to_dict()`` (and a
+    distinct ``kind`` inside it) gets cache entries that can never be
+    served to a run they do not exactly describe.
+    """
+    payload = {
+        "spec": spec.to_dict(),
+        "cache_schema": CACHE_SCHEMA_VERSION,
+        "code_version": __version__,
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """One scheme's Monte-Carlo population, fully pinned down."""
+
+    #: Workload kind dispatched by :func:`repro.runtime.worker.run_shard`.
+    kind = "link-transmission"
 
     scheme: str
     n_chips: int
@@ -68,7 +88,7 @@ class ExperimentSpec:
     def to_dict(self) -> dict:
         """Canonical (JSON-stable) description — the cache identity."""
         return {
-            "kind": "link-transmission",
+            "kind": self.kind,
             "scheme": self.scheme,
             "n_chips": self.n_chips,
             "n_messages": self.n_messages,
@@ -92,13 +112,7 @@ class ExperimentSpec:
         }
 
     def config_hash(self) -> str:
-        payload = {
-            "spec": self.to_dict(),
-            "cache_schema": CACHE_SCHEMA_VERSION,
-            "code_version": __version__,
-        }
-        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return spec_config_hash(self)
 
 
 @dataclass(frozen=True)

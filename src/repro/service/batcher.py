@@ -211,11 +211,18 @@ class MicroBatcher:
         self.policy = policy if policy is not None else BatchPolicy()
         self._lanes: Dict[Tuple[int, str], _Lane] = {}
 
+    #: Lane ops and the session kernel each dispatches to.
+    _OP_KERNELS = {
+        "encode": "encode_frames",
+        "decode": "decode_frames",
+        "decode_soft": "decode_soft_frames",
+    }
+
     def _lane(self, session: CodecSession, op: str) -> _Lane:
         key = (session.session_id, op)
         lane = self._lanes.get(key)
         if lane is None:
-            kernel = session.encode_frames if op == "encode" else session.decode_frames
+            kernel = getattr(session, self._OP_KERNELS[op])
             lane = _Lane(
                 kernel, self.policy, session.telemetry, op,
                 asyncio.get_running_loop(),
@@ -232,16 +239,20 @@ class MicroBatcher:
         carries this request.  Returns the request's row-slice of the
         batch result: a ``(len(frames), n)`` array for encode, a
         :class:`~repro.coding.decoders.base.BatchDecodeResult` for
-        decode.
+        decode and decode_soft (whose frames are float confidence rows
+        rather than packed bits).
         """
-        if op not in ("encode", "decode"):
+        if op not in self._OP_KERNELS:
             raise ValueError(f"unknown op {op!r}")
         lane = self._lane(session, op)
         session.telemetry.record_request(op, len(frames))
         if len(frames) == 0:
             # Nothing to queue; complete immediately with an empty slice.
             width = session.k if op == "encode" else session.n
-            return _slice_result(lane.kernel(np.zeros((0, width), np.uint8)), slice(0, 0))
+            dtype = np.float64 if op == "decode_soft" else np.uint8
+            return _slice_result(
+                lane.kernel(np.zeros((0, width), dtype)), slice(0, 0)
+            )
         # A request larger than the lane's whole capacity could never be
         # admitted in one piece; feed it through in capacity-sized chunks
         # (each a normal batch) and reassemble row-for-row.

@@ -81,6 +81,26 @@ class SessionHandle:
         )
         return DecodedBlock(messages, corrected, detected)
 
+    async def decode_soft(self, confidences: np.ndarray) -> DecodedBlock:
+        """Soft-decode ``(batch, n)`` per-bit confidences on the server.
+
+        Confidences follow the BPSK convention (positive = looks like
+        0, magnitude = reliability) and travel as float32 frames; the
+        response layout matches :meth:`decode`.
+        """
+        values = np.asarray(confidences, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != self.n:
+            raise DimensionError(
+                f"expected (batch, {self.n}) confidences for session "
+                f"{self.session_id}, got {values.shape}"
+            )
+        body = protocol.build_soft_batch_body(self.session_id, values)
+        response = await self._client.request(protocol.OP_DECODE_SOFT, body)
+        messages, corrected, detected = protocol.parse_decode_response_body(
+            response.body, self.k
+        )
+        return DecodedBlock(messages, corrected, detected)
+
 
 class CodecClient:
     """One pipelined connection to a :class:`~repro.service.server.CodecServer`."""

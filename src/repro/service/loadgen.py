@@ -142,6 +142,7 @@ class LoadReport:
     clients: int
     requests: int              # round trips per client
     frames_per_request: int
+    soft: bool = False         # decoded through the float soft lane
     wall_s: float = 0.0
     frames_sent: int = 0
     residual_frames: int = 0   # delivered message != sent message
@@ -166,6 +167,7 @@ class LoadReport:
             "clients": self.clients,
             "requests_per_client": self.requests,
             "frames_per_request": self.frames_per_request,
+            "soft": self.soft,
             "wall_s": round(self.wall_s, 4),
             "frames_sent": self.frames_sent,
             "throughput_fps": round(self.throughput_fps, 1),
@@ -183,7 +185,8 @@ class LoadReport:
 def render(report: LoadReport) -> str:
     lines = [
         f"loadgen scenario={report.scenario} clients={report.clients} "
-        f"requests={report.requests} frames/request={report.frames_per_request}",
+        f"requests={report.requests} frames/request={report.frames_per_request}"
+        + (" soft" if report.soft else ""),
         f"  frames sent        {report.frames_sent}",
         f"  wall time          {report.wall_s:.3f} s",
         f"  throughput         {report.throughput_fps:,.0f} frames/s",
@@ -211,6 +214,8 @@ async def _run_client(
     frames_per_request: int,
     rng: np.random.Generator,
     report: LoadReport,
+    soft: bool = False,
+    soft_sigma: float = 0.0,
 ) -> None:
     config = scenario.sessions[index % len(scenario.sessions)]
     client = await CodecClient.connect(host, port)
@@ -225,7 +230,15 @@ async def _run_client(
             t0 = time.perf_counter()
             words = await session.encode(messages)
             t1 = time.perf_counter()
-            decoded = await session.decode(words)
+            if soft:
+                # BPSK confidences from the (possibly corrupted) words,
+                # optionally jittered to exercise real reliabilities.
+                confidences = 1.0 - 2.0 * words.astype(np.float64)
+                if soft_sigma > 0:
+                    confidences += rng.normal(0.0, soft_sigma, confidences.shape)
+                decoded = await session.decode_soft(confidences)
+            else:
+                decoded = await session.decode(words)
             t2 = time.perf_counter()
             report.encode_latency.record((t1 - t0) * 1e6)
             report.decode_latency.record((t2 - t1) * 1e6)
@@ -258,9 +271,14 @@ async def run_scenario(
     frames_per_request: int = 4,
     seed: int = 0,
     scrape_stats: bool = True,
+    soft: bool = False,
+    soft_sigma: float = 0.0,
 ) -> LoadReport:
     """Drive ``scenario`` with ``clients`` concurrent connections.
 
+    With ``soft`` set, clients map each encoded word to BPSK
+    confidences (plus optional Gaussian jitter of RMS ``soft_sigma``)
+    and decode through the float soft lane instead of the hard one.
     Returns the aggregate :class:`LoadReport`; when ``scrape_stats`` is
     set the server's JSON telemetry snapshot is attached as
     ``report.server_stats``.
@@ -270,13 +288,15 @@ async def run_scenario(
         clients=clients,
         requests=requests,
         frames_per_request=frames_per_request,
+        soft=soft,
     )
     rngs = spawn_generators(seed, clients)
     start = time.perf_counter()
     outcomes = await asyncio.gather(
         *(
             _run_client(
-                i, host, port, scenario, requests, frames_per_request, rngs[i], report
+                i, host, port, scenario, requests, frames_per_request, rngs[i],
+                report, soft=soft, soft_sigma=soft_sigma,
             )
             for i in range(clients)
         ),

@@ -38,6 +38,7 @@ OP_ENCODE = 0x02  #: encode k-bit messages -> n-bit (possibly corrupted) words
 OP_DECODE = 0x03  #: decode n-bit received words -> k-bit messages + flags
 OP_STATS = 0x04   #: JSON telemetry snapshot
 OP_CODES = 0x05   #: JSON listing of registered codes/decoders
+OP_DECODE_SOFT = 0x06  #: decode n float32 confidences/frame -> messages + flags
 
 # Response status bytes ----------------------------------------------
 ST_OK = 0x00
@@ -152,6 +153,45 @@ def parse_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarray]:
     width = width_of_session(session_id)
     bits = unpack_bits(body[_BATCH_HEADER.size:], n_frames, width)
     return session_id, bits
+
+
+def build_soft_batch_body(session_id: int, confidences: np.ndarray) -> bytes:
+    """DECODE_SOFT request body: session id + frame count + float32 rows.
+
+    Confidences travel as big-endian float32 (4 bytes/bit) — the soft
+    frames' wire format.  The kernels upcast to float64 server-side, so
+    a round trip through the wire quantises reliabilities to float32
+    but never changes their signs.
+    """
+    values = np.ascontiguousarray(confidences, dtype=">f4")
+    if values.ndim != 2:
+        raise ProtocolError(
+            f"expected a (batch, width) confidence array, got {values.shape}"
+        )
+    return _BATCH_HEADER.pack(session_id & 0xFFFF, values.shape[0]) + values.tobytes()
+
+
+def parse_soft_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarray]:
+    """Parse a DECODE_SOFT body given ``width_of_session(session_id)``."""
+    if len(body) < _BATCH_HEADER.size:
+        raise ProtocolError(f"soft batch body too short ({len(body)} bytes)")
+    session_id, n_frames = _BATCH_HEADER.unpack_from(body)
+    width = width_of_session(session_id)
+    data = body[_BATCH_HEADER.size:]
+    expected = n_frames * width * 4
+    if len(data) != expected:
+        raise ProtocolError(
+            f"expected {expected} confidence bytes for {n_frames} x {width} "
+            f"float32 values, got {len(data)}"
+        )
+    if n_frames == 0:
+        return session_id, np.zeros((0, width), dtype=np.float64)
+    values = np.frombuffer(data, dtype=">f4").reshape(n_frames, width)
+    if not np.isfinite(values).all():
+        # NaN/Inf confidences would decode to a fabricated message with
+        # no error flag (NaN never ties); refuse them at the boundary.
+        raise ProtocolError("confidences must be finite (got NaN or Inf)")
+    return session_id, values.astype(np.float64)
 
 
 def build_decode_response_body(

@@ -195,6 +195,8 @@ class CodecServer:
             return await self._op_encode(request.body)
         if request.opcode == protocol.OP_DECODE:
             return await self._op_decode(request.body)
+        if request.opcode == protocol.OP_DECODE_SOFT:
+            return await self._op_decode_soft(request.body)
         if request.opcode == protocol.OP_STATS:
             return protocol.build_json_body(
                 self.telemetry.snapshot(self.registry.labels())
@@ -243,6 +245,17 @@ class CodecServer:
         session = self.registry.get(session_id)
         self._check_response_fits(len(received), (session.k + 7) // 8 + 2)
         result = await self.batcher.submit(session, "decode", received)
+        return protocol.build_decode_response_body(
+            result.messages, result.corrected_errors, result.detected_uncorrectable
+        )
+
+    async def _op_decode_soft(self, body: bytes) -> bytes:
+        session_id, confidences = protocol.parse_soft_batch_body(
+            body, lambda sid: self.registry.get(sid).n
+        )
+        session = self.registry.get(session_id)
+        self._check_response_fits(len(confidences), (session.k + 7) // 8 + 2)
+        result = await self.batcher.submit(session, "decode_soft", confidences)
         return protocol.build_decode_response_body(
             result.messages, result.corrected_errors, result.detected_uncorrectable
         )

@@ -157,6 +157,21 @@ class CodecSession:
         )
         return result
 
+    def decode_soft_frames(self, confidences: np.ndarray):
+        """Soft-decode a ``(batch, n)`` float confidence block.
+
+        Runs the decoder's vectorised soft kernel
+        (:meth:`~repro.coding.decoders.base.Decoder.decode_soft_batch_detailed`)
+        and records the outcome under the telemetry's soft counters, so
+        the stats endpoint can report how many frames the soft path
+        repaired.
+        """
+        result = self.decoder.decode_soft_batch_detailed(confidences)
+        self.telemetry.record_decode_outcome(
+            result.corrected_errors, result.detected_uncorrectable, soft=True
+        )
+        return result
+
 
 class SessionRegistry:
     """Id-indexed store of live sessions, deduplicating identical configs."""

@@ -55,6 +55,8 @@ class SessionTelemetry:
         self.frames_detected = 0                  # detected-uncorrectable flag
         self.frames_accepted = 0                  # no anomaly at all
         self.bits_corrected = 0
+        self.soft_frames_decoded = 0              # frames through the soft path
+        self.soft_frames_corrected = 0            # soft path repaired >= 1 bit
         self.batches = 0
         self.batch_frames_max = 0
         self.flush_reasons: Counter = Counter()   # "size" / "deadline" / "drain"
@@ -70,7 +72,10 @@ class SessionTelemetry:
         self.flush_reasons[reason] += 1
 
     def record_decode_outcome(
-        self, corrected_errors: np.ndarray, detected_uncorrectable: np.ndarray
+        self,
+        corrected_errors: np.ndarray,
+        detected_uncorrectable: np.ndarray,
+        soft: bool = False,
     ) -> None:
         corrected = np.asarray(corrected_errors)
         detected = np.asarray(detected_uncorrectable, dtype=bool)
@@ -79,6 +84,9 @@ class SessionTelemetry:
         self.frames_detected += int(detected.sum())
         self.frames_accepted += int((~detected & (corrected == 0)).sum())
         self.bits_corrected += int(corrected.sum())
+        if soft:
+            self.soft_frames_decoded += int(corrected.size)
+            self.soft_frames_corrected += int(corrected_frames.sum())
 
     def record_latency_us(self, latency_us: float) -> None:
         self.latency.record(latency_us)
@@ -96,6 +104,8 @@ class SessionTelemetry:
             "detected_frames": self.frames_detected,
             "accepted_frames": self.frames_accepted,
             "corrected_bits": self.bits_corrected,
+            "soft_decoded_frames": self.soft_frames_decoded,
+            "soft_corrected_frames": self.soft_frames_corrected,
             "batches": self.batches,
             "mean_batch_frames": round(mean_batch, 2),
             "max_batch_frames": self.batch_frames_max,

@@ -91,6 +91,23 @@ class TestDegenerateBatchKernels:
             code.extract_message_batch(code.encode_batch(msgs)), msgs
         )
 
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    @pytest.mark.parametrize("name,strategy", CODE_DECODER_PAIRS)
+    def test_decode_soft_batch_detailed_round_trip(self, name, strategy, batch):
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        msgs = _messages(code, batch, seed=7)
+        confidences = 1.0 - 2.0 * code.encode_batch(msgs).astype(np.float64)
+        result = decoder.decode_soft_batch_detailed(confidences)
+        assert result.messages.shape == (batch, code.k)
+        assert result.codewords.shape == (batch, code.n)
+        assert result.corrected_errors.shape == (batch,)
+        assert result.detected_uncorrectable.shape == (batch,)
+        assert np.array_equal(result.messages, msgs)
+        assert not result.corrected_errors.any()
+        assert not result.detected_uncorrectable.any()
+        assert np.array_equal(decoder.decode_soft_batch(confidences), msgs)
+
 
 class TestDegenerateFrameStream:
     @pytest.mark.parametrize("batch", BATCH_SIZES)

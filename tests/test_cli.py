@@ -47,6 +47,27 @@ class TestCli:
         assert "P(N=0)" in out
         assert target.exists()
 
+    def test_soft_gain_small(self, capsys, tmp_path):
+        target = tmp_path / "soft.csv"
+        assert main([
+            "soft-gain", "--chips", "10", "--messages", "32",
+            "--sigmas", "0.4", "--codes", "rm13", "--no-cache",
+            "--csv", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "RM(1,3)" in out
+        assert "soft BER" in out
+        assert target.read_text().startswith("code,sigma,")
+
+    def test_soft_gain_rejects_negative_sigma(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["soft-gain", "--sigmas", "-0.2"])
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_loadgen_soft_sigma_requires_soft(self, capsys):
+        assert main(["loadgen", "--soft-sigma", "0.3"]) == 2
+        assert "--soft" in capsys.readouterr().err
+
     def test_codes(self, capsys):
         assert main(["codes"]) == 0
         out = capsys.readouterr().out
@@ -104,6 +125,17 @@ class TestCli:
             ])
             assert code == 0
             assert '"residual_frames": 0' in capsys.readouterr().out
+
+            code = main([
+                "loadgen", "--port", str(holder["port"]),
+                "--scenario", "steady", "--clients", "2", "--requests", "4",
+                "--frames", "2", "--soft", "--soft-sigma", "0.2",
+                "--assert-zero-residual", "--json",
+            ])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert '"soft": true' in out
+            assert '"residual_frames": 0' in out
         finally:
             holder["loop"].call_soon_threadsafe(holder["stop"].set)
             thread.join(10)

@@ -82,6 +82,88 @@ class TestReceiver:
         receiver = CmosReceiver()
         assert receiver.decision_threshold(0.0, 10.0) == 5.0
 
+    def test_decide_soft_batch_hardens_to_decide_batch(self):
+        receiver = CmosReceiver(input_noise_mv_rms=2.0)
+        rng = np.random.default_rng(0)
+        levels = np.where(rng.integers(0, 2, (50, 8)).astype(bool), 10.0, 0.0)
+        hard = receiver.decide_batch(levels, 0.0, 10.0, random_state=3)
+        soft = receiver.decide_soft_batch(levels, 0.0, 10.0, random_state=3)
+        # Same seed, same draws: slicing the confidences at 0 must
+        # reproduce the hard receiver bit for bit.
+        assert np.array_equal((soft < 0).astype(np.uint8), hard)
+
+    def test_decide_soft_batch_noiseless_saturates(self):
+        receiver = CmosReceiver(input_noise_mv_rms=0.0)
+        levels = np.array([[0.0, 10.0, 5.0]])
+        soft = receiver.decide_soft_batch(levels, 0.0, 10.0)
+        assert soft[0, 0] == pytest.approx(1.0)   # nominal low: confident 0
+        assert soft[0, 1] == pytest.approx(-1.0)  # nominal high: confident 1
+        assert soft[0, 2] == pytest.approx(0.0)   # on-threshold: no information
+
+    def test_decide_soft_batch_collapsed_eye_is_signed_coin_flip(self):
+        receiver = CmosReceiver()
+        soft = receiver.decide_soft_batch(
+            np.full((4, 64), 5.0), 5.0, 5.0, random_state=1
+        )
+        assert set(np.unique(soft)) == {-1.0, 1.0}
+
+
+class TestAwgnFluxChannel:
+    def test_noiseless_confidences_are_exact_bpsk(self):
+        from repro.link import AwgnFluxChannel
+
+        channel = AwgnFluxChannel(sigma=0.0)
+        bits = np.array([[0, 1, 0, 1]], dtype=np.uint8)
+        confidences = channel.transmit_soft(bits)
+        assert np.allclose(confidences, [[1.0, -1.0, 1.0, -1.0]])
+        assert channel.flip_probability() == 0.0
+
+    def test_matches_scalar_flux_reference(self):
+        """transmit_soft is the batched soft_confidences_from_flux."""
+        from repro.coding.decoders.soft import soft_confidences_from_flux
+        from repro.link import AwgnFluxChannel
+        from repro.sfq.waveform import PHI0_MV_PS
+
+        channel = AwgnFluxChannel(sigma=0.3, amplitude_scale=0.8)
+        bits = np.random.default_rng(2).integers(0, 2, (6, 8)).astype(np.uint8)
+        confidences = channel.transmit_soft(bits, random_state=5)
+        # Rebuild the same noisy flux integrals from the same seed and
+        # push them through the scalar reference map.
+        full = PHI0_MV_PS * 1000.0 * 0.8
+        flux = bits.astype(float) * full + np.random.default_rng(5).normal(
+            0.0, 0.3 * full, size=bits.shape
+        )
+        assert np.allclose(
+            confidences, soft_confidences_from_flux(flux, amplitude_scale=0.8)
+        )
+
+    def test_harden_and_transmit_hard_agree(self):
+        from repro.link import AwgnFluxChannel
+
+        channel = AwgnFluxChannel(sigma=0.4)
+        bits = np.random.default_rng(3).integers(0, 2, (20, 8)).astype(np.uint8)
+        soft = channel.transmit_soft(bits, random_state=7)
+        hard = channel.transmit_hard(bits, random_state=7)
+        assert np.array_equal(channel.harden(soft), hard)
+
+    def test_flip_probability_matches_monte_carlo(self):
+        from repro.link import AwgnFluxChannel
+
+        channel = AwgnFluxChannel(sigma=0.5)
+        bits = np.zeros((2000, 8), dtype=np.uint8)
+        flips = channel.transmit_hard(bits, random_state=11).mean()
+        assert flips == pytest.approx(channel.flip_probability(), abs=0.02)
+
+    def test_validation(self):
+        from repro.link import AwgnFluxChannel
+
+        with pytest.raises(ValueError):
+            AwgnFluxChannel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            AwgnFluxChannel(amplitude_scale=0.0)
+        with pytest.raises(ValueError):
+            AwgnFluxChannel().transmit_soft(np.zeros(8, dtype=np.uint8))
+
 
 class TestBinaryChannel:
     def test_noiseless_passthrough(self):

@@ -34,7 +34,7 @@ class TestRegistry:
 
     def test_decoder_strategies(self, h84):
         for strategy in available_decoders():
-            if strategy in ("fht", "reed-majority"):
+            if strategy in ("fht", "soft-fht", "reed-majority"):
                 continue  # RM-only decoders
             decoder = get_decoder(h84, strategy)
             assert decoder.code is h84

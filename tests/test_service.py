@@ -24,8 +24,17 @@ from repro.service.session import CodecSession
 from repro.service.telemetry import LatencyReservoir, SessionTelemetry
 
 
-def run(coro):
-    return asyncio.run(coro)
+#: Hard wall-clock bound on every async scenario in this file.  All
+#: awaits run inside ``run()``, so a hung server/client/batcher fails
+#: fast with ``TimeoutError`` instead of stalling the whole CI job.
+SCENARIO_TIMEOUT_S = 20.0
+
+
+def run(coro, timeout: float = SCENARIO_TIMEOUT_S):
+    async def bounded():
+        return await asyncio.wait_for(coro, timeout)
+
+    return asyncio.run(bounded())
 
 
 # ---------------------------------------------------------------------
@@ -85,6 +94,33 @@ class TestProtocol:
     def test_oversized_frame_rejected(self):
         with pytest.raises(protocol.ProtocolError, match="cap"):
             protocol.frame_bytes(b"x" * (protocol.MAX_FRAME_BYTES + 1))
+
+    def test_soft_batch_body_round_trip(self):
+        rng = np.random.default_rng(4)
+        for batch in (0, 1, 6):
+            confidences = rng.normal(0.0, 1.0, (batch, 8))
+            body = protocol.build_soft_batch_body(9, confidences)
+            session_id, decoded = protocol.parse_soft_batch_body(body, lambda sid: 8)
+            assert session_id == 9
+            assert decoded.shape == (batch, 8)
+            # float32 on the wire: values quantise but signs survive.
+            assert np.allclose(decoded, confidences, atol=1e-6)
+            assert np.array_equal(decoded < 0, confidences < 0)
+
+    def test_soft_batch_body_rejects_wrong_length(self):
+        body = protocol.build_soft_batch_body(1, np.zeros((2, 8)))
+        with pytest.raises(protocol.ProtocolError, match="confidence bytes"):
+            protocol.parse_soft_batch_body(body[:-1], lambda sid: 8)
+
+    @pytest.mark.parametrize("poison", [np.nan, np.inf, -np.inf])
+    def test_soft_batch_body_rejects_non_finite(self, poison):
+        confidences = np.ones((2, 8))
+        confidences[1, 3] = poison
+        body = protocol.build_soft_batch_body(1, confidences)
+        # NaN/Inf would decode to a fabricated message with no error
+        # flag (NaN never ties), so the parser must refuse the frame.
+        with pytest.raises(protocol.ProtocolError, match="finite"):
+            protocol.parse_soft_batch_body(body, lambda sid: 8)
 
 
 # ---------------------------------------------------------------------
@@ -604,3 +640,185 @@ class TestLoadgen:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(KeyError, match="unknown scenario"):
             make_scenario("tsunami")
+
+
+# ---------------------------------------------------------------------
+# Soft-decision (LLR) op: batcher lane, wire round trip, telemetry
+# ---------------------------------------------------------------------
+class TestSoftOp:
+    def test_soft_lane_slices_match_direct_kernel(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(BatchPolicy(max_batch=64, max_delay_us=1_000))
+            rng = np.random.default_rng(6)
+            confidences = rng.normal(0.0, 1.0, (40, 8))
+            chunks = [confidences[i:i + 5] for i in range(0, 40, 5)]
+            results = await asyncio.gather(
+                *(batcher.submit(session, "decode_soft", chunk) for chunk in chunks)
+            )
+            return results, confidences
+
+        results, confidences = run(scenario())
+        direct = get_decoder(get_code("hamming84")).decode_soft_batch_detailed(
+            confidences
+        )
+        assert np.array_equal(
+            np.concatenate([r.messages for r in results]), direct.messages
+        )
+        assert np.array_equal(
+            np.concatenate([r.corrected_errors for r in results]),
+            direct.corrected_errors,
+        )
+        assert np.array_equal(
+            np.concatenate([r.detected_uncorrectable for r in results]),
+            direct.detected_uncorrectable,
+        )
+
+    def test_empty_soft_request_completes_immediately(self):
+        async def scenario():
+            session = _session()
+            batcher = MicroBatcher(BatchPolicy(max_batch=4, max_delay_us=60e6))
+            return await batcher.submit(
+                session, "decode_soft", np.zeros((0, 8), dtype=np.float64)
+            )
+
+        empty = run(scenario())
+        assert len(empty) == 0
+        assert empty.messages.shape == (0, 4)
+
+    def test_soft_round_trip_over_wire(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("rm13")
+            rng = np.random.default_rng(8)
+            msgs = rng.integers(0, 2, (60, 4)).astype(np.uint8)
+            words = await asyncio.wait_for(session.encode(msgs), timeout=5.0)
+            # Noisy-but-decodable confidences: right signs, jittered
+            # magnitudes (no sign ever flips at this jitter level).
+            confidences = 1.0 - 2.0 * words.astype(np.float64)
+            confidences *= rng.uniform(0.25, 1.0, confidences.shape)
+            decoded = await asyncio.wait_for(
+                session.decode_soft(confidences), timeout=5.0
+            )
+            stats = await asyncio.wait_for(client.stats(), timeout=5.0)
+            await client.close()
+            return decoded, msgs, stats
+
+        decoded, msgs, stats = run(
+            _with_server(BatchPolicy(max_batch=32, max_delay_us=300), scenario)
+        )
+        assert np.array_equal(decoded.messages, msgs)
+        assert not decoded.detected_uncorrectable.any()
+        session_stats = stats["sessions"]["1"]
+        assert session_stats["frames"]["decode_soft"] == 60
+        assert session_stats["soft_decoded_frames"] == 60
+
+    def test_soft_decode_bit_identical_to_direct_kernel_under_concurrency(self):
+        async def scenario(server):
+            rng = np.random.default_rng(12)
+            confidences = rng.normal(0.0, 1.0, (96, 8))
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            blocks = await asyncio.gather(
+                *(
+                    session.decode_soft(confidences[i:i + 1])
+                    for i in range(len(confidences))
+                )
+            )
+            await client.close()
+            return blocks, confidences
+
+        blocks, confidences = run(
+            _with_server(BatchPolicy(max_batch=32, max_delay_us=200), scenario)
+        )
+        # The wire quantises to float32; the direct call must see the
+        # same quantised values to be bit-comparable.
+        quantised = confidences.astype(np.float32).astype(np.float64)
+        direct = get_decoder(get_code("hamming84")).decode_soft_batch_detailed(
+            quantised
+        )
+        assert np.array_equal(
+            np.concatenate([b.messages for b in blocks]), direct.messages
+        )
+        assert np.array_equal(
+            np.concatenate([b.detected_uncorrectable for b in blocks]),
+            direct.detected_uncorrectable,
+        )
+
+    def test_soft_corrected_frames_counted(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("rm13")
+            msgs = np.random.default_rng(1).integers(0, 2, (20, 4)).astype(np.uint8)
+            words = await session.encode(msgs)
+            confidences = 1.0 - 2.0 * words.astype(np.float64)
+            confidences[:, 0] *= -0.25  # one weak wrong bit per frame
+            decoded = await session.decode_soft(confidences)
+            stats = await client.stats()
+            await client.close()
+            return decoded, msgs, stats
+
+        decoded, msgs, stats = run(
+            _with_server(BatchPolicy(max_batch=64, max_delay_us=300), scenario)
+        )
+        assert np.array_equal(decoded.messages, msgs)
+        session_stats = stats["sessions"]["1"]
+        # Frames whose weak bit had the wrong sign were soft-corrected.
+        assert session_stats["soft_corrected_frames"] > 0
+        assert (
+            session_stats["soft_corrected_frames"]
+            == int(((decoded.corrected_errors > 0)
+                    & ~decoded.detected_uncorrectable).sum())
+        )
+
+    def test_non_finite_confidences_rejected_over_wire(self):
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            poisoned = np.ones((2, 8))
+            poisoned[0, 0] = np.nan
+            with pytest.raises(protocol.ProtocolError, match="finite"):
+                await session.decode_soft(poisoned)
+            # The connection survives and clean frames still decode.
+            clean = await session.decode_soft(np.ones((2, 8)))
+            assert len(clean) == 2
+            await client.close()
+
+        run(_with_server(None, scenario))
+
+    def test_client_rejects_wrong_soft_width(self):
+        from repro.errors import DimensionError
+
+        async def scenario(server):
+            client = await CodecClient.connect(port=server.port)
+            session = await client.open_session("hamming84")
+            with pytest.raises(DimensionError, match=r"\(batch, 8\) confidences"):
+                await session.decode_soft(np.zeros((2, 7)))
+            await client.close()
+
+        run(_with_server(None, scenario))
+
+    def test_soft_loadgen_steady_zero_residual(self):
+        async def scenario():
+            server = CodecServer(policy=BatchPolicy(max_batch=64, max_delay_us=300))
+            await server.start()
+            try:
+                return await run_scenario(
+                    "127.0.0.1", server.port, make_scenario("steady"),
+                    clients=4, requests=6, frames_per_request=3, seed=9,
+                    soft=True, soft_sigma=0.2,
+                )
+            finally:
+                await server.stop()
+
+        report = run(scenario())
+        assert report.soft
+        assert report.frames_sent == 4 * 6 * 3
+        # sigma=0.2 jitter on ±1 signs can flip bits; the soft decoder
+        # must absorb them all on a noiseless session.
+        assert report.residual_frames == 0
+        total_soft = sum(
+            s["soft_decoded_frames"]
+            for s in report.server_stats["sessions"].values()
+        )
+        assert total_soft == report.frames_sent

@@ -1,0 +1,93 @@
+"""The hard-vs-soft coding-gain experiment on the Monte-Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import soft_gain
+from repro.runtime import MonteCarloEngine, ResultCache, run_shard
+from repro.runtime.spec import Shard
+
+SMALL = soft_gain.SoftGainConfig(
+    codes=("rm13", "hamming84"), sigmas=(0.3, 0.5), n_chips=25, n_messages=48
+)
+
+
+class TestSoftGainSpec:
+    def test_spec_validation(self):
+        spec = soft_gain.specs(SMALL)[0][0]
+        with pytest.raises(ValueError):
+            soft_gain.SoftGainSpec(
+                code="rm13", decision="fuzzy", sigma=0.3,
+                n_chips=1, n_messages=1, seed_plan=spec.seed_plan,
+            )
+        with pytest.raises(ValueError):
+            soft_gain.SoftGainSpec(
+                code="rm13", decision="hard", sigma=-0.1,
+                n_chips=1, n_messages=1, seed_plan=spec.seed_plan,
+            )
+
+    def test_hard_and_soft_arms_share_seed_plan_but_not_identity(self):
+        for hard, soft in soft_gain.specs(SMALL):
+            assert hard.seed_plan == soft.seed_plan
+            assert hard.config_hash() != soft.config_hash()
+            assert hard.to_dict()["kind"] == "soft-gain"
+
+    def test_registered_runner_executes_shards(self):
+        hard, _ = soft_gain.specs(SMALL)[0]
+        counts = run_shard(hard, Shard(0, 5))
+        assert counts.shape == (5,)
+        assert counts.dtype == np.int64
+        assert (counts >= 0).all()
+
+    def test_shard_partition_is_execution_invariant(self):
+        hard, _ = soft_gain.specs(SMALL)[1]
+        whole = run_shard(hard, Shard(0, hard.n_chips))
+        split = np.concatenate(
+            [run_shard(hard, Shard(0, 7)), run_shard(hard, Shard(7, hard.n_chips))]
+        )
+        assert np.array_equal(whole, split)
+
+
+class TestSoftGainExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return soft_gain.run(SMALL)
+
+    def test_point_grid_is_complete(self, result):
+        assert len(result.points) == len(SMALL.codes) * len(SMALL.sigmas)
+        grouped = result.by_code()
+        assert set(grouped) == set(SMALL.codes)
+        for points in grouped.values():
+            assert [p.sigma for p in points] == list(SMALL.sigmas)
+
+    def test_soft_at_or_below_hard_for_rm13(self, result):
+        """The acceptance criterion: soft never loses at any noise point."""
+        assert result.soft_never_worse("rm13")
+        for point in result.by_code()["rm13"]:
+            assert point.soft_ber <= point.hard_ber
+
+    def test_noise_actually_caused_errors(self, result):
+        # The comparison is only meaningful if the channel did damage.
+        assert any(p.hard_bit_errors > 0 for p in result.points)
+
+    def test_render_and_csv(self, result):
+        text = soft_gain.render(result)
+        assert "RM(1,3)" in text and "soft BER" in text
+        csv = soft_gain.curves_csv(result)
+        assert csv.startswith("code,sigma,")
+        assert len(csv.strip().splitlines()) == 1 + len(result.points)
+
+    def test_parallel_and_cached_runs_are_bit_identical(self, result, tmp_path):
+        cache = ResultCache(tmp_path)
+        parallel = soft_gain.run(SMALL, MonteCarloEngine(jobs=2, cache=cache))
+        for a, b in zip(result.points, parallel.points):
+            assert (a.hard_bit_errors, a.soft_bit_errors) == (
+                b.hard_bit_errors,
+                b.soft_bit_errors,
+            )
+        warm = soft_gain.run(SMALL, MonteCarloEngine(jobs=1, cache=cache))
+        for a, b in zip(result.points, warm.points):
+            assert (a.hard_bit_errors, a.soft_bit_errors) == (
+                b.hard_bit_errors,
+                b.soft_bit_errors,
+            )

@@ -1,0 +1,149 @@
+"""Property-based tests for the soft-decision (LLR) decoding path.
+
+Three invariants every soft decoder must honour:
+
+* **positive scaling invariance** — confidences are LLR-like, so a
+  global positive scale carries no information and must never change
+  the decoded message (verified exactly with power-of-two scales,
+  which are lossless in floating point, and statistically with
+  arbitrary scales on generic inputs);
+* **sign-only degradation** — stripping magnitudes (±1 confidences)
+  degrades soft decoding to hard decoding: within the code's
+  guaranteed correction radius both recover the transmitted message;
+* **deterministic ties** — scalar and batched kernels resolve score
+  ties identically, row for row, including pathological all-equal and
+  all-zero inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import get_code, get_decoder
+
+CODES = ["hamming74", "hamming84", "rm13"]
+
+#: (code, strategy) pairs covering both soft kernels (correlation + FHT).
+PAIRS = [
+    ("hamming74", None),
+    ("hamming84", None),
+    ("rm13", None),
+    ("rm13", "soft-fht"),
+]
+
+
+def confidence_rows(n: int):
+    """Rows of n 'nice' confidences: magnitudes on a coarse dyadic grid.
+
+    Dyadic values keep every arithmetic step exact, so the scale
+    invariance property is exact rather than
+    almost-surely-up-to-rounding.
+    """
+    grid = st.sampled_from([-2.0, -1.0, -0.5, -0.25, 0.0, 0.25, 0.5, 1.0, 2.0])
+    return st.lists(grid, min_size=n, max_size=n).map(np.array)
+
+
+class TestScalingInvariance:
+    @pytest.mark.parametrize("name,strategy", PAIRS)
+    @given(data=st.data(), exponent=st.integers(-20, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_power_of_two_scaling_never_changes_the_message(
+        self, name, strategy, data, exponent
+    ):
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        row = data.draw(confidence_rows(code.n))
+        scale = 2.0 ** exponent  # exact in binary floating point
+        base = decoder.decode_soft(row)
+        scaled = decoder.decode_soft(scale * row)
+        assert scaled.message.tolist() == base.message.tolist()
+        assert scaled.detected_uncorrectable == base.detected_uncorrectable
+
+    @pytest.mark.parametrize("name,strategy", PAIRS)
+    def test_generic_positive_scaling_seeded(self, name, strategy):
+        """Arbitrary positive scales on generic (tie-free) random inputs."""
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        rng = np.random.default_rng(11)
+        confidences = rng.normal(0.0, 1.0, size=(256, code.n))
+        base = decoder.decode_soft_batch(confidences)
+        for scale in (1e-6, 0.37, 3.0, 1e6):
+            assert np.array_equal(
+                decoder.decode_soft_batch(scale * confidences), base
+            ), f"{name}: scale {scale} changed a decoded message"
+
+
+class TestSignOnlyDegradation:
+    @pytest.mark.parametrize("name,strategy", PAIRS)
+    @given(data=st.data(), position=st.integers(0, 7))
+    @settings(max_examples=80, deadline=None)
+    def test_sign_only_soft_equals_hard_within_radius(
+        self, name, strategy, data, position
+    ):
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        message = np.array(
+            data.draw(st.lists(st.integers(0, 1), min_size=code.k, max_size=code.k)),
+            dtype=np.uint8,
+        )
+        word = code.encode(message)
+        word[position % code.n] ^= 1  # one error: inside every code's radius
+        signs = 1.0 - 2.0 * word.astype(np.float64)
+        assert decoder.decode_soft(signs).message.tolist() == message.tolist()
+        assert decoder.decode(word).message.tolist() == message.tolist()
+
+    def test_sign_only_soft_equals_hard_fht_everywhere(self):
+        """For RM(1,3) the FHT hard decoder *is* sign-only soft decoding,
+        so the equivalence holds for arbitrary words, not just within
+        the correction radius."""
+        code = get_code("rm13")
+        decoder = get_decoder(code)
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 2, (512, code.n)).astype(np.uint8)
+        hard = decoder.decode_batch(words)
+        soft = decoder.decode_soft_batch(1.0 - 2.0 * words.astype(np.float64))
+        assert np.array_equal(hard, soft)
+
+
+class TestDeterministicTies:
+    @pytest.mark.parametrize("name,strategy", PAIRS)
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_batch_and_scalar_resolve_ties_identically(self, name, strategy, data):
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        rows = data.draw(
+            st.lists(confidence_rows(code.n), min_size=1, max_size=12).map(np.array)
+        )
+        batch = decoder.decode_soft_batch_detailed(rows)
+        for i, row in enumerate(rows):
+            scalar = decoder.decode_soft(row)
+            assert batch.messages[i].tolist() == scalar.message.tolist()
+            assert int(batch.corrected_errors[i]) == scalar.corrected_errors
+            assert bool(batch.detected_uncorrectable[i]) == scalar.detected_uncorrectable
+
+    @pytest.mark.parametrize("name,strategy", PAIRS)
+    def test_all_zero_confidences_flag_and_decode_deterministically(
+        self, name, strategy
+    ):
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        zeros = np.zeros((3, code.n), dtype=np.float64)
+        batch = decoder.decode_soft_batch_detailed(zeros)
+        # Total erasure: every codeword ties, the decoder must flag and
+        # still commit to one deterministic message on every row.
+        assert batch.detected_uncorrectable.all()
+        assert (batch.messages == batch.messages[0]).all()
+        scalar = decoder.decode_soft(zeros[0])
+        assert scalar.detected_uncorrectable
+        assert scalar.message.tolist() == batch.messages[0].tolist()
+
+    @pytest.mark.parametrize("name,strategy", PAIRS)
+    def test_repeated_rows_decode_identically(self, name, strategy):
+        code = get_code(name)
+        decoder = get_decoder(code, strategy)
+        rng = np.random.default_rng(3)
+        row = rng.normal(0.0, 1.0, code.n)
+        batch = decoder.decode_soft_batch(np.tile(row, (16, 1)))
+        assert (batch == batch[0]).all()
