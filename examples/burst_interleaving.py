@@ -1,0 +1,69 @@
+"""Burst errors vs interleaving: why stream layout matters.
+
+Memoryless channels flatter a single-error-correcting code; a
+superconducting link that traps flux misbehaves in *bursts*, and a
+burst of flips concentrated in one 7-bit word defeats Hamming(7,4)
+instantly.  This walkthrough:
+
+1. builds a Gilbert–Elliott burst channel and shows its geometry,
+2. sends the same message bits bare and as an
+   ``interleaved:hamming74:8`` composite word over *identical* channel
+   draws, and counts who survives,
+3. runs the paired `burst` experiment sweep (the same thing
+   ``repro burst`` prints) at a reduced size.
+
+Run:  python examples/burst_interleaving.py [chips] [windows]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.coding import get_code, get_decoder
+from repro.experiments import burst
+from repro.link import GilbertElliottChannel
+
+N_CHIPS = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+N_WINDOWS = int(sys.argv[2]) if len(sys.argv) > 2 else 24
+
+# -- 1. the channel ----------------------------------------------------
+channel = GilbertElliottChannel.from_burst_profile(
+    burst_len=6.0, density=0.10, p_bad=0.5
+)
+print("Gilbert-Elliott burst channel")
+print(f"  mean burst length   {channel.mean_burst_length():g} bits")
+print(f"  mean gap length     {channel.mean_gap_length():g} bits")
+print(f"  bad-state fraction  {channel.stationary_bad_probability():.3f}")
+print(f"  average flip prob   {channel.average_flip_probability():.3f}")
+
+# -- 2. bare vs interleaved on identical draws -------------------------
+base = get_code("hamming74")
+icode = get_code("interleaved:hamming74:8")
+base_decoder = get_decoder(base)
+idecoder = get_decoder(icode)
+
+rng = np.random.default_rng(7)
+windows = 500
+messages = rng.integers(0, 2, (windows * 8, base.k)).astype(np.uint8)
+shape = (windows, icode.n)
+state_draws = rng.random(shape)
+flip_draws = rng.random(shape)
+
+bare_stream = base.encode_batch(messages).reshape(shape)
+bare_received = channel.apply_draws(bare_stream, state_draws, flip_draws)
+bare_delivered = base_decoder.decode_batch(bare_received.reshape(-1, base.n))
+
+iwords = icode.encode_batch(messages.reshape(windows, icode.k))
+ireceived = channel.apply_draws(iwords, state_draws, flip_draws)
+idelivered = idecoder.decode_batch(ireceived).reshape(-1, base.k)
+
+total = messages.size
+print(f"\n{windows} windows x 8 Hamming(7,4) words, identical channel draws:")
+print(f"  bare        residual BER {(bare_delivered != messages).sum() / total:.2e}")
+print(f"  interleaved residual BER {(idelivered != messages).sum() / total:.2e}")
+
+# -- 3. the paired sweep (what `repro burst` runs) ---------------------
+config = burst.BurstResilienceConfig(n_chips=N_CHIPS, n_messages=N_WINDOWS)
+result = burst.run(config)
+print()
+print(burst.render(result))

@@ -60,6 +60,32 @@ def _nonnegative_float(text: str) -> float:
     return value
 
 
+def _burst_length(text: str) -> float:
+    """argparse type: a mean burst length in bits, >= 1."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a mean burst length >= 1 bit, got {value}"
+        )
+    return value
+
+
+def _burst_density(text: str) -> float:
+    """argparse type: a stationary bad-state fraction in [0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(
+            f"expected a burst density in [0, 1), got {value}"
+        )
+    return value
+
+
 def _spread_fraction(text: str) -> float:
     """argparse type: a fractional spread in [0, 1]."""
     try:
@@ -154,6 +180,33 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="write the hard/soft BER curves as CSV")
     _add_runtime_args(soft)
 
+    burst = sub.add_parser(
+        "burst",
+        help="interleaved-vs-bare residual BER on a Gilbert-Elliott burst channel",
+    )
+    burst.add_argument("--code", default="hamming74",
+                       choices=["rm13", "hamming74", "hamming84"],
+                       help="base code of both arms (default: hamming74)")
+    burst.add_argument("--depth", type=_positive_int, default=8,
+                       help="interleaving depth (constituent words per window)")
+    burst.add_argument("--burst-lens", type=_burst_length, nargs="+",
+                       default=None, metavar="BITS",
+                       help="mean burst lengths in bits, each >= 1 "
+                            "(default: 2 4 6 8)")
+    burst.add_argument("--density", type=_burst_density, default=0.10,
+                       help="stationary bad-state probability (default: 0.10)")
+    burst.add_argument("--p-bad", type=_spread_fraction, default=0.5,
+                       help="flip probability inside a burst (default: 0.5)")
+    burst.add_argument("--p-good", type=_spread_fraction, default=0.0,
+                       help="flip probability outside bursts (default: 0)")
+    burst.add_argument("--chips", type=_positive_int, default=100)
+    burst.add_argument("--messages", type=_positive_int, default=48,
+                       help="channel windows (interleaved words) per chip")
+    burst.add_argument("--seed", type=int, default=20250831)
+    burst.add_argument("--csv", metavar="PATH", default=None,
+                       help="write the bare/interleaved BER curves as CSV")
+    _add_runtime_args(burst)
+
     josim = sub.add_parser("export-josim", help="emit a JoSIM deck for an encoder")
     josim.add_argument("scheme", choices=["rm13", "hamming74", "hamming84", "none"])
     josim.add_argument("--spread", type=float, default=0.0)
@@ -185,7 +238,8 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--host", default="127.0.0.1")
     loadgen.add_argument("--port", type=_port_number, default=7350)
     loadgen.add_argument("--scenario", default="steady",
-                         choices=["steady", "bursty", "mixed", "adversarial"])
+                         choices=["steady", "bursty", "mixed", "adversarial",
+                                  "burst"])
     loadgen.add_argument("--clients", type=_positive_int, default=16)
     loadgen.add_argument("--requests", type=_positive_int, default=50,
                          help="encode->decode round trips per client")
@@ -204,6 +258,21 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="SIGMA",
                          help="Gaussian jitter RMS added to the soft "
                               "confidences (only with --soft)")
+    # Defaults are applied in the handler so passing any of these with
+    # a non-burst scenario can be detected and rejected (mirroring the
+    # --soft-sigma-without---soft guard).
+    loadgen.add_argument("--burst-len", type=_burst_length, default=None,
+                         metavar="BITS",
+                         help="mean burst length of the 'burst' scenario's "
+                              "Gilbert-Elliott corruption, >= 1 (default: 4)")
+    loadgen.add_argument("--burst-density", type=_burst_density, default=None,
+                         metavar="FRAC",
+                         help="stationary bad-state probability of the "
+                              "'burst' scenario (default: 0.10)")
+    loadgen.add_argument("--burst-depth", type=_positive_int, default=None,
+                         metavar="D",
+                         help="interleaving depth of the 'burst' scenario's "
+                              "interleaved lane (default: 8)")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the full report (incl. server stats) as JSON")
     loadgen.add_argument("--assert-zero-residual", action="store_true",
@@ -282,6 +351,48 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.csv:
             with open(args.csv, "w") as handle:
                 handle.write(soft_gain.curves_csv(result))
+            print(f"BER curves written to {args.csv}")
+    elif args.command == "burst":
+        from repro.experiments import burst as burst_mod
+        from repro.link.burst import GilbertElliottChannel
+
+        # Flags are valid individually but can be jointly unreachable
+        # (short bursts at high density need p_g2b > 1); fail at the
+        # CLI, not inside a Monte-Carlo worker.
+        lens = (
+            tuple(args.burst_lens)
+            if args.burst_lens is not None
+            else burst_mod.DEFAULT_BURST_LENS
+        )
+        for burst_len in lens:
+            try:
+                GilbertElliottChannel.from_burst_profile(
+                    burst_len, args.density, p_bad=args.p_bad, p_good=args.p_good
+                )
+            except ValueError as exc:
+                print(f"repro burst: error: {exc}", file=sys.stderr)
+                return 2
+
+        config_kwargs = dict(
+            code=args.code,
+            depth=args.depth,
+            density=args.density,
+            p_bad=args.p_bad,
+            p_good=args.p_good,
+            n_chips=args.chips,
+            n_messages=args.messages,
+            seed=args.seed,
+        )
+        if args.burst_lens is not None:
+            config_kwargs["burst_lens"] = tuple(args.burst_lens)
+        result = burst_mod.run(
+            burst_mod.BurstResilienceConfig(**config_kwargs),
+            engine=_engine_from_args(args),
+        )
+        print(burst_mod.render(result))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(burst_mod.curves_csv(result))
             print(f"BER curves written to {args.csv}")
     elif args.command == "export-josim":
         from repro.encoders.designs import design_for_scheme
@@ -373,9 +484,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
 
-        scenario = loadgen_mod.make_scenario(
-            args.scenario, code=args.code, decoder=args.decoder
-        )
+        burst_flags = (args.burst_len, args.burst_density, args.burst_depth)
+        if args.scenario != "burst" and any(v is not None for v in burst_flags):
+            print(
+                "repro loadgen: error: --burst-len/--burst-density/--burst-depth "
+                "only make sense with --scenario burst (the 'bursty' scenario's "
+                "request bursts are shaped by the scenario itself)",
+                file=sys.stderr,
+            )
+            return 2
+        scenario_kwargs = dict(code=args.code, decoder=args.decoder)
+        if args.scenario == "burst":
+            scenario_kwargs.update(
+                burst_len=args.burst_len if args.burst_len is not None else 4.0,
+                density=(
+                    args.burst_density if args.burst_density is not None else 0.10
+                ),
+                depth=args.burst_depth if args.burst_depth is not None else 8,
+            )
+        try:
+            scenario = loadgen_mod.make_scenario(args.scenario, **scenario_kwargs)
+        except ValueError as exc:
+            # Jointly-invalid burst parameters or an unsupported
+            # flag/scenario combination; surface as a clean CLI error.
+            print(f"repro loadgen: error: {exc}", file=sys.stderr)
+            return 2
         try:
             report_ = asyncio.run(
                 loadgen_mod.run_scenario(

@@ -9,10 +9,21 @@ Public surface:
 * :class:`~repro.coding.linear.LinearBlockCode` — the common machinery;
 * decoders in :mod:`repro.coding.decoders`;
 * the exhaustive Table-I analysis in :mod:`repro.coding.analysis`;
-* the name registry in :mod:`repro.coding.registry`.
+* the name registry in :mod:`repro.coding.registry`;
+* burst-resilience composition — interleavers and interleaved /
+  concatenated codes — in :mod:`repro.coding.interleave`.
 """
 
 from repro.coding.linear import LinearBlockCode
+from repro.coding.interleave import (
+    BlockInterleaver,
+    ConcatenatedCode,
+    ConcatenatedDecoder,
+    ConvolutionalInterleaver,
+    InterleavedCode,
+    InterleavedDecoder,
+    StreamInterleaver,
+)
 from repro.coding.hamming import (
     hamming74_paper,
     hamming84_paper,
@@ -34,6 +45,13 @@ from repro.coding.registry import (
 
 __all__ = [
     "LinearBlockCode",
+    "StreamInterleaver",
+    "BlockInterleaver",
+    "ConvolutionalInterleaver",
+    "InterleavedCode",
+    "InterleavedDecoder",
+    "ConcatenatedCode",
+    "ConcatenatedDecoder",
     "hamming74_paper",
     "hamming84_paper",
     "hamming_code",

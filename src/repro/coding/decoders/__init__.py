@@ -46,8 +46,24 @@ def default_decoder_for(code) -> Decoder:
     * Hamming(7,4) -> syndrome decoder (perfect code, always corrects)
     * Hamming(8,4) -> extended-Hamming SEC-DED decoder
     * RM(1,3)      -> FHT decoder
+    * interleaved / concatenated composites -> their wrapper decoders
+      (which recurse into this pairing for the constituent codes)
     * anything else -> syndrome decoder
     """
+    # Lazy import: repro.coding.interleave imports this module.  The
+    # composites must short-circuit here — a generic syndrome decoder
+    # would tabulate 2^(depth·(n-k)) coset leaders for a deep composite.
+    from repro.coding.interleave import (
+        ConcatenatedCode,
+        ConcatenatedDecoder,
+        InterleavedCode,
+        InterleavedDecoder,
+    )
+
+    if isinstance(code, InterleavedCode):
+        return InterleavedDecoder(code)
+    if isinstance(code, ConcatenatedCode):
+        return ConcatenatedDecoder(code)
     name = getattr(code, "name", "")
     if name.startswith("RM(1,"):
         return FhtDecoder(code)

@@ -51,6 +51,13 @@ class ExtendedHammingDecoder(Decoder):
         self._syndrome_weights = weights
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
+        """SEC-DED decode one word: correct singles, flag doubles.
+
+        A zero syndrome accepts the word; a syndrome matching a single
+        position flips it (one correction); any other syndrome raises
+        ``detected_uncorrectable`` and falls back to the systematic
+        message bits.
+        """
         word = self._check_received(received)
         syndrome = self.code.syndrome(word)
         idx = int(syndrome.astype(np.int64) @ self._syndrome_weights)

@@ -179,6 +179,14 @@ class FhtDecoder(Decoder):
         return index, sign, tie
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
+        """Green-machine ML decode of one hard word via the WHT.
+
+        Maps bits to ±1 signs, takes the Walsh–Hadamard spectrum, and
+        commits to the largest-magnitude coefficient (its index and
+        sign encode the message).  Spectrum ties raise
+        ``detected_uncorrectable`` with a deterministic
+        smallest-index tie-break.
+        """
         word = self._check_received(received)
         signs = 1 - 2 * word.astype(np.int64)
         spectrum = walsh_hadamard_transform(signs)

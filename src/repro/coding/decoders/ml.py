@@ -28,6 +28,12 @@ class MaximumLikelihoodDecoder(Decoder):
         return pack_rows(self.code.all_codewords)
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
+        """Exhaustive nearest-codeword decode of one word.
+
+        Scans all 2^k codewords for the minimum Hamming distance;
+        distance ties raise ``detected_uncorrectable`` and resolve to
+        the smallest message index, so the reference is deterministic.
+        """
         word = self._check_received(received)
         codewords = self.code.all_codewords
         distances = np.count_nonzero(codewords != word[None, :], axis=1)

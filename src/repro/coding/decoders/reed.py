@@ -32,6 +32,12 @@ class ReedDecoder(Decoder):
         self.m = _check_rm1m(code, "ReedDecoder")
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
+        """Majority-logic decode one RM(1, m) word (Reed's algorithm).
+
+        Each first-order coefficient is voted on by its 2^(m-1)
+        parallel bit pairs; the constant term is re-estimated from the
+        residual.  Exact vote ties raise ``detected_uncorrectable``.
+        """
         word = self._check_received(received)
         m = self.m
         n = self.code.n

@@ -42,8 +42,29 @@ class SoftFhtDecoder(FhtDecoder):
     strategy_name = "soft-fht"
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
+        """Decode hard bits as degenerate ±1 confidences.
+
+        Maps 0/1 to +1/−1 and runs the soft spectrum path, so hard
+        input through this strategy matches the hard FHT decoder's
+        commitments on the same word.
+        """
         word = self._check_received(received)
         return self.decode_soft(1.0 - 2.0 * word.astype(np.float64))
+
+
+def full_flux_amplitude_uv_ps(amplitude_scale: float = 1.0) -> float:
+    """The flux integral of a clean transmitted 1, in µV·ps.
+
+    One shared constant for every flux-domain channel
+    (:class:`repro.link.awgn.AwgnFluxChannel`,
+    :class:`repro.link.burst.BurstyFluxChannel` and their scalar
+    references): a pulse window integrates to Phi_0 times the PPV
+    amplitude scale.  Sharing it keeps the channels' normalisations in
+    lock-step, which the hard-slice pairing across channels relies on.
+    """
+    from repro.sfq.waveform import PHI0_MV_PS
+
+    return PHI0_MV_PS * 1000.0 * amplitude_scale
 
 
 def soft_confidences_from_flux(
@@ -56,7 +77,5 @@ def soft_confidences_from_flux(
     and full flux -> -1 (confident one).  This is the scalar reference
     of :class:`repro.link.awgn.AwgnFluxChannel`.
     """
-    from repro.sfq.waveform import PHI0_MV_PS
-
-    full = PHI0_MV_PS * 1000.0 * amplitude_scale
+    full = full_flux_amplitude_uv_ps(amplitude_scale)
     return 1.0 - 2.0 * np.asarray(flux_uv_ps, dtype=float) / full

@@ -52,6 +52,13 @@ class SyndromeDecoder(Decoder):
         return int(np.dot(syndrome.astype(np.int64), self._syndrome_weights))
 
     def decode(self, received: Sequence[int]) -> DecodeResult:
+        """Standard-array decode one word via its coset leader.
+
+        Looks the syndrome up in the precomputed leader table and
+        subtracts the leader; with ``max_correctable_weight`` set,
+        heavier leaders flag ``detected_uncorrectable`` instead
+        (bounded-distance decoding).
+        """
         word = self._check_received(received)
         syndrome = self.code.syndrome(word)
         idx = self._syndrome_index(syndrome)

@@ -3,6 +3,19 @@
 The CLI and the experiment configs refer to coding schemes by the short
 names used throughout the paper: ``hamming74``, ``hamming84``, ``rm13``
 and ``none`` (the unencoded 4-bit baseline).
+
+Composite codes compose registry codes by name:
+
+* ``interleaved:<base>:<depth>`` — ``depth`` copies of ``<base>``
+  block-interleaved into one word
+  (:class:`~repro.coding.interleave.InterleavedCode`), e.g.
+  ``interleaved:hamming74:8``;
+* ``concatenated:<outer>:<inner>`` — serial concatenation
+  (:class:`~repro.coding.interleave.ConcatenatedCode`), e.g.
+  ``concatenated:hamming84:hamming74``.
+
+Anywhere a code name is accepted — experiment configs, service session
+configs, the CLI — a composite name works too.
 """
 
 from __future__ import annotations
@@ -20,6 +33,12 @@ from repro.coding.decoders import (
     default_decoder_for,
 )
 from repro.coding.hamming import hamming74_paper, hamming84_paper
+from repro.coding.interleave import (
+    ConcatenatedCode,
+    ConcatenatedDecoder,
+    InterleavedCode,
+    InterleavedDecoder,
+)
 from repro.coding.linear import LinearBlockCode
 from repro.coding.reed_muller import rm13_paper
 
@@ -47,16 +66,72 @@ _DECODER_FACTORIES: Dict[str, Callable[[LinearBlockCode], Decoder]] = {
     "soft-fht": SoftFhtDecoder,
     "reed-majority": ReedDecoder,
     "ml": MaximumLikelihoodDecoder,
+    "interleaved": InterleavedDecoder,
+    "concatenated": ConcatenatedDecoder,
 }
 
 
 def available_codes() -> List[str]:
-    """Names accepted by :func:`get_code`."""
+    """Base code names accepted by :func:`get_code`.
+
+    Composite spellings (``interleaved:<base>:<depth>``,
+    ``concatenated:<outer>:<inner>``) are accepted on top of these.
+    """
     return sorted(_CODE_FACTORIES)
 
 
+#: Largest interleaving depth buildable *by name*.  Name-based
+#: construction is the untrusted surface (service session configs come
+#: from clients), and composite generator matrices grow superlinearly
+#: with depth; direct InterleavedCode construction stays uncapped.
+MAX_INTERLEAVE_DEPTH = 64
+
+
+def _composite_code(name: str) -> LinearBlockCode:
+    """Parse and build a composite code name (``kind:arg:arg``)."""
+    parts = name.split(":")
+    kind = parts[0].strip().lower()
+    if kind == "interleaved":
+        if len(parts) != 3:
+            raise KeyError(
+                f"interleaved code name must be 'interleaved:<base>:<depth>', "
+                f"got {name!r}"
+            )
+        base = get_code(parts[1])
+        try:
+            depth = int(parts[2])
+        except ValueError:
+            raise KeyError(f"interleaving depth must be an integer, got {parts[2]!r}")
+        if not 1 <= depth <= MAX_INTERLEAVE_DEPTH:
+            raise KeyError(
+                f"interleaving depth must lie in [1, {MAX_INTERLEAVE_DEPTH}], "
+                f"got {depth}"
+            )
+        return InterleavedCode(base, depth)
+    if kind == "concatenated":
+        if len(parts) != 3:
+            raise KeyError(
+                f"concatenated code name must be 'concatenated:<outer>:<inner>', "
+                f"got {name!r}"
+            )
+        return ConcatenatedCode(get_code(parts[1]), get_code(parts[2]))
+    raise KeyError(
+        f"unknown composite code kind {kind!r} in {name!r}; "
+        "expected 'interleaved:<base>:<depth>' or 'concatenated:<outer>:<inner>'"
+    )
+
+
 def get_code(name: str) -> LinearBlockCode:
-    """Build a paper code by short name (``hamming74``/``hamming84``/``rm13``)."""
+    """Build a code by short name (``hamming74``/``hamming84``/``rm13``).
+
+    Composite names compose registry codes (see the module docstring):
+    ``interleaved:<base>:<depth>`` builds an
+    :class:`~repro.coding.interleave.InterleavedCode` and
+    ``concatenated:<outer>:<inner>`` a
+    :class:`~repro.coding.interleave.ConcatenatedCode`.
+    """
+    if ":" in name:
+        return _composite_code(name)
     key = name.lower().replace("-", "").replace("_", "").replace("(", "").replace(")", "").replace(",", "")
     aliases = {
         "hamming74": "hamming74",

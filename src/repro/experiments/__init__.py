@@ -5,6 +5,24 @@ Each module exposes ``run()`` returning a structured result and
 benchmark harness call both.
 """
 
-from repro.experiments import ablations, fig3, fig5, report, soft_gain, table1, table2
+from repro.experiments import (
+    ablations,
+    burst,
+    fig3,
+    fig5,
+    report,
+    soft_gain,
+    table1,
+    table2,
+)
 
-__all__ = ["table1", "table2", "fig3", "fig5", "ablations", "report", "soft_gain"]
+__all__ = [
+    "table1",
+    "table2",
+    "fig3",
+    "fig5",
+    "ablations",
+    "report",
+    "soft_gain",
+    "burst",
+]

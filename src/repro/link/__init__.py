@@ -12,6 +12,12 @@ from repro.link.driver import SuzukiStackDriver
 from repro.link.cable import CryogenicCable
 from repro.link.receiver import CmosReceiver
 from repro.link.awgn import AwgnFluxChannel
+from repro.link.burst import (
+    BurstyFluxChannel,
+    GilbertElliottChannel,
+    bursty_flux_reference,
+    gilbert_elliott_reference,
+)
 from repro.link.channel import (
     BinaryChannel,
     FrameStreamPipeline,
@@ -25,6 +31,10 @@ __all__ = [
     "CryogenicCable",
     "CmosReceiver",
     "AwgnFluxChannel",
+    "GilbertElliottChannel",
+    "BurstyFluxChannel",
+    "gilbert_elliott_reference",
+    "bursty_flux_reference",
     "BinaryChannel",
     "FrameStreamPipeline",
     "FrameStreamResult",

@@ -76,12 +76,12 @@ class AwgnFluxChannel:
         numpy.ndarray
             ``(batch, n)`` float64 confidences.
         """
-        from repro.sfq.waveform import PHI0_MV_PS
+        from repro.coding.decoders.soft import full_flux_amplitude_uv_ps
 
         bits = np.asarray(codewords, dtype=np.uint8)
         if bits.ndim != 2:
             raise ValueError(f"expected a (batch, n) bit array, got {bits.shape}")
-        full = PHI0_MV_PS * 1000.0 * self.amplitude_scale
+        full = full_flux_amplitude_uv_ps(self.amplitude_scale)
         flux = bits.astype(np.float64) * full
         if self.sigma > 0:
             rng = as_generator(random_state)

@@ -80,6 +80,11 @@ class BinaryChannel:
         )
 
     def is_noiseless(self) -> bool:
+        """True iff every flip probability is exactly zero.
+
+        Cached at construction; gates the draw-free fast path of
+        :meth:`transmit`.
+        """
         return self._noiseless
 
 

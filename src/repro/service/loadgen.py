@@ -18,6 +18,14 @@ Each scenario shapes what a fleet of concurrent clients sends at a
     code, up to beyond the decoder's correction radius — the fault
     drill.  Residual errors are *expected* here; what matters is the
     corrected/detected telemetry and that the server stays up.
+``burst``
+    The burst-error drill: clients alternate between a bare-code lane
+    and an ``interleaved:<code>:<depth>`` lane, and every encoded word
+    is corrupted *client-side* by a seeded
+    :class:`~repro.link.burst.GilbertElliottChannel` before being sent
+    back for decoding.  Residuals are expected on the bare lane; the
+    interleaved lane demonstrates burst immunity against the very same
+    channel model.
 
 Every client checks each round trip end to end: messages are generated
 from a seeded stream, encoded by the server (where the session's
@@ -36,6 +44,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.coding.registry import available_codes
+from repro.link.burst import GilbertElliottChannel
 from repro.service.client import CodecClient
 from repro.service.session import SessionConfig
 from repro.service.telemetry import LatencyReservoir
@@ -56,6 +65,10 @@ class Scenario:
         Requests per burst; ``None`` streams continuously.
     idle_s : float
         Sleep between bursts (only with ``burst_len``).
+    channel : GilbertElliottChannel, optional
+        Client-side corruption applied to every encoded word before it
+        is sent back for decoding (the ``burst`` scenario's drill);
+        draws come from each client's own seeded stream.
     """
 
     name: str
@@ -63,6 +76,7 @@ class Scenario:
     sessions: tuple
     burst_len: Optional[int] = None
     idle_s: float = 0.005
+    channel: Optional[GilbertElliottChannel] = None
 
 
 def steady_scenario(code: str = "hamming84", decoder: Optional[str] = None) -> Scenario:
@@ -113,11 +127,56 @@ def adversarial_scenario(
     )
 
 
+def burst_scenario(
+    code: str = "hamming74",
+    decoder: Optional[str] = None,
+    depth: int = 8,
+    burst_len: float = 4.0,
+    density: float = 0.10,
+    p_bad: float = 0.5,
+) -> Scenario:
+    """Bare vs interleaved lanes under client-side Gilbert–Elliott bursts.
+
+    Even-indexed clients open the bare ``code`` session, odd-indexed
+    ones the ``interleaved:<code>:<depth>`` composite; both corrupt
+    their encoded words through the same burst-channel parameters
+    before decoding, so the server's per-session corrected/residual
+    telemetry shows the interleaving gain live.
+
+    A ``decoder`` override is rejected: the composite lane cannot
+    honour it (its wrapper decoder wraps the *base* strategy), and a
+    drill whose two lanes decode with different strategies would
+    conflate interleaving gain with decoder choice.
+    """
+    if decoder is not None:
+        raise ValueError(
+            "the burst scenario does not support --decoder: both lanes must "
+            "decode with the paper's default pairing to isolate the "
+            "interleaving gain"
+        )
+    channel = GilbertElliottChannel.from_burst_profile(
+        burst_len, density, p_bad=p_bad
+    )
+    return Scenario(
+        name="burst",
+        description=(
+            f"Gilbert-Elliott bursts (len {burst_len:g}, density {density:g}) "
+            f"on {code} bare vs interleaved depth {depth}"
+        ),
+        sessions=(
+            SessionConfig(code=code, decoder=decoder),
+            SessionConfig(code=f"interleaved:{code}:{depth}"),
+        ),
+        channel=channel,
+    )
+
+
 SCENARIO_FACTORIES = {
     "steady": steady_scenario,
     "bursty": bursty_scenario,
     "mixed": mixed_scenario,
     "adversarial": adversarial_scenario,
+    "burst": burst_scenario,
 }
 
 
@@ -230,6 +289,16 @@ async def _run_client(
             t0 = time.perf_counter()
             words = await session.encode(messages)
             t1 = time.perf_counter()
+            if scenario.channel is not None:
+                # Client-side burst corruption: unlike session-injected
+                # noise, the clean words are known here, so corruption
+                # is counted exactly rather than inferred from decoder
+                # telemetry.
+                corrupted = scenario.channel.transmit_batch(words, rng)
+                report.corrupted_frames += int(
+                    (corrupted != words).any(axis=1).sum()
+                )
+                words = corrupted
             if soft:
                 # BPSK confidences from the (possibly corrupted) words,
                 # optionally jittered to exercise real reliabilities.

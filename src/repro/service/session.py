@@ -31,7 +31,7 @@ from repro.coding.registry import (
     get_code,
     get_decoder,
 )
-from repro.errors import SessionError
+from repro.errors import CodingError, SessionError
 from repro.link.channel import BinaryChannel
 from repro.service.telemetry import SessionTelemetry
 from repro.utils.rng import as_generator
@@ -100,17 +100,38 @@ class CodecSession:
         config: SessionConfig,
         telemetry: Optional[SessionTelemetry] = None,
     ):
+        # Composite code names make bad configs richer than unknown
+        # names: a mis-parameterised composite raises ValueError /
+        # DimensionError (via CodingError) and a strategy applied to an
+        # incompatible code raises TypeError.  All of them are client
+        # configuration mistakes, so all map to SessionError rather
+        # than escaping as internal server errors.
+        _config_errors = (KeyError, TypeError, ValueError, CodingError)
         try:
             self.code: LinearBlockCode = get_code(config.code)
-        except KeyError as exc:
+        except _config_errors as exc:
             raise SessionError(str(exc)) from exc
+        # Composite codes can be deep (k·depth up to hundreds of bits);
+        # the tabulating strategies (coset tables are 2^(n-k) rows,
+        # codebooks 2^k) would let one session config OOM the server.
+        # Composites are served through their streaming wrapper
+        # decoders only.
+        from repro.coding.interleave import ConcatenatedCode, InterleavedCode
+
+        if isinstance(self.code, (InterleavedCode, ConcatenatedCode)):
+            if config.decoder not in (None, "interleaved", "concatenated"):
+                raise SessionError(
+                    f"composite code {config.code!r} must use its composite "
+                    f"decoder (got strategy {config.decoder!r}); configure the "
+                    "constituent decoders library-side instead"
+                )
         try:
             self.decoder: Decoder = (
                 get_decoder(self.code, config.decoder)
                 if config.decoder is not None
                 else default_decoder_for(self.code)
             )
-        except KeyError as exc:
+        except _config_errors as exc:
             raise SessionError(str(exc)) from exc
         self.session_id = session_id
         self.config = config

@@ -1,0 +1,346 @@
+"""Burst channels and the burst-resilience experiment.
+
+The channel tests pin the Gilbert–Elliott contract: parameter
+validation, geometry (stationary distribution, burst/gap lengths),
+exact batch/scalar bit-identity on shared draws, and the draw
+discipline paired experiments rely on.  The experiment tests run the
+paired sweep small and assert the acceptance property (interleaved
+residual BER <= bare at every burst length on identical draws), cache
+round trips, and the CLI wiring.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import burst
+from repro.link.burst import (
+    BurstyFluxChannel,
+    GilbertElliottChannel,
+    bursty_flux_reference,
+    gilbert_elliott_reference,
+)
+from repro.runtime import MonteCarloEngine, ResultCache
+
+
+class TestGilbertElliottChannel:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_good=-0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_bad=1.5)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel(p_b2g=2.0)
+
+    def test_burst_profile_geometry(self):
+        channel = GilbertElliottChannel.from_burst_profile(
+            burst_len=5.0, density=0.2, p_bad=0.4
+        )
+        assert channel.mean_burst_length() == pytest.approx(5.0)
+        assert channel.stationary_bad_probability() == pytest.approx(0.2)
+        assert channel.average_flip_probability() == pytest.approx(0.2 * 0.4)
+
+    def test_burst_profile_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottChannel.from_burst_profile(0.5, 0.1)
+        with pytest.raises(ValueError):
+            GilbertElliottChannel.from_burst_profile(4.0, 1.0)
+        with pytest.raises(ValueError):
+            # density 0.9 with long bursts needs p_g2b > 1.
+            GilbertElliottChannel.from_burst_profile(1.0, 0.95)
+
+    def test_frozen_chain_stays_good(self):
+        channel = GilbertElliottChannel(p_good=0.0, p_bad=1.0, p_g2b=0.0, p_b2g=0.0)
+        assert channel.stationary_bad_probability() == 0.0
+        assert channel.is_noiseless()
+        bits = np.ones((8, 16), dtype=np.uint8)
+        assert np.array_equal(channel.transmit_batch(bits, 0), bits)
+
+    def test_always_bad_reduces_to_memoryless(self):
+        channel = GilbertElliottChannel(p_good=0.0, p_bad=1.0, p_g2b=1.0, p_b2g=0.0)
+        bits = np.zeros((4, 32), dtype=np.uint8)
+        out = channel.transmit_batch(bits, 1)
+        # Stationary distribution is all-bad, every bit flips.
+        assert out.all()
+
+    def test_batch_matches_scalar_reference(self):
+        channel = GilbertElliottChannel(p_good=0.02, p_bad=0.6, p_g2b=0.1, p_b2g=0.2)
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, (100, 23)).astype(np.uint8)
+        state_draws = rng.random(bits.shape)
+        flip_draws = rng.random(bits.shape)
+        batched = channel.apply_draws(bits, state_draws, flip_draws)
+        reference = np.array(
+            [
+                gilbert_elliott_reference(bits[i], state_draws[i], flip_draws[i], channel)
+                for i in range(len(bits))
+            ]
+        )
+        assert np.array_equal(batched, reference)
+
+    def test_transmit_batch_is_seed_deterministic(self):
+        channel = GilbertElliottChannel()
+        bits = np.zeros((10, 20), dtype=np.uint8)
+        assert np.array_equal(
+            channel.transmit_batch(bits, 42), channel.transmit_batch(bits, 42)
+        )
+
+    def test_flips_are_correlated_in_bursts(self):
+        # At equal average flip probability, adjacent-bit flip
+        # correlation must exceed the memoryless channel's (~0).
+        channel = GilbertElliottChannel.from_burst_profile(
+            8.0, 0.1, p_bad=0.5, p_good=0.0
+        )
+        bits = np.zeros((4000, 64), dtype=np.uint8)
+        flips = channel.transmit_batch(bits, 7).astype(float)
+        adjacent = (flips[:, :-1] * flips[:, 1:]).mean()
+        independent = flips.mean() ** 2
+        assert adjacent > 3 * independent
+
+    def test_draw_discipline_two_blocks(self):
+        # transmit_batch must consume exactly state block + flip block,
+        # so pre-drawing those blocks reproduces it.
+        channel = GilbertElliottChannel(p_good=0.05, p_bad=0.5, p_g2b=0.1, p_b2g=0.3)
+        bits = np.zeros((6, 15), dtype=np.uint8)
+        out = channel.transmit_batch(bits, 3)
+        rng = np.random.default_rng(3)
+        state_draws = rng.random(bits.shape)
+        flip_draws = rng.random(bits.shape)
+        assert np.array_equal(out, channel.apply_draws(bits, state_draws, flip_draws))
+
+    def test_shape_validation(self):
+        channel = GilbertElliottChannel()
+        with pytest.raises(ValueError):
+            channel.transmit_batch(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            channel.apply_draws(
+                np.zeros((2, 8), dtype=np.uint8),
+                np.zeros((2, 7)),
+                np.zeros((2, 8)),
+            )
+
+    def test_zero_width_frames(self):
+        channel = GilbertElliottChannel()
+        out = channel.transmit_batch(np.zeros((3, 0), dtype=np.uint8), 0)
+        assert out.shape == (3, 0)
+
+
+class TestBurstyFluxChannel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstyFluxChannel(sigma_good=-0.1)
+        with pytest.raises(ValueError):
+            BurstyFluxChannel(amplitude_scale=0.0)
+
+    def test_batch_matches_scalar_reference(self):
+        channel = BurstyFluxChannel(
+            sigma_good=0.05, sigma_bad=0.7, p_g2b=0.15, p_b2g=0.3
+        )
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, (60, 14)).astype(np.uint8)
+        state_draws = rng.random(bits.shape)
+        noise = rng.normal(0.0, 1.0, bits.shape)
+        batched = channel.apply_draws(bits, state_draws, noise)
+        reference = np.array(
+            [
+                bursty_flux_reference(bits[i], state_draws[i], noise[i], channel)
+                for i in range(len(bits))
+            ]
+        )
+        assert np.array_equal(batched, reference)
+
+    def test_noiseless_confidences_are_exact(self):
+        channel = BurstyFluxChannel(sigma_good=0.0, sigma_bad=0.0)
+        bits = np.array([[0, 1, 0, 1]], dtype=np.uint8)
+        confidences = channel.transmit_soft_batch(bits, 0)
+        assert np.allclose(confidences, [[1.0, -1.0, 1.0, -1.0]])
+        assert np.array_equal(channel.harden(confidences), bits)
+
+    def test_hard_slice_consistency(self):
+        channel = BurstyFluxChannel(sigma_good=0.1, sigma_bad=0.5)
+        bits = np.zeros((20, 16), dtype=np.uint8)
+        soft = channel.transmit_soft_batch(bits, 5)
+        hard = channel.transmit_hard_batch(bits, 5)
+        assert np.array_equal(channel.harden(soft), hard)
+
+
+class TestBurstResilienceExperiment:
+    def test_pairing_is_exact(self):
+        # Bare-arm stream == deinterleaved interleaved-arm stream when
+        # the channel is noiseless: both arms transmit the same bits in
+        # permuted positions.
+        cfg = burst.BurstResilienceConfig(n_chips=2, n_messages=3)
+        pair = burst.specs(cfg)[0]
+        assert pair[0].seed_plan == pair[1].seed_plan
+        assert pair[0].config_hash() != pair[1].config_hash()
+
+    def test_small_sweep_interleaved_never_worse(self):
+        config = burst.BurstResilienceConfig(
+            n_chips=20, n_messages=12, burst_lens=(3.0, 6.0)
+        )
+        result = burst.run(config)
+        assert len(result.points) == 2
+        assert result.interleaved_never_worse()
+        for point in result.points:
+            assert point.total_bits == 20 * 12 * config.depth * 4
+            assert 0 < point.bare_ber < 0.5
+
+    def test_cache_round_trip(self, tmp_path):
+        config = burst.BurstResilienceConfig(n_chips=8, n_messages=6, burst_lens=(4.0,))
+        engine = MonteCarloEngine(cache=ResultCache(tmp_path))
+        first = burst.run(config, engine=engine)
+        second = burst.run(config, engine=engine)
+        assert [p.bare_bit_errors for p in first.points] == [
+            p.bare_bit_errors for p in second.points
+        ]
+
+    def test_jobs_bit_identical(self, tmp_path):
+        config = burst.BurstResilienceConfig(n_chips=10, n_messages=6, burst_lens=(5.0,))
+        inline = burst.run(config, engine=MonteCarloEngine(jobs=1))
+        parallel = burst.run(config, engine=MonteCarloEngine(jobs=2))
+        assert [
+            (p.bare_bit_errors, p.interleaved_bit_errors) for p in inline.points
+        ] == [(p.bare_bit_errors, p.interleaved_bit_errors) for p in parallel.points]
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            burst.BurstResilienceConfig(n_chips=0)
+        with pytest.raises(ValueError):
+            burst.BurstResilienceConfig(burst_lens=())
+        spec = burst.specs(burst.BurstResilienceConfig())[0][0]
+        with pytest.raises(ValueError):
+            burst.BurstResilienceSpec(
+                code=spec.code,
+                arm="sideways",
+                depth=spec.depth,
+                burst_len=spec.burst_len,
+                density=spec.density,
+                p_bad=spec.p_bad,
+                p_good=spec.p_good,
+                n_chips=spec.n_chips,
+                n_messages=spec.n_messages,
+                seed_plan=spec.seed_plan,
+            )
+
+    def test_render_and_csv(self):
+        config = burst.BurstResilienceConfig(n_chips=4, n_messages=4, burst_lens=(2.0,))
+        result = burst.run(config)
+        text = burst.render(result)
+        assert "interleaved vs bare" in text
+        csv = burst.curves_csv(result)
+        assert csv.startswith("code,depth,burst_len")
+        assert len(csv.strip().splitlines()) == 2
+
+
+class TestCompositeSessionConfigs:
+    def test_composite_session_opens(self):
+        from repro.service.session import CodecSession, SessionConfig
+
+        session = CodecSession(1, SessionConfig(code="interleaved:hamming74:4"))
+        assert session.k == 16
+
+    @pytest.mark.parametrize(
+        "config_kwargs",
+        [
+            {"code": "interleaved:hamming74:0"},          # ValueError
+            {"code": "concatenated:hamming74:hamming84"}, # DimensionError
+            {"code": "hamming74", "decoder": "interleaved"},  # TypeError
+            {"code": "interleaved:hamming74:x"},          # KeyError
+        ],
+    )
+    def test_bad_composite_configs_are_session_errors(self, config_kwargs):
+        # Regression: composite misconfigurations must surface as the
+        # session layer's clean SessionError, not raw internal errors.
+        from repro.errors import SessionError
+        from repro.service.session import CodecSession, SessionConfig
+
+        with pytest.raises(SessionError):
+            CodecSession(1, SessionConfig(**config_kwargs))
+
+    def test_name_based_depth_is_bounded(self):
+        # Regression: a client-supplied name must not build arbitrarily
+        # large composites in the server's event loop.
+        from repro.coding import get_code
+
+        with pytest.raises(KeyError, match=r"\[1, 64\]"):
+            get_code("interleaved:hamming74:2000")
+
+    def test_deep_composite_session_opens_quickly(self):
+        # The largest name-buildable composite must open and describe
+        # itself without the generic minimum-distance search.
+        import time
+
+        from repro.service.session import CodecSession, SessionConfig
+
+        start = time.perf_counter()
+        session = CodecSession(1, SessionConfig(code="interleaved:hamming74:64"))
+        description = session.describe()
+        assert time.perf_counter() - start < 5.0
+        assert description["d_min"] == 3
+
+    def test_tabulating_strategies_rejected_on_composites(self):
+        # Regression: 2^(n-k) coset tables / 2^k codebooks over a deep
+        # composite would OOM the server; composites serve through
+        # their wrapper decoders only.
+        from repro.errors import SessionError
+        from repro.service.session import CodecSession, SessionConfig
+
+        for strategy in ("syndrome", "ml"):
+            with pytest.raises(SessionError, match="composite"):
+                CodecSession(
+                    1, SessionConfig(code="interleaved:hamming74:8", decoder=strategy)
+                )
+
+
+class TestBurstCli:
+    @pytest.fixture(autouse=True)
+    def _isolated_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+
+    def test_burst_small(self, capsys, tmp_path):
+        from repro.cli import main
+
+        target = tmp_path / "burst.csv"
+        assert main([
+            "burst", "--chips", "6", "--messages", "6",
+            "--burst-lens", "3", "--no-cache", "--csv", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "never worse" in out or "WORSE" in out
+        assert target.read_text().startswith("code,depth,burst_len")
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["burst", "--burst-lens", "0.5"],
+            ["burst", "--density", "1.0"],
+            ["loadgen", "--scenario", "burst", "--burst-len", "0"],
+            ["loadgen", "--scenario", "burst", "--burst-density", "1"],
+        ],
+    )
+    def test_invalid_burst_parameters_fail_at_the_parser(self, argv, capsys):
+        # Regression: values from_burst_profile rejects must die as a
+        # clean argparse error, not a traceback inside the experiment.
+        from repro.cli import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            # Individually valid, jointly unreachable: needs p_g2b > 1.
+            ["burst", "--burst-lens", "1", "--density", "0.6"],
+            ["loadgen", "--scenario", "burst",
+             "--burst-len", "1", "--burst-density", "0.6"],
+            # The burst drill's lanes must share one decoder pairing.
+            ["loadgen", "--scenario", "burst", "--decoder", "ml"],
+        ],
+    )
+    def test_jointly_invalid_burst_parameters_fail_cleanly(self, argv, capsys):
+        from repro.cli import main
+
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err

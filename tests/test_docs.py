@@ -1,0 +1,90 @@
+"""Documentation keeps itself honest: the CI docs checks run in-tree too.
+
+Each check is a dependency-free script under ``tools/``; running them
+here means a broken docs link, an uncited example, a stale generated
+API page or a missing docstring fails tier-1 locally, not just the CI
+``docs`` job.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+TOOLS_DIR = os.path.join(REPO_ROOT, "tools")
+
+
+def run_tool(name: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")) if p
+    )
+    return subprocess.run(
+        [sys.executable, os.path.join(TOOLS_DIR, name), *args],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO_ROOT,
+        env=env,
+    )
+
+
+class TestDocsChecks:
+    def test_markdown_links_and_example_coverage(self):
+        result = run_tool("check_docs.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_docstring_coverage(self):
+        result = run_tool("check_docstrings.py")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_api_reference_is_fresh(self):
+        result = run_tool("gen_api_docs.py", "--check")
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_index_links_every_docs_page(self):
+        docs_dir = os.path.join(REPO_ROOT, "docs")
+        with open(os.path.join(docs_dir, "index.md"), encoding="utf-8") as handle:
+            index = handle.read()
+        missing = [
+            name
+            for name in sorted(os.listdir(docs_dir))
+            if name.endswith(".md")
+            and name != "index.md"
+            and f"({name})" not in index
+        ]
+        assert not missing, f"docs/index.md does not link: {missing}"
+
+
+class TestCheckersCatchRot:
+    """The checkers themselves must fail on the rot they exist to catch."""
+
+    @pytest.fixture()
+    def broken_docs_repo(self, tmp_path):
+        # Minimal repo layout with one broken link and one orphan example.
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "examples").mkdir()
+        (tmp_path / "tools").mkdir()
+        (tmp_path / "docs" / "index.md").write_text(
+            "# Index\n\n[gone](missing.md)\n"
+        )
+        (tmp_path / "examples" / "orphan.py").write_text("print('hi')\n")
+        source = os.path.join(TOOLS_DIR, "check_docs.py")
+        with open(source, encoding="utf-8") as handle:
+            script = handle.read()
+        target = tmp_path / "tools" / "check_docs.py"
+        target.write_text(script)
+        return target
+
+    def test_link_checker_fails_on_broken_link(self, broken_docs_repo):
+        result = subprocess.run(
+            [sys.executable, str(broken_docs_repo)],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert result.returncode == 1
+        assert "missing.md" in result.stdout
+        assert "orphan.py" in result.stdout

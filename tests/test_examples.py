@@ -62,6 +62,11 @@ class TestExamples:
         assert "goodput" in out
         assert "soft-FHT MER" in out
 
+    def test_burst_interleaving(self):
+        out = run_example("burst_interleaving.py", "8", "6")
+        assert "Gilbert-Elliott burst channel" in out
+        assert "interleaved vs bare" in out
+
     def test_streaming_service(self):
         out = run_example("streaming_service.py", "--clients", "4", "--requests", "8")
         assert "codec service listening" in out

@@ -36,8 +36,16 @@ class TestRegistry:
         for strategy in available_decoders():
             if strategy in ("fht", "soft-fht", "reed-majority"):
                 continue  # RM-only decoders
+            if strategy in ("interleaved", "concatenated"):
+                continue  # composite-code-only decoders (tested below)
             decoder = get_decoder(h84, strategy)
             assert decoder.code is h84
+
+    def test_composite_decoder_strategies(self):
+        interleaved = get_code("interleaved:hamming84:4")
+        assert get_decoder(interleaved, "interleaved").code is interleaved
+        concatenated = get_code("concatenated:hamming84:hamming74")
+        assert get_decoder(concatenated, "concatenated").code is concatenated
 
     def test_unknown_decoder(self, h84):
         with pytest.raises(KeyError):

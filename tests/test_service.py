@@ -615,6 +615,43 @@ class TestLoadgen:
         assert report.server_stats["frames_total"] == 2 * report.frames_sent
         assert report.throughput_fps > 0
 
+    def test_burst_scenario_corrupts_and_reports_both_lanes(self):
+        async def scenario():
+            server = CodecServer(policy=BatchPolicy(max_batch=64, max_delay_us=300))
+            await server.start()
+            try:
+                return await run_scenario(
+                    "127.0.0.1", server.port,
+                    make_scenario(
+                        "burst", code="hamming74", burst_len=6.0, density=0.15
+                    ),
+                    clients=4, requests=10, frames_per_request=4, seed=5,
+                )
+            finally:
+                await server.stop()
+
+        report = run(scenario())
+        assert report.frames_sent == 4 * 10 * 4
+        assert not report.client_errors
+        # The client-side Gilbert-Elliott channel must have injected
+        # errors (density 0.15 over 16 x 56-bit frames per client), and
+        # corruption is counted against the known-clean encodings.
+        assert 0 < report.corrupted_frames <= report.frames_sent
+        sessions = report.server_stats["sessions"]
+        configs = {s["config"] for s in sessions.values()}
+        assert "hamming74:default" in configs
+        assert "interleaved:hamming74:8:default" in configs
+        # Both lanes decode (bare lane residuals are expected, not
+        # asserted: the drill's contract is that the server stays up
+        # and the telemetry shows decoder work).
+        assert report.server_stats["frames_total"] == 2 * report.frames_sent
+        corrected_total = sum(s["corrected_frames"] for s in sessions.values())
+        assert corrected_total > 0
+
+    def test_burst_scenario_rejects_decoder_override(self):
+        with pytest.raises(ValueError, match="burst scenario"):
+            make_scenario("burst", code="hamming74", decoder="ml")
+
     def test_adversarial_scenario_reports_decoder_work(self):
         async def scenario():
             server = CodecServer(policy=BatchPolicy(max_batch=64, max_delay_us=300))

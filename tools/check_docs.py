@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""Documentation checks: markdown links resolve, every example is cited.
+
+Two checks, both dependency-free:
+
+1. **Link check** — every markdown link in ``docs/*.md``, ``README.md``
+   and ``CHANGES.md`` whose target is a relative path must point at an
+   existing file (or directory); a ``#fragment`` on a markdown target
+   must match one of that file's headings (GitHub slug rules:
+   lowercase, punctuation stripped, spaces to hyphens). ``http(s)``
+   and ``mailto`` targets are skipped — CI must not flake on the
+   network.
+2. **Example coverage** — every ``examples/*.py`` must be referenced
+   from at least one page under ``docs/`` (documentation that doesn't
+   mention a walkthrough is how walkthroughs rot).
+
+Exit status 0 when both pass, 1 with a per-violation report otherwise:
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Markdown files whose links are checked.
+LINK_SOURCES = ["README.md", "CHANGES.md"]
+
+#: Inline markdown links: [text](target) — images included via the
+#: optional leading "!".  Reference-style links are not used in this
+#: repository.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+#: Schemes that are deliberately not checked.
+SKIP_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading line."""
+    text = heading.strip().lower()
+    # Inline code/emphasis markers vanish from the anchor.
+    text = re.sub(r"[`*_]", "", text)
+    # Drop everything but word characters, spaces and hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _headings(path: str) -> set:
+    with open(path, encoding="utf-8") as handle:
+        content = handle.read()
+    return {_github_slug(match) for match in HEADING_RE.findall(content)}
+
+
+def _markdown_files() -> list:
+    files = [
+        os.path.join(REPO_ROOT, name)
+        for name in LINK_SOURCES
+        if os.path.exists(os.path.join(REPO_ROOT, name))
+    ]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def check_links() -> list:
+    """Return a list of "file: problem" strings for broken links."""
+    problems = []
+    for source in _markdown_files():
+        rel_source = os.path.relpath(source, REPO_ROOT)
+        with open(source, encoding="utf-8") as handle:
+            content = handle.read()
+        for target in LINK_RE.findall(content):
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(source), path_part)
+                )
+                if not os.path.exists(resolved):
+                    problems.append(
+                        f"{rel_source}: broken link target {target!r} "
+                        f"(no such file {os.path.relpath(resolved, REPO_ROOT)!r})"
+                    )
+                    continue
+            else:
+                resolved = source
+            if fragment and resolved.endswith(".md") and os.path.isfile(resolved):
+                if fragment.lower() not in _headings(resolved):
+                    problems.append(
+                        f"{rel_source}: link {target!r} names a missing "
+                        f"anchor #{fragment}"
+                    )
+    return problems
+
+
+def check_examples_referenced() -> list:
+    """Return problems for examples never mentioned in any docs page."""
+    examples_dir = os.path.join(REPO_ROOT, "examples")
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    docs_text = ""
+    for name in sorted(os.listdir(docs_dir)):
+        if name.endswith(".md"):
+            with open(os.path.join(docs_dir, name), encoding="utf-8") as handle:
+                docs_text += handle.read()
+    problems = []
+    for name in sorted(os.listdir(examples_dir)):
+        if name.endswith(".py") and name not in docs_text:
+            problems.append(
+                f"examples/{name}: not referenced from any page under docs/"
+            )
+    return problems
+
+
+def main() -> int:
+    problems = check_links() + check_examples_referenced()
+    if problems:
+        print(f"FAIL: {len(problems)} documentation problem(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(
+        f"docs OK: {len(_markdown_files())} markdown files link-checked, "
+        "every example referenced"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

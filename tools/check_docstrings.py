@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Docstring-coverage check for the public link/ and decoder surface.
+
+Walks the modules under ``src/repro/link`` and
+``src/repro/coding/decoders`` with ``ast`` (no imports, so it is cheap
+and side-effect free) and reports every *public* module, class,
+function or method without a docstring.  Public means the name does
+not start with an underscore; nested scopes inherit privacy from their
+enclosing definition.
+
+Exit status 0 at full coverage, 1 with a per-symbol report otherwise:
+
+    python tools/check_docstrings.py
+
+Extend ``CHECKED_ROOTS`` as more packages graduate to enforced
+coverage.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+
+#: Package directories (relative to the repo root) held to full public
+#: docstring coverage.
+CHECKED_ROOTS = [
+    "src/repro/link",
+    "src/repro/coding/decoders",
+]
+
+
+def _missing_in(tree: ast.Module, rel_path: str) -> list:
+    problems = []
+    if ast.get_docstring(tree) is None:
+        problems.append(f"{rel_path}: module docstring missing")
+
+    def walk(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if not isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            if child.name.startswith("_"):
+                continue
+            qualified = f"{prefix}{child.name}"
+            if ast.get_docstring(child) is None:
+                kind = "class" if isinstance(child, ast.ClassDef) else "def"
+                problems.append(
+                    f"{rel_path}:{child.lineno}: {kind} {qualified} has no docstring"
+                )
+            if isinstance(child, ast.ClassDef):
+                walk(child, qualified + ".")
+
+    walk(tree, "")
+    return problems
+
+
+def main() -> int:
+    problems = []
+    checked = 0
+    for root in CHECKED_ROOTS:
+        directory = os.path.join(REPO_ROOT, root)
+        for name in sorted(os.listdir(directory)):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(directory, name)
+            rel_path = os.path.relpath(path, REPO_ROOT)
+            with open(path, encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=rel_path)
+            problems.extend(_missing_in(tree, rel_path))
+            checked += 1
+    if problems:
+        print(f"FAIL: {len(problems)} public symbol(s) without docstrings:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"docstring coverage OK: {checked} modules fully documented")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""Generate docs/api.md from the public repro.coding / repro.link surface.
+
+Walks ``__all__`` of the two packages, emitting for every exported name
+its kind, signature, summary (first docstring paragraph) and — for
+classes — the public methods and properties defined on the class
+itself.  The output is deterministic, so the committed ``docs/api.md``
+can be checked for freshness:
+
+    python tools/gen_api_docs.py            # (re)write docs/api.md
+    python tools/gen_api_docs.py --check    # exit 1 if docs/api.md is stale
+
+The ``--check`` mode runs in the CI ``docs`` job and in
+``tests/test_docs.py``; regenerate and commit whenever the public
+surface changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import inspect
+import os
+import sys
+import textwrap
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+#: The packages whose ``__all__`` constitutes the documented surface.
+MODULES = ["repro.coding", "repro.link"]
+
+OUTPUT = os.path.join(REPO_ROOT, "docs", "api.md")
+
+HEADER = """\
+# API reference — `repro.coding` and `repro.link`
+
+[Documentation index](index.md)
+
+Generated from the packages' `__all__` by `tools/gen_api_docs.py` —
+do not edit by hand. Regenerate with:
+
+```bash
+PYTHONPATH=src python tools/gen_api_docs.py
+```
+"""
+
+
+def _summary(obj) -> str:
+    """First docstring paragraph, collapsed to one flow of text."""
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "*(no docstring)*"
+    first = doc.split("\n\n", 1)[0]
+    return " ".join(line.strip() for line in first.splitlines())
+
+
+def _signature(obj) -> str:
+    try:
+        return str(inspect.signature(obj))
+    except (TypeError, ValueError):
+        return "(...)"
+
+
+def _class_members(cls) -> list:
+    """Public methods/properties defined on ``cls`` itself, in source order."""
+    members = []
+    for name, member in vars(cls).items():
+        if name.startswith("_"):
+            continue
+        if isinstance(member, property):
+            members.append((name, "property", _summary(member)))
+        elif isinstance(member, (staticmethod, classmethod)):
+            members.append((name, "method", _summary(member.__func__)))
+        elif inspect.isfunction(member):
+            members.append((name, "method", _summary(member)))
+    return members
+
+
+def _render_entry(module_name: str, name: str, obj) -> list:
+    lines = []
+    if inspect.isclass(obj):
+        lines.append(f"### class `{name}{_signature(obj)}`")
+        lines.append("")
+        lines.append(_summary(obj))
+        members = _class_members(obj)
+        if members:
+            lines.append("")
+            for member_name, kind, summary in members:
+                lines.append(f"- **`{member_name}`** ({kind}) — {summary}")
+    elif callable(obj):
+        lines.append(f"### `{name}{_signature(obj)}`")
+        lines.append("")
+        lines.append(_summary(obj))
+    else:
+        lines.append(f"### `{name}`")
+        lines.append("")
+        value = repr(obj)
+        if len(value) > 120:
+            value = value[:117] + "..."
+        lines.append(f"Constant: `{value}`")
+    lines.append("")
+    return lines
+
+
+def generate() -> str:
+    """Render the full api.md content as a string."""
+    lines = [HEADER]
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        exported = list(getattr(module, "__all__"))
+        lines.append(f"## `{module_name}`")
+        lines.append("")
+        lines.append(_summary(module))
+        lines.append("")
+        for name in exported:
+            obj = getattr(module, name)
+            lines.extend(_render_entry(module_name, name, obj))
+    text = "\n".join(lines)
+    return text.rstrip() + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify docs/api.md matches the generated output (no write)",
+    )
+    args = parser.parse_args(argv)
+    content = generate()
+    if args.check:
+        try:
+            with open(OUTPUT, encoding="utf-8") as handle:
+                on_disk = handle.read()
+        except FileNotFoundError:
+            print("FAIL: docs/api.md does not exist; run tools/gen_api_docs.py")
+            return 1
+        if on_disk != content:
+            print(
+                "FAIL: docs/api.md is stale — the public repro.coding/repro.link "
+                "surface changed. Regenerate with:\n"
+                "  PYTHONPATH=src python tools/gen_api_docs.py"
+            )
+            return 1
+        print("docs/api.md is up to date")
+        return 0
+    with open(OUTPUT, "w", encoding="utf-8") as handle:
+        handle.write(content)
+    print(f"wrote {os.path.relpath(OUTPUT, REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
