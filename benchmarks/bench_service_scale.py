@@ -1,0 +1,255 @@
+"""Worker-pool scaling: one decode process vs a shared-nothing pool.
+
+The same closed-loop workload — concurrent sessions streaming batched
+decode requests for a deliberately heavy code
+(``interleaved:hamming84:16``, 128-bit words) — runs against the codec
+front twice: once with ``--workers 1`` and once with ``--workers N``
+(default 4).  Both arms drive ``CodecServer.dispatch`` in-process, so
+the transport above the pool is identical and the ratio isolates what
+the extra decode processes buy.
+
+Three properties are asserted so CI can run this as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_service_scale.py --quick
+
+* **bit identity** — every decoded frame from every session, in both
+  arms, equals one direct ``decode_batch_detailed`` call on the same
+  seeded inputs (hard failure otherwise);
+* **p99 latency** — the pooled arm's per-request p99 must stay under
+  ``REPRO_BENCH_SCALE_P99_MS`` (default 2000 ms), always enforced;
+* **speedup** — the pooled arm must beat the single-worker arm by
+  ``REPRO_BENCH_SCALE_MIN_SPEEDUP`` (default 2.5).  Scaling needs
+  cores: the floor is only enforced when ``os.cpu_count()`` is at
+  least the pooled worker count.
+
+Sessions differ only by their injection seed, which is part of the
+consistent-hash routing key — so the pooled arm spreads them across
+workers exactly the way a production front would.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import itertools
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.decoders import default_decoder_for
+from repro.coding.registry import get_code
+from repro.service import BatchPolicy, CodecServer, SessionConfig, protocol
+
+CODE = "interleaved:hamming84:16"
+ERROR_RATE = 0.02  # give every worker real corrections to perform
+DEFAULT_MIN_SPEEDUP = 2.5
+DEFAULT_P99_MS = 2000.0
+
+
+def _fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def _workload(
+    sessions: int, frames: int, seed: int
+) -> Tuple[List[np.ndarray], List]:
+    """Per-session corrupted words and their direct-decode references."""
+    code = get_code(CODE)
+    decoder = default_decoder_for(code)
+    words, references = [], []
+    for s in range(sessions):
+        rng = np.random.default_rng(seed + s)
+        messages = rng.integers(0, 2, (frames, code.k)).astype(np.uint8)
+        sent = code.encode_batch(messages)
+        flips = (rng.random(sent.shape) < ERROR_RATE).astype(np.uint8)
+        received = (sent ^ flips).astype(np.uint8)
+        words.append(received)
+        references.append(decoder.decode_batch_detailed(received))
+    return words, references
+
+
+async def _drive(
+    workers: int,
+    words: List[np.ndarray],
+    requests: int,
+    frames_per_request: int,
+) -> Tuple[float, List[float], List[Dict[str, np.ndarray]]]:
+    """Closed-loop sessions against ``dispatch``; wall, latencies, outputs.
+
+    Session ``s`` sends its rows in order, ``frames_per_request`` per
+    request, awaiting each round trip — the same shape a pipelined TCP
+    client produces after framing.
+    """
+    code = get_code(CODE)
+    policy = BatchPolicy(max_batch=256, max_delay_us=200.0)
+    server = CodecServer(policy=policy, workers=workers)
+    await server.start()
+    request_ids = itertools.count(1)
+    try:
+        session_ids = []
+        for s in range(len(words)):
+            config = SessionConfig(code=CODE, seed=s)
+            body = await server.dispatch(
+                protocol.Request(
+                    protocol.OP_OPEN,
+                    next(request_ids),
+                    protocol.build_json_body(config.to_dict()),
+                )
+            )
+            session_ids.append(protocol.parse_json_body(body)["session_id"])
+
+        latencies: List[float] = []
+        outputs: List[Dict[str, np.ndarray]] = [
+            {
+                "messages": np.empty((len(w), code.k), dtype=np.uint8),
+                "corrected": np.empty(len(w), dtype=np.int64),
+                "detected": np.empty(len(w), dtype=bool),
+            }
+            for w in words
+        ]
+
+        async def client(s: int) -> None:
+            for r in range(requests):
+                rows = slice(r * frames_per_request, (r + 1) * frames_per_request)
+                body = protocol.build_batch_body(session_ids[s], words[s][rows])
+                t0 = time.perf_counter()
+                response = await server.dispatch(
+                    protocol.Request(protocol.OP_DECODE, next(request_ids), body)
+                )
+                latencies.append(time.perf_counter() - t0)
+                messages, corrected, detected = (
+                    protocol.parse_decode_response_body(response, code.k)
+                )
+                outputs[s]["messages"][rows] = messages
+                outputs[s]["corrected"][rows] = corrected
+                outputs[s]["detected"][rows] = detected
+
+        start = time.perf_counter()
+        await asyncio.gather(*(client(s) for s in range(len(words))))
+        wall = time.perf_counter() - start
+        return wall, latencies, outputs
+    finally:
+        await server.stop()
+
+
+def _check_identity(
+    label: str, outputs: List[Dict[str, np.ndarray]], references: List
+) -> None:
+    for s, (out, ref) in enumerate(zip(outputs, references)):
+        ok = (
+            np.array_equal(out["messages"], ref.messages)
+            # corrected counts are clamped to uint8 on the wire
+            and np.array_equal(
+                out["corrected"], np.minimum(ref.corrected_errors, 255)
+            )
+            and np.array_equal(out["detected"], ref.detected_uncorrectable)
+        )
+        if not ok:
+            _fail(
+                f"{label} arm: session {s} outputs deviate from "
+                "decode_batch_detailed"
+            )
+
+
+def bench(
+    workers: int, sessions: int, requests: int, frames: int, seed: int,
+    repeats: int = 3,
+) -> None:
+    per_session = requests * frames
+    words, references = _workload(sessions, per_session, seed)
+    total = sessions * per_session
+    print(
+        f"workload: {sessions} sessions x {requests} decode requests x "
+        f"{frames} frames ({total} frames of {CODE}, "
+        f"p={ERROR_RATE:g} channel), dispatch-level, best of {repeats}"
+    )
+
+    def run_arm(n_workers: int) -> Tuple[float, float]:
+        best_wall, best_p99 = float("inf"), float("inf")
+        for _ in range(repeats):
+            wall, latencies, outputs = asyncio.run(
+                _drive(n_workers, words, requests, frames)
+            )
+            _check_identity(f"{n_workers}-worker", outputs, references)
+            p99 = float(np.percentile(np.array(latencies) * 1e3, 99))
+            if wall < best_wall:
+                best_wall, best_p99 = wall, p99
+        return best_wall, best_p99
+
+    single_s, single_p99 = run_arm(1)
+    pooled_s, pooled_p99 = run_arm(workers)
+    print(
+        "bit identity: pooled outputs == direct decode_batch_detailed "
+        "(every session, both arms, every run)"
+    )
+
+    speedup = single_s / pooled_s
+    header = (
+        f"{'pool':>10} | {'wall (s)':>9} | {'frames/s':>10} | "
+        f"{'p99 (ms)':>9} | {'speedup':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    print(
+        f"{'1 worker':>10} | {single_s:>9.3f} | {total / single_s:>10,.0f} | "
+        f"{single_p99:>9.1f} | {'1.00x':>8}"
+    )
+    print(
+        f"{f'{workers} workers':>10} | {pooled_s:>9.3f} | "
+        f"{total / pooled_s:>10,.0f} | {pooled_p99:>9.1f} | {speedup:>7.2f}x"
+    )
+
+    p99_ceiling = float(os.environ.get("REPRO_BENCH_SCALE_P99_MS", DEFAULT_P99_MS))
+    if pooled_p99 > p99_ceiling:
+        _fail(
+            f"pooled p99 {pooled_p99:.1f} ms exceeds the "
+            f"{p99_ceiling:g} ms ceiling"
+        )
+
+    floor = float(
+        os.environ.get("REPRO_BENCH_SCALE_MIN_SPEEDUP", DEFAULT_MIN_SPEEDUP)
+    )
+    cores = os.cpu_count() or 1
+    if cores >= workers:
+        if speedup < floor:
+            _fail(
+                f"pool speedup {speedup:.2f}x below the {floor:.1f}x floor "
+                f"at {workers} workers on {cores} cores"
+            )
+    else:
+        print(
+            f"note: {cores} cores < {workers} workers, the {floor:.1f}x "
+            "speedup floor is not enforced (nothing to scale onto)"
+        )
+    print("\nservice worker-pool scaling checks passed")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pooled-arm worker count (compared against 1)")
+    parser.add_argument("--sessions", type=int, default=8,
+                        help="concurrent sessions (distinct routing keys)")
+    parser.add_argument("--requests", type=int, default=40,
+                        help="decode round trips per session")
+    parser.add_argument("--frames", type=int, default=16,
+                        help="frames per decode request")
+    parser.add_argument("--seed", type=int, default=20250831)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed runs per arm; the fastest is kept")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 8 sessions x 8 requests x 8 frames")
+    args = parser.parse_args(argv)
+    if args.quick:
+        bench(args.workers, 8, 8, 8, args.seed, repeats=min(args.repeats, 2))
+    else:
+        bench(args.workers, args.sessions, args.requests, args.frames,
+              args.seed, repeats=args.repeats)
+
+
+if __name__ == "__main__":
+    main()

@@ -231,6 +231,26 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-pending", type=_positive_int, default=8192,
                        metavar="FRAMES",
                        help="backpressure bound on queued frames per lane")
+    serve.add_argument("--workers", type=_nonnegative_int, default=0, metavar="N",
+                       help="decode worker processes (0 = in-process on one "
+                            "core); sessions are consistent-hash routed and "
+                            "each worker micro-batches independently")
+
+    admin = sub.add_parser(
+        "admin",
+        help="inspect or drain/restart the workers of a running codec service",
+    )
+    admin.add_argument("action", choices=["status", "restart", "kill"],
+                       help="status: pool summary; restart: graceful drain + "
+                            "respawn (no lost sessions/requests); kill: "
+                            "SIGKILL the worker (crash-recovery drill)")
+    admin.add_argument("--host", default="127.0.0.1")
+    admin.add_argument("--port", type=_port_number, default=7350)
+    admin.add_argument("--worker", type=_nonnegative_int, default=None,
+                       metavar="INDEX",
+                       help="target worker index (required for restart/kill)")
+    admin.add_argument("--json", action="store_true",
+                       help="emit the server's response as JSON")
 
     loadgen = sub.add_parser(
         "loadgen", help="drive a traffic scenario against a running codec service"
@@ -241,6 +261,11 @@ def _build_parser() -> argparse.ArgumentParser:
                          choices=["steady", "bursty", "mixed", "adversarial",
                                   "burst"])
     loadgen.add_argument("--clients", type=_positive_int, default=16)
+    loadgen.add_argument("--connections", type=_positive_int, default=None,
+                         metavar="N",
+                         help="TCP connections shared by the clients (default: "
+                              "one per client); lets 512-4096 client drills "
+                              "stay under the fd limit")
     loadgen.add_argument("--requests", type=_positive_int, default=50,
                          help="encode->decode round trips per client")
     loadgen.add_argument("--frames", type=_positive_int, default=4,
@@ -447,6 +472,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     max_delay_us=args.max_delay_us,
                     max_pending_frames=args.max_pending,
                 ),
+                workers=args.workers,
             )
             await server.start()
             print(f"serving codec sessions on {args.host}:{server.port}", flush=True)
@@ -456,6 +482,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"max_pending={args.max_pending}",
                 flush=True,
             )
+            if args.workers:
+                print(
+                    f"  decode workers: {args.workers} process(es), consistent-hash "
+                    "session routing ('repro admin' drives drain/restart)",
+                    flush=True,
+                )
             try:
                 await server.serve_forever()
             finally:
@@ -471,6 +503,51 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 1
+    elif args.command == "admin":
+        import asyncio
+        import json as _json
+
+        from repro.service import CodecClient, ProtocolError
+
+        if args.action in ("restart", "kill") and args.worker is None:
+            print(
+                f"repro admin: error: {args.action} needs --worker INDEX",
+                file=sys.stderr,
+            )
+            return 2
+
+        async def _admin():
+            client = await CodecClient.connect(args.host, args.port)
+            try:
+                return await client.admin(args.action, worker=args.worker)
+            finally:
+                await client.close()
+
+        try:
+            result = asyncio.run(_admin())
+        except OSError as exc:
+            print(
+                f"repro admin: error: cannot reach a codec service at "
+                f"{args.host}:{args.port} ({exc}); start one with 'repro serve'",
+                file=sys.stderr,
+            )
+            return 1
+        except ProtocolError as exc:
+            print(f"repro admin: error: {exc}", file=sys.stderr)
+            return 1
+        if args.json:
+            print(_json.dumps(result, indent=2, sort_keys=True))
+        elif args.action == "status":
+            print(f"mode: {result.get('mode')}  sessions: {result.get('sessions')}")
+            for worker in result.get("workers", []):
+                state = "ready" if worker.get("ready") else "down"
+                print(
+                    f"  worker {worker['index']}: pid={worker.get('pid')} "
+                    f"{state} restarts={worker.get('restarts')} "
+                    f"sessions={worker.get('sessions')}"
+                )
+        else:
+            print(_json.dumps(result, sort_keys=True))
     elif args.command == "loadgen":
         import asyncio
         import json as _json
@@ -516,6 +593,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     args.port,
                     scenario,
                     clients=args.clients,
+                    connections=args.connections,
                     requests=args.requests,
                     frames_per_request=args.frames,
                     seed=args.seed,

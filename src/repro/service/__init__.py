@@ -8,6 +8,11 @@ requests through the :class:`~repro.service.batcher.MicroBatcher` into
 the PR 1 bit-packed batch kernels, and exposes per-session telemetry.
 :mod:`repro.service.loadgen` drives it with shaped traffic; the
 ``repro serve`` / ``repro loadgen`` CLI subcommands wrap both.
+
+``serve --workers N`` scales the same service across a shared-nothing
+pool of N decode worker processes (:mod:`repro.service.workers`):
+consistent-hash session routing, pickle-free frame handoff, per-worker
+telemetry rollup, and graceful drain/restart with crash supervision.
 """
 
 from repro.service.batcher import BatchPolicy, MicroBatcher
@@ -31,6 +36,14 @@ from repro.service.telemetry import (
     LatencyReservoir,
     ServiceTelemetry,
     SessionTelemetry,
+    rollup_worker_snapshots,
+)
+from repro.service.workers import (
+    DispatchCore,
+    HashRing,
+    WorkerDied,
+    WorkerFaults,
+    WorkerPool,
 )
 
 __all__ = [
@@ -53,4 +66,10 @@ __all__ = [
     "LatencyReservoir",
     "ServiceTelemetry",
     "SessionTelemetry",
+    "rollup_worker_snapshots",
+    "DispatchCore",
+    "HashRing",
+    "WorkerDied",
+    "WorkerFaults",
+    "WorkerPool",
 ]

@@ -291,5 +291,19 @@ class MicroBatcher:
         for lane in self._lanes.values():
             lane.flush("drain")
 
+    async def drain(self) -> None:
+        """Flush repeatedly until no lane holds a queued frame.
+
+        One :meth:`flush_all` is not enough when flushing wakes
+        backpressured submitters, whose chunks land in lanes *after* the
+        flush ran; the loop yields to the event loop between rounds so
+        those submitters get to enqueue, then flushes again.  Used by a
+        draining worker to guarantee every admitted frame is answered
+        before it exits.
+        """
+        while self.pending_frames():
+            self.flush_all()
+            await asyncio.sleep(0)
+
     def pending_frames(self) -> int:
         return sum(lane.pending_frames for lane in self._lanes.values())

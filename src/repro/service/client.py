@@ -115,6 +115,9 @@ class CodecClient:
         # Serialises write+drain: concurrent drain() calls on one
         # transport are not allowed by asyncio's flow control.
         self._write_lock = asyncio.Lock()
+        # Set once the reader loop ends for any reason (EOF, reset,
+        # close()); tests wait on it instead of sleeping.
+        self._disconnected = asyncio.Event()
         self._reader_task = asyncio.ensure_future(self._read_responses())
 
     @classmethod
@@ -149,6 +152,7 @@ class CodecClient:
             if not future.done():
                 future.set_exception(fail)
         self._inflight.clear()
+        self._disconnected.set()
 
     async def request(self, opcode: int, body: bytes = b"") -> protocol.Response:
         """Send one request and await its (status-checked) response."""
@@ -193,6 +197,34 @@ class CodecClient:
         """Scrape the server's JSON telemetry snapshot."""
         response = await self.request(protocol.OP_STATS)
         return protocol.parse_json_body(response.body)
+
+    async def admin(self, action: str, worker: Optional[int] = None) -> Dict:
+        """Run a worker-pool admin action: ``status``/``restart``/``kill``.
+
+        ``status`` works against any server; ``restart`` (graceful
+        drain + respawn) and ``kill`` (SIGKILL, exercising crash
+        recovery) additionally need a worker pool and a ``worker``
+        index.  Returns the server's JSON report of what it did.
+        """
+        payload: Dict = {"action": action}
+        if worker is not None:
+            payload["worker"] = int(worker)
+        response = await self.request(
+            protocol.OP_ADMIN, protocol.build_json_body(payload)
+        )
+        return protocol.parse_json_body(response.body)
+
+    async def wait_disconnected(self, timeout: Optional[float] = None) -> None:
+        """Await the connection's death (EOF, reset, or :meth:`close`).
+
+        The event-driven alternative to sleeping and probing: the event
+        fires exactly when the reader loop has torn down, i.e. when
+        later :meth:`request` calls are guaranteed to fail fast.
+        """
+        if timeout is None:
+            await self._disconnected.wait()
+        else:
+            await asyncio.wait_for(self._disconnected.wait(), timeout)
 
     async def codes(self) -> Dict:
         """The server's code/decoder discovery catalog."""

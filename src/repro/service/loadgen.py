@@ -275,9 +275,14 @@ async def _run_client(
     report: LoadReport,
     soft: bool = False,
     soft_sigma: float = 0.0,
+    client: Optional[CodecClient] = None,
 ) -> None:
     config = scenario.sessions[index % len(scenario.sessions)]
-    client = await CodecClient.connect(host, port)
+    # With a shared connection the client multiplexes over it (the
+    # protocol pipelines by request id); otherwise each client owns one.
+    owns_connection = client is None
+    if owns_connection:
+        client = await CodecClient.connect(host, port)
     try:
         session = await client.open_session(**config.to_dict())
         for r in range(requests):
@@ -328,7 +333,8 @@ async def _run_client(
                     + detected.sum()
                 )
     finally:
-        await client.close()
+        if owns_connection:
+            await client.close()
 
 
 async def run_scenario(
@@ -342,15 +348,20 @@ async def run_scenario(
     scrape_stats: bool = True,
     soft: bool = False,
     soft_sigma: float = 0.0,
+    connections: Optional[int] = None,
 ) -> LoadReport:
-    """Drive ``scenario`` with ``clients`` concurrent connections.
+    """Drive ``scenario`` with ``clients`` concurrent clients.
 
     With ``soft`` set, clients map each encoded word to BPSK
     confidences (plus optional Gaussian jitter of RMS ``soft_sigma``)
     and decode through the float soft lane instead of the hard one.
-    Returns the aggregate :class:`LoadReport`; when ``scrape_stats`` is
-    set the server's JSON telemetry snapshot is attached as
-    ``report.server_stats``.
+    ``connections`` caps the TCP connections the fleet opens (client
+    ``i`` multiplexes over connection ``i % connections`` — the wire
+    protocol pipelines by request id), which is what lets 512-4096
+    client drills run without exhausting file descriptors; the default
+    is one connection per client.  Returns the aggregate
+    :class:`LoadReport`; when ``scrape_stats`` is set the server's JSON
+    telemetry snapshot is attached as ``report.server_stats``.
     """
     report = LoadReport(
         scenario=scenario.name,
@@ -360,18 +371,29 @@ async def run_scenario(
         soft=soft,
     )
     rngs = spawn_generators(seed, clients)
-    start = time.perf_counter()
-    outcomes = await asyncio.gather(
-        *(
-            _run_client(
-                i, host, port, scenario, requests, frames_per_request, rngs[i],
-                report, soft=soft, soft_sigma=soft_sigma,
-            )
-            for i in range(clients)
-        ),
-        return_exceptions=True,
-    )
-    report.wall_s = time.perf_counter() - start
+    shared: List[CodecClient] = []
+    if connections is not None and connections < clients:
+        shared = [
+            await CodecClient.connect(host, port)
+            for _ in range(max(1, connections))
+        ]
+    try:
+        start = time.perf_counter()
+        outcomes = await asyncio.gather(
+            *(
+                _run_client(
+                    i, host, port, scenario, requests, frames_per_request,
+                    rngs[i], report, soft=soft, soft_sigma=soft_sigma,
+                    client=shared[i % len(shared)] if shared else None,
+                )
+                for i in range(clients)
+            ),
+            return_exceptions=True,
+        )
+        report.wall_s = time.perf_counter() - start
+    finally:
+        for connection in shared:
+            await connection.close()
     # One dying client must not discard the whole run's report; record
     # which clients failed and keep the partial aggregate.
     for i, outcome in enumerate(outcomes):

@@ -39,6 +39,15 @@ OP_DECODE = 0x03  #: decode n-bit received words -> k-bit messages + flags
 OP_STATS = 0x04   #: JSON telemetry snapshot
 OP_CODES = 0x05   #: JSON listing of registered codes/decoders
 OP_DECODE_SOFT = 0x06  #: decode n float32 confidences/frame -> messages + flags
+OP_ADMIN = 0x07   #: worker-pool admin plane (JSON action body)
+
+# Worker-plane opcodes (front end <-> decode worker pipes; never sent by
+# clients).  They reuse the same framing so a worker pipe is just another
+# protocol stream, but live in a disjoint range so a worker opcode leaking
+# to the client plane is an immediate "unknown opcode" error.
+OP_W_OPEN = 0x10   #: open a session under a *front-assigned* id (JSON body)
+OP_W_STATS = 0x11  #: per-worker telemetry snapshot (JSON response)
+OP_W_DRAIN = 0x12  #: finish in-flight work, flush, reply, then exit
 
 # Response status bytes ----------------------------------------------
 ST_OK = 0x00
@@ -153,6 +162,20 @@ def parse_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarray]:
     width = width_of_session(session_id)
     bits = unpack_bits(body[_BATCH_HEADER.size:], n_frames, width)
     return session_id, bits
+
+
+def peek_batch_header(body: bytes) -> Tuple[int, int]:
+    """Session id and frame count of an ENCODE/DECODE/DECODE_SOFT body.
+
+    The pooled front end routes on the session id without unpacking the
+    frame payload — the body is forwarded to the owning worker as the
+    same preserialized bytes it arrived in, so routing must not cost a
+    parse.
+    """
+    if len(body) < _BATCH_HEADER.size:
+        raise ProtocolError(f"batch body too short ({len(body)} bytes)")
+    session_id, n_frames = _BATCH_HEADER.unpack_from(body)
+    return session_id, n_frames
 
 
 def build_soft_batch_body(session_id: int, confidences: np.ndarray) -> bytes:

@@ -9,9 +9,20 @@ connections coalesce into the bit-packed batch kernels.  STATS returns
 the JSON telemetry snapshot (the stats endpoint), CODES the discovery
 catalog.
 
+With ``workers=N`` the server becomes the front end of a shared-nothing
+process pool (:mod:`repro.service.workers`): sessions are
+consistent-hash routed to N decode worker processes, data-plane bodies
+are forwarded as the preserialized bytes they arrived in, STATS rolls up
+per-worker telemetry, and the ADMIN opcode drives graceful drain/restart
+and chaos kills.  With ``workers=0`` (the default) everything runs
+in-process on a single :class:`~repro.service.workers.DispatchCore` —
+the degenerate pool of size zero — which keeps tests and benchmarks able
+to drive the exact same path via :meth:`CodecServer.dispatch`.
+
 The server is transport-thin on purpose: all scheduling policy lives in
-the batcher, all codec state in the registry, so tests and benchmarks
-can drive the exact same path in-process via :meth:`CodecServer.dispatch`.
+the batcher, all codec state in the registry (or the workers), so tests
+and benchmarks can drive the exact same path in-process via
+:meth:`CodecServer.dispatch`.
 """
 
 from __future__ import annotations
@@ -22,11 +33,17 @@ from typing import Optional, Set
 
 from repro.errors import ServiceError
 from repro.service import protocol
-from repro.service.batcher import BatchPolicy, MicroBatcher
-from repro.service.session import SessionConfig, SessionRegistry, catalog
-from repro.service.telemetry import ServiceTelemetry
+from repro.service.batcher import BatchPolicy
+from repro.service.session import SessionConfig, catalog
+from repro.service.telemetry import ServiceTelemetry, rollup_worker_snapshots
+from repro.service.workers import DispatchCore, WorkerFaults, WorkerPool
 
 logger = logging.getLogger(__name__)
+
+#: Data-plane opcodes the pooled front end forwards without parsing.
+_FORWARDED_OPS = frozenset(
+    {protocol.OP_ENCODE, protocol.OP_DECODE, protocol.OP_DECODE_SOFT}
+)
 
 
 class CodecServer:
@@ -38,7 +55,16 @@ class CodecServer:
         Bind address; ``port=0`` picks a free port (read it back from
         :attr:`port` after :meth:`start`).
     policy : BatchPolicy, optional
-        Flush/backpressure policy shared by every lane.
+        Flush/backpressure policy shared by every lane (in pooled mode,
+        by every lane of every worker).
+    workers : int
+        Number of decode worker processes; ``0`` serves everything
+        in-process on one core.
+    faults : WorkerFaults, optional
+        Deterministic fault injection for chaos tests (pooled mode only).
+    start_method : str, optional
+        Multiprocessing start method for the pool; defaults to ``fork``
+        where available (overridable via ``REPRO_WORKER_START_METHOD``).
     """
 
     def __init__(
@@ -46,12 +72,25 @@ class CodecServer:
         host: str = "127.0.0.1",
         port: int = 0,
         policy: Optional[BatchPolicy] = None,
+        workers: int = 0,
+        faults: Optional[WorkerFaults] = None,
+        start_method: Optional[str] = None,
     ):
         self.host = host
         self._requested_port = port
-        self.registry = SessionRegistry()
-        self.batcher = MicroBatcher(policy)
         self.telemetry = ServiceTelemetry()
+        self.core = DispatchCore(policy, telemetry=self.telemetry)
+        # Back-compat aliases: the single-process server's registry and
+        # batcher remain reachable exactly where they always were.
+        self.registry = self.core.registry
+        self.batcher = self.core.batcher
+        self.pool: Optional[WorkerPool] = (
+            WorkerPool(
+                workers, policy=policy, faults=faults, start_method=start_method
+            )
+            if workers
+            else None
+        )
         self._server: Optional[asyncio.base_events.Server] = None
         self._conn_tasks: Set[asyncio.Task] = set()
 
@@ -65,7 +104,14 @@ class CodecServer:
             return self._requested_port
         return self._server.sockets[0].getsockname()[1]
 
+    @property
+    def n_workers(self) -> int:
+        """Pool size; 0 when serving in-process."""
+        return 0 if self.pool is None else self.pool.n_workers
+
     async def start(self) -> "CodecServer":
+        if self.pool is not None:
+            await self.pool.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self._requested_port
         )
@@ -87,6 +133,8 @@ class CodecServer:
             task.cancel()
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        if self.pool is not None:
+            await self.pool.close()
 
     async def __aenter__(self) -> "CodecServer":
         return await self.start()
@@ -185,77 +233,70 @@ class CodecServer:
                 pass
 
     # ------------------------------------------------------------------
-    # Opcode implementations (shared by TCP and in-process callers)
+    # Opcode dispatch (shared by TCP and in-process callers)
     # ------------------------------------------------------------------
     async def dispatch(self, request: protocol.Request) -> bytes:
         """Serve one parsed request, returning the OK response body."""
+        if request.opcode == protocol.OP_ADMIN:
+            return await self._op_admin(request.body)
+        if self.pool is None:
+            return await self.core.dispatch(request)
         if request.opcode == protocol.OP_OPEN:
-            return self._op_open(request.body)
-        if request.opcode == protocol.OP_ENCODE:
-            return await self._op_encode(request.body)
-        if request.opcode == protocol.OP_DECODE:
-            return await self._op_decode(request.body)
-        if request.opcode == protocol.OP_DECODE_SOFT:
-            return await self._op_decode_soft(request.body)
+            config = SessionConfig.from_dict(protocol.parse_json_body(request.body))
+            return protocol.build_json_body(await self.pool.open_session(config))
+        if request.opcode in _FORWARDED_OPS:
+            return await self._forward(request)
         if request.opcode == protocol.OP_STATS:
+            front = self.telemetry.snapshot()
             return protocol.build_json_body(
-                self.telemetry.snapshot(self.registry.labels())
+                rollup_worker_snapshots(front, await self.pool.collect_stats())
             )
         if request.opcode == protocol.OP_CODES:
             return protocol.build_json_body(catalog())
         raise protocol.ProtocolError(f"unknown opcode 0x{request.opcode:02x}")
 
-    def _op_open(self, body: bytes) -> bytes:
-        config = SessionConfig.from_dict(protocol.parse_json_body(body))
-        session = self.registry.open(config)
-        # Route the session's telemetry into the service aggregate.
-        session.telemetry = self.telemetry.session(session.session_id)
-        return protocol.build_json_body(session.describe())
+    async def _forward(self, request: protocol.Request) -> bytes:
+        """Route a data-plane body to its worker, bytes in, bytes out.
 
-    @staticmethod
-    def _check_response_fits(n_frames: int, bytes_per_frame: int) -> None:
-        """Refuse a request whose *response* would exceed the frame cap.
-
-        Responses are larger than their requests (packed words widen on
-        encode; decode adds two flag bytes per frame), so a request can
-        be admitted whose reply is unsendable — catch that before any
-        kernel work is spent on it.
+        The front end peeks only the session id and frame count: enough
+        to route and to run the response-size admission check (using the
+        n/k recorded at open time), never enough to rebuild arrays.
         """
-        needed = 4 + n_frames * bytes_per_frame
-        if needed > protocol.MAX_FRAME_BYTES:
-            raise protocol.ProtocolError(
-                f"response of {needed} bytes for {n_frames} frames would exceed "
-                f"the {protocol.MAX_FRAME_BYTES}-byte frame cap; send fewer "
-                "frames per request"
+        session_id, n_frames = protocol.peek_batch_header(request.body)
+        entry = self.pool.session(session_id)
+        info = entry.info
+        if request.opcode == protocol.OP_ENCODE:
+            bytes_per_frame = (int(info["n"]) + 7) // 8
+        else:
+            bytes_per_frame = (int(info["k"]) + 7) // 8 + 2
+        DispatchCore.check_response_fits(n_frames, bytes_per_frame)
+        return await self.pool.forward(session_id, request.opcode, request.body)
+
+    async def _op_admin(self, body: bytes) -> bytes:
+        """The admin plane: ``status`` / ``restart`` / ``kill``."""
+        payload = protocol.parse_json_body(body)
+        action = payload.get("action")
+        if action == "status":
+            if self.pool is None:
+                return protocol.build_json_body(
+                    {
+                        "mode": "local",
+                        "sessions": len(self.registry),
+                        "workers": [],
+                    }
+                )
+            return protocol.build_json_body(self.pool.status())
+        if self.pool is None:
+            raise ServiceError(
+                f"admin action {action!r} requires a worker pool "
+                "(start the server with workers >= 1)"
             )
-
-    async def _op_encode(self, body: bytes) -> bytes:
-        session_id, messages = protocol.parse_batch_body(
-            body, lambda sid: self.registry.get(sid).k
-        )
-        session = self.registry.get(session_id)
-        self._check_response_fits(len(messages), (session.n + 7) // 8)
-        codewords = await self.batcher.submit(session, "encode", messages)
-        return protocol.build_encode_response_body(codewords)
-
-    async def _op_decode(self, body: bytes) -> bytes:
-        session_id, received = protocol.parse_batch_body(
-            body, lambda sid: self.registry.get(sid).n
-        )
-        session = self.registry.get(session_id)
-        self._check_response_fits(len(received), (session.k + 7) // 8 + 2)
-        result = await self.batcher.submit(session, "decode", received)
-        return protocol.build_decode_response_body(
-            result.messages, result.corrected_errors, result.detected_uncorrectable
-        )
-
-    async def _op_decode_soft(self, body: bytes) -> bytes:
-        session_id, confidences = protocol.parse_soft_batch_body(
-            body, lambda sid: self.registry.get(sid).n
-        )
-        session = self.registry.get(session_id)
-        self._check_response_fits(len(confidences), (session.k + 7) // 8 + 2)
-        result = await self.batcher.submit(session, "decode_soft", confidences)
-        return protocol.build_decode_response_body(
-            result.messages, result.corrected_errors, result.detected_uncorrectable
-        )
+        if action == "restart":
+            return protocol.build_json_body(
+                await self.pool.restart_worker(payload.get("worker"))
+            )
+        if action == "kill":
+            return protocol.build_json_body(
+                await self.pool.kill_worker(payload.get("worker"))
+            )
+        raise ServiceError(f"unknown admin action {action!r}")

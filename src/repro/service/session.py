@@ -18,6 +18,7 @@ they are reproducible only in aggregate, not frame-for-frame.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -75,6 +76,17 @@ class SessionConfig:
             "p10": self.p10,
             "seed": self.seed,
         }
+
+    def routing_key(self) -> str:
+        """Canonical string identity used for consistent-hash routing.
+
+        Built from the full config dict (seed included), so two sessions
+        that differ only in their injection stream still spread across
+        the worker pool instead of piling onto one worker.  ``json`` with
+        sorted keys keeps the key stable across processes and runs —
+        unlike ``hash()``, which is salted per interpreter.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_dict(cls, payload: Dict) -> "SessionConfig":
@@ -203,7 +215,9 @@ class SessionRegistry:
         self._next_id = 1
         self._max_sessions = max_sessions
 
-    def open(self, config: SessionConfig) -> CodecSession:
+    def open(
+        self, config: SessionConfig, session_id: Optional[int] = None
+    ) -> CodecSession:
         """Open (or return the existing) session for ``config``.
 
         Identical config tuples share one session — and, for noisy
@@ -212,15 +226,32 @@ class SessionRegistry:
         cannot grow the registry without bound.  Clients that need
         *independent* injection streams must pass distinct seeds; an
         unseeded noisy config draws fresh entropy once, at first open.
+
+        ``session_id`` forces the id instead of allocating the next one.
+        The pooled front end owns the id space and uses this to rebuild
+        sessions in a respawned worker under their original wire ids.
         """
         if config in self._by_config:
-            return self._sessions[self._by_config[config]]
+            existing = self._sessions[self._by_config[config]]
+            if session_id is not None and existing.session_id != session_id:
+                raise SessionError(
+                    f"config already open as session {existing.session_id}, "
+                    f"cannot reopen as {session_id}"
+                )
+            return existing
+        if session_id is not None and session_id in self._sessions:
+            raise SessionError(
+                f"session id {session_id} is already bound to a different config"
+            )
         if len(self._sessions) >= self._max_sessions:
             raise SessionError(
                 f"session limit reached ({self._max_sessions}); close the server"
             )
-        session_id = self._next_id
-        self._next_id += 1
+        if session_id is None:
+            session_id = self._next_id
+            self._next_id += 1
+        else:
+            self._next_id = max(self._next_id, session_id + 1)
         session = CodecSession(session_id, config)
         self._sessions[session_id] = session
         self._by_config[config] = session_id

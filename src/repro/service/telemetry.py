@@ -157,3 +157,48 @@ class ServiceTelemetry:
             "throughput_fps": round(total_frames / elapsed, 1),
             "sessions": sessions,
         }
+
+
+def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
+    """Merge per-worker telemetry snapshots into one stats payload.
+
+    ``front`` is the front end's own :meth:`ServiceTelemetry.snapshot`
+    (connections and protocol errors are observed there; session frame
+    counters live in the workers).  Each worker snapshot is the worker's
+    ``ServiceTelemetry.snapshot`` augmented with ``index``/``pid``/
+    ``restarts``/``ready`` by the pool.  The rollup keeps the flat
+    single-process shape — ``frames_total`` and ``throughput_fps`` are
+    sums, ``sessions`` is the union with each entry tagged by its owning
+    worker — and adds a ``workers`` array, so a STATS scraper written
+    against the single-process server keeps working and tests can check
+    the invariant *rollup == sum of per-worker counters* directly.
+    """
+    merged = dict(front)
+    merged["mode"] = "pool"
+    sessions: Dict[str, Dict] = {}
+    frames_total = 0
+    throughput = 0.0
+    workers = []
+    for snap in worker_snapshots:
+        summary = {
+            "index": snap.get("index"),
+            "pid": snap.get("pid"),
+            "restarts": snap.get("restarts", 0),
+            "ready": snap.get("ready", True),
+            "uptime_s": snap.get("uptime_s", 0.0),
+            "frames_total": snap.get("frames_total", 0),
+            "throughput_fps": snap.get("throughput_fps", 0.0),
+            "sessions": sorted(int(sid) for sid in snap.get("sessions", {})),
+        }
+        workers.append(summary)
+        frames_total += summary["frames_total"]
+        throughput += summary["throughput_fps"]
+        for sid, entry in snap.get("sessions", {}).items():
+            tagged = dict(entry)
+            tagged["worker"] = snap.get("index")
+            sessions[str(sid)] = tagged
+    merged["workers"] = sorted(workers, key=lambda w: (w["index"] is None, w["index"]))
+    merged["frames_total"] = frames_total
+    merged["throughput_fps"] = round(throughput, 1)
+    merged["sessions"] = {sid: sessions[sid] for sid in sorted(sessions, key=int)}
+    return merged

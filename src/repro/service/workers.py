@@ -1,0 +1,871 @@
+"""Shared-nothing decode worker pool behind the asyncio front end.
+
+The single-process :class:`~repro.service.server.CodecServer` runs every
+session's kernels on one core.  This module scales the same service out
+horizontally: N worker *processes*, each running its own
+:class:`DispatchCore` (registry + micro-batcher + telemetry — the exact
+opcode implementations the single-process server uses), connected to the
+front end by one socketpair per worker speaking the normal
+length-prefixed protocol.  Nothing crosses the pipes but preserialized
+protocol bytes — no pickle anywhere on the hot path: the front end peeks
+the two-byte session id off an ENCODE/DECODE body and forwards the body
+verbatim to the worker that owns the session.
+
+Ownership is decided by a consistent-hash ring (:class:`HashRing`) over
+the session config's :meth:`~repro.service.session.SessionConfig.routing_key`,
+so adding a worker to a pool of N remaps only ~1/(N+1) of the keys.  The
+front end is the sole owner of the session *table* (ids, configs); the
+workers own the session *state* (decoder instances, lanes, counters).
+That split is what makes crash recovery simple: when a worker dies, the
+supervisor respawns it and replays OP_W_OPEN for every session the ring
+assigns to it, under the original wire ids.  Requests lost to the crash
+are retried after the respawn — sound because the codec kernels are
+deterministic functions of the request bytes, so a retried decode is
+bit-identical to the answer the dead worker never sent.  (The one
+exception is error *injection* on encode: a respawned session's seeded
+injection stream restarts from the seed, which changes which bits flip —
+aggregate statistics survive, per-frame draws do not.)
+
+Graceful drain (``restart`` admin action) loses nothing at all: the
+front stops admitting new requests to the worker, sends OP_W_DRAIN, the
+worker finishes every in-flight request, flushes its lanes, replies, and
+exits; the supervisor then respawns and replays as for a crash.
+
+:class:`WorkerFaults` is the chaos harness's hook: deterministic
+fault injection (die after exactly K served requests, delay every
+dispatch) applied to a worker's *initial* spawn only, so a chaos drill
+converges to a healthy pool instead of crash-looping.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import hashlib
+import itertools
+import logging
+import multiprocessing
+import os
+import socket
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ServiceError, SessionError
+from repro.service import protocol
+from repro.service.batcher import BatchPolicy, MicroBatcher
+from repro.service.session import (
+    CodecSession,
+    SessionConfig,
+    SessionRegistry,
+    catalog,
+)
+from repro.service.telemetry import ServiceTelemetry
+
+logger = logging.getLogger(__name__)
+
+#: Session ids travel as uint16 in batch headers.
+MAX_SESSION_ID = 0xFFFF
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_WORKER_START_METHOD"
+
+
+class WorkerDied(ServiceError):
+    """A worker process disconnected with requests still in flight."""
+
+
+# ---------------------------------------------------------------------
+# DispatchCore: the opcode implementations, host-agnostic
+# ---------------------------------------------------------------------
+class DispatchCore:
+    """Registry + micro-batcher + telemetry with the opcode kernels.
+
+    One core serves either the whole single-process server or one decode
+    worker of the pool — shared-nothing either way: a core owns its
+    sessions, lanes and counters outright, so no locks and no cross-core
+    coordination exist anywhere below the routing layer.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[BatchPolicy] = None,
+        telemetry: Optional[ServiceTelemetry] = None,
+    ):
+        self.registry = SessionRegistry()
+        self.batcher = MicroBatcher(policy)
+        self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+
+    def open_session(
+        self, config: SessionConfig, session_id: Optional[int] = None
+    ) -> CodecSession:
+        """Open (or rejoin) a session and wire it into the telemetry."""
+        session = self.registry.open(config, session_id=session_id)
+        session.telemetry = self.telemetry.session(session.session_id)
+        return session
+
+    async def dispatch(self, request: protocol.Request) -> bytes:
+        """Serve one parsed request, returning the OK response body."""
+        if request.opcode == protocol.OP_OPEN:
+            return self._op_open(request.body)
+        if request.opcode == protocol.OP_ENCODE:
+            return await self._op_encode(request.body)
+        if request.opcode == protocol.OP_DECODE:
+            return await self._op_decode(request.body)
+        if request.opcode == protocol.OP_DECODE_SOFT:
+            return await self._op_decode_soft(request.body)
+        if request.opcode == protocol.OP_STATS:
+            return protocol.build_json_body(
+                self.telemetry.snapshot(self.registry.labels())
+            )
+        if request.opcode == protocol.OP_CODES:
+            return protocol.build_json_body(catalog())
+        raise protocol.ProtocolError(f"unknown opcode 0x{request.opcode:02x}")
+
+    def _op_open(self, body: bytes) -> bytes:
+        payload = protocol.parse_json_body(body)
+        session_id = payload.pop("session_id", None)
+        config = SessionConfig.from_dict(payload.get("config", payload))
+        session = self.open_session(
+            config, session_id=None if session_id is None else int(session_id)
+        )
+        return protocol.build_json_body(session.describe())
+
+    @staticmethod
+    def check_response_fits(n_frames: int, bytes_per_frame: int) -> None:
+        """Refuse a request whose *response* would exceed the frame cap.
+
+        Responses are larger than their requests (packed words widen on
+        encode; decode adds two flag bytes per frame), so a request can
+        be admitted whose reply is unsendable — catch that before any
+        kernel work is spent on it.
+        """
+        needed = 4 + n_frames * bytes_per_frame
+        if needed > protocol.MAX_FRAME_BYTES:
+            raise protocol.ProtocolError(
+                f"response of {needed} bytes for {n_frames} frames would exceed "
+                f"the {protocol.MAX_FRAME_BYTES}-byte frame cap; send fewer "
+                "frames per request"
+            )
+
+    async def _op_encode(self, body: bytes) -> bytes:
+        session_id, messages = protocol.parse_batch_body(
+            body, lambda sid: self.registry.get(sid).k
+        )
+        session = self.registry.get(session_id)
+        self.check_response_fits(len(messages), (session.n + 7) // 8)
+        codewords = await self.batcher.submit(session, "encode", messages)
+        return protocol.build_encode_response_body(codewords)
+
+    async def _op_decode(self, body: bytes) -> bytes:
+        session_id, received = protocol.parse_batch_body(
+            body, lambda sid: self.registry.get(sid).n
+        )
+        session = self.registry.get(session_id)
+        self.check_response_fits(len(received), (session.k + 7) // 8 + 2)
+        result = await self.batcher.submit(session, "decode", received)
+        return protocol.build_decode_response_body(
+            result.messages, result.corrected_errors, result.detected_uncorrectable
+        )
+
+    async def _op_decode_soft(self, body: bytes) -> bytes:
+        session_id, confidences = protocol.parse_soft_batch_body(
+            body, lambda sid: self.registry.get(sid).n
+        )
+        session = self.registry.get(session_id)
+        self.check_response_fits(len(confidences), (session.k + 7) // 8 + 2)
+        result = await self.batcher.submit(session, "decode_soft", confidences)
+        return protocol.build_decode_response_body(
+            result.messages, result.corrected_errors, result.detected_uncorrectable
+        )
+
+
+# ---------------------------------------------------------------------
+# Consistent-hash ring
+# ---------------------------------------------------------------------
+class HashRing:
+    """Consistent hashing of session routing keys onto worker indices.
+
+    Each worker contributes ``vnodes`` points to the ring, hashed with
+    blake2b (stable across processes and runs — unlike ``hash()``, which
+    is salted per interpreter).  A key maps to the worker owning the
+    first ring point at or clockwise-after the key's hash.  Growing the
+    pool from N to N+1 workers moves only the keys captured by the new
+    worker's points — about 1/(N+1) of them — and every moved key lands
+    on the *new* worker, which is the property that makes live resize
+    (and the replay-on-respawn protocol) cheap.
+    """
+
+    def __init__(self, n_nodes: int, vnodes: int = 64):
+        if n_nodes < 1:
+            raise ValueError(f"need at least one node, got {n_nodes}")
+        if vnodes < 1:
+            raise ValueError(f"need at least one vnode per node, got {vnodes}")
+        self.n_nodes = n_nodes
+        self.vnodes = vnodes
+        points = sorted(
+            (self._hash(f"node:{node}:vnode:{v}"), node)
+            for node in range(n_nodes)
+            for v in range(vnodes)
+        )
+        self._hashes = [h for h, _ in points]
+        self._nodes = [node for _, node in points]
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def lookup(self, key: str) -> int:
+        """The worker index owning ``key``."""
+        position = bisect_right(self._hashes, self._hash(key)) % len(self._hashes)
+        return self._nodes[position]
+
+
+# ---------------------------------------------------------------------
+# Chaos fault injection
+# ---------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerFaults:
+    """Deterministic fault injection for the chaos test harness.
+
+    Faults apply to the *initial* spawn of each targeted worker only;
+    respawned replacements run clean, so a chaos drill converges to a
+    healthy pool instead of crash-looping.
+
+    Attributes
+    ----------
+    worker_index : int, optional
+        Which worker the faults target; ``None`` targets all of them.
+    die_after_requests : int
+        Serve exactly this many data-plane requests, then ``_exit``
+        without answering the last one — from the front end's point of
+        view the worker crashes mid-batch with a cohort in flight.
+    request_delay_us : float
+        Sleep this long before dispatching every data-plane request,
+        simulating a slow kernel / delayed flush.
+    """
+
+    worker_index: Optional[int] = None
+    die_after_requests: int = 0
+    request_delay_us: float = 0.0
+
+    def applies_to(self, index: int) -> bool:
+        """Whether worker ``index`` is targeted by these faults."""
+        return self.worker_index is None or self.worker_index == index
+
+
+#: Opcodes that count as data-plane traffic for fault accounting.
+_DATA_OPS = frozenset(
+    {protocol.OP_ENCODE, protocol.OP_DECODE, protocol.OP_DECODE_SOFT}
+)
+
+
+# ---------------------------------------------------------------------
+# Worker child process (runs outside the parent's coverage view)
+# ---------------------------------------------------------------------
+def _worker_entry(index, conn, policy, faults):  # pragma: no cover - child process
+    """Process entry point: run the worker loop on a fresh event loop.
+
+    The child may have been forked from inside a running event loop (the
+    front end spawns workers from async code); the inherited loop object
+    is unusable here, so detach from it before ``asyncio.run``.  Exit
+    with ``os._exit`` so the child never runs the parent's inherited
+    atexit/test-harness machinery.
+    """
+    try:
+        asyncio.events._set_running_loop(None)
+        asyncio.set_event_loop(None)
+    except Exception:
+        pass
+    code = 0
+    try:
+        asyncio.run(_worker_main(index, conn, policy, faults))
+    except BaseException:
+        code = 1
+    finally:
+        os._exit(code)
+
+
+async def _worker_main(index, conn, policy, faults):  # pragma: no cover - child
+    """One decode worker: a DispatchCore behind a protocol pipe."""
+    conn.setblocking(False)
+    reader, writer = await asyncio.open_connection(sock=conn)
+    core = DispatchCore(policy)
+    write_lock = asyncio.Lock()
+    tasks: set = set()
+    served = itertools.count(1)
+
+    def my_faults() -> Optional[WorkerFaults]:
+        if faults is not None and faults.applies_to(index):
+            return faults
+        return None
+
+    async def respond(opcode, request_id, status, body):
+        response = protocol.frame_bytes(
+            protocol.build_response(opcode, request_id, status, body)
+        )
+        async with write_lock:
+            writer.write(response)
+            await writer.drain()
+
+    async def serve(request):
+        if request.opcode == protocol.OP_W_DRAIN:
+            # Wait for every *other* in-flight request to finish (their
+            # responses are written when their tasks are done), flush
+            # whatever is still queued, acknowledge, then exit; the
+            # supervisor treats the EOF as permission to respawn.
+            me = asyncio.current_task()
+            while True:
+                others = [t for t in tasks if t is not me and not t.done()]
+                if not others:
+                    break
+                core.batcher.flush_all()
+                await asyncio.wait(others, timeout=0.05)
+            await core.batcher.drain()
+            await respond(
+                request.opcode,
+                request.request_id,
+                protocol.ST_OK,
+                protocol.build_json_body({"drained": True, "worker": index}),
+            )
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            os._exit(0)
+        active = my_faults()
+        if active is not None and request.opcode in _DATA_OPS:
+            if active.request_delay_us > 0:
+                await asyncio.sleep(active.request_delay_us * 1e-6)
+        try:
+            body = await _worker_dispatch(core, index, request)
+            status = protocol.ST_OK
+        except (ServiceError, protocol.ProtocolError) as exc:
+            status, body = protocol.ST_ERROR, str(exc).encode("utf-8")
+        except Exception as exc:
+            logger.exception(
+                "worker %d: internal error serving opcode 0x%02x",
+                index,
+                request.opcode,
+            )
+            status, body = protocol.ST_ERROR, f"internal error: {exc}".encode("utf-8")
+        if active is not None and request.opcode in _DATA_OPS:
+            if active.die_after_requests and next(served) >= active.die_after_requests:
+                # Crash *before* answering: this request and any cohort
+                # sharing the flush are lost in flight, exactly the
+                # mid-batch death the chaos suite drills.
+                os._exit(17)
+        try:
+            await respond(request.opcode, request.request_id, status, body)
+        except protocol.ProtocolError:
+            # Response over the frame cap: report instead of stranding.
+            await respond(
+                request.opcode,
+                request.request_id,
+                protocol.ST_ERROR,
+                b"response exceeds the frame cap; send fewer frames per request",
+            )
+
+    try:
+        while True:
+            payload = await protocol.read_frame(reader)
+            if payload is None:
+                break
+            request = protocol.parse_request(payload)
+            task = asyncio.ensure_future(serve(request))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+    except (protocol.ProtocolError, ConnectionResetError, OSError):
+        pass
+    # Front end went away (closed the pipe or died): nothing to answer.
+    for task in list(tasks):
+        task.cancel()
+    if tasks:
+        await asyncio.gather(*tasks, return_exceptions=True)
+    with contextlib.suppress(Exception):
+        writer.close()
+
+
+async def _worker_dispatch(core, index, request):  # pragma: no cover - child
+    """Dispatch one worker-plane or data-plane request on the core."""
+    if request.opcode == protocol.OP_W_OPEN:
+        payload = protocol.parse_json_body(request.body)
+        session_id = int(payload["session_id"])
+        config = SessionConfig.from_dict(payload["config"])
+        session = core.open_session(config, session_id=session_id)
+        return protocol.build_json_body(session.describe())
+    if request.opcode == protocol.OP_W_STATS:
+        snapshot = core.telemetry.snapshot(core.registry.labels())
+        snapshot["index"] = index
+        snapshot["pid"] = os.getpid()
+        return protocol.build_json_body(snapshot)
+    return await core.dispatch(request)
+
+
+# ---------------------------------------------------------------------
+# Parent-side worker handle and pool
+# ---------------------------------------------------------------------
+class WorkerHandle:
+    """Parent-side endpoint of one worker: pipe, in-flight map, liveness.
+
+    ``ready`` gates admission (cleared while the worker is down or
+    draining), ``died`` is the per-generation death signal the
+    supervisor awaits; a fresh ``died`` event is installed on every
+    spawn so one generation's EOF cannot leak into the next.
+    """
+
+    def __init__(self, pool: "WorkerPool", index: int):
+        self.pool = pool
+        self.index = index
+        self.process = None
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.ready = asyncio.Event()
+        self.died = asyncio.Event()
+        self.restarts = 0
+        self.spawns = 0
+        self.limiter = asyncio.Semaphore(pool.max_inflight)
+        self._inflight: Dict[int, asyncio.Future] = {}
+        self._correlation = itertools.count(1)
+        self._write_lock = asyncio.Lock()
+        self._reader_task: Optional[asyncio.Task] = None
+
+    @property
+    def pid(self) -> Optional[int]:
+        """The live worker process id, ``None`` while down."""
+        return None if self.process is None else self.process.pid
+
+    async def spawn(self) -> None:
+        """Fork a fresh worker process and connect its protocol pipe."""
+        parent_sock, child_sock = socket.socketpair()
+        faults = self.pool.faults
+        if self.spawns > 0 or (faults is not None and not faults.applies_to(self.index)):
+            faults = None
+        process = self.pool.mp_context.Process(
+            target=_worker_entry,
+            args=(self.index, child_sock, self.pool.worker_policy, faults),
+            name=f"repro-codec-worker-{self.index}",
+            daemon=True,
+        )
+        process.start()
+        # The child holds its own copy now; keeping ours open would stop
+        # EOF from ever reaching anyone.
+        child_sock.close()
+        self.spawns += 1
+        self.process = process
+        parent_sock.setblocking(False)
+        self.reader, self.writer = await asyncio.open_connection(sock=parent_sock)
+        self.died = asyncio.Event()
+        self._reader_task = asyncio.ensure_future(self._read_responses())
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                payload = await protocol.read_frame(self.reader)
+                if payload is None:
+                    break
+                response = protocol.parse_response(payload)
+                future = self._inflight.pop(response.request_id, None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            # Pool shutdown path: not a death, no respawn wanted.
+            return
+        except (protocol.ProtocolError, ConnectionResetError, OSError):
+            pass
+        failure = WorkerDied(
+            f"decode worker {self.index} (pid {self.pid}) disconnected"
+        )
+        for future in self._inflight.values():
+            if not future.done():
+                future.set_exception(failure)
+        self._inflight.clear()
+        self.died.set()
+
+    async def request(
+        self, opcode: int, body: bytes = b"", timeout: Optional[float] = None
+    ) -> protocol.Response:
+        """Send one worker-plane request and await its response."""
+        if self.writer is None or self.died.is_set():
+            raise WorkerDied(f"decode worker {self.index} is down")
+        correlation = next(self._correlation)
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[correlation] = future
+        wire = protocol.frame_bytes(
+            protocol.build_request(opcode, correlation, body)
+        )
+        try:
+            async with self._write_lock:
+                # Re-check under the lock: cleanup() may have nulled the
+                # writer while this sender was waiting its turn.
+                if self.writer is None or self.died.is_set():
+                    raise WorkerDied(f"decode worker {self.index} is down")
+                self.writer.write(wire)
+                await self.writer.drain()
+        except WorkerDied:
+            self._inflight.pop(correlation, None)
+            raise
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            self._inflight.pop(correlation, None)
+            raise WorkerDied(
+                f"decode worker {self.index} pipe broke mid-send: {exc}"
+            ) from exc
+        except BaseException:
+            self._inflight.pop(correlation, None)
+            raise
+        if timeout is None:
+            return await future
+        try:
+            return await asyncio.wait_for(future, timeout)
+        except asyncio.TimeoutError:
+            self._inflight.pop(correlation, None)
+            raise WorkerDied(
+                f"decode worker {self.index} did not answer within {timeout}s"
+            )
+
+    async def cleanup(self) -> None:
+        """Tear down the pipe and reap the process (join off-loop)."""
+        if self._reader_task is not None and not self._reader_task.done():
+            self._reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reader_task
+        self._reader_task = None
+        if self.writer is not None:
+            self.writer.close()
+            with contextlib.suppress(Exception):
+                await self.writer.wait_closed()
+        self.reader = self.writer = None
+        process, self.process = self.process, None
+        if process is None:
+            return
+        loop = asyncio.get_running_loop()
+        if process.is_alive():
+            process.terminate()
+        await loop.run_in_executor(None, functools.partial(process.join, 5.0))
+        if process.is_alive():
+            process.kill()
+            await loop.run_in_executor(None, functools.partial(process.join, 5.0))
+        with contextlib.suppress(Exception):
+            process.close()
+
+
+@dataclass
+class _PooledSession:
+    """The front end's record of one session: id, config, ring key."""
+
+    session_id: int
+    config: SessionConfig
+    key: str
+    info: Dict = field(default_factory=dict)
+
+
+class WorkerPool:
+    """N decode worker processes with routing, supervision and replay."""
+
+    def __init__(
+        self,
+        workers: int,
+        policy: Optional[BatchPolicy] = None,
+        faults: Optional[WorkerFaults] = None,
+        start_method: Optional[str] = None,
+        max_sessions: int = 1024,
+        max_inflight: int = 1024,
+        retries: int = 4,
+        spawn_timeout: float = 60.0,
+        drain_timeout: float = 30.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        method = start_method or os.environ.get(START_METHOD_ENV)
+        if method is None:
+            available = multiprocessing.get_all_start_methods()
+            method = "fork" if "fork" in available else available[0]
+        self.mp_context = multiprocessing.get_context(method)
+        self.start_method = method
+        self.worker_policy = policy if policy is not None else BatchPolicy()
+        self.faults = faults
+        self.max_sessions = max_sessions
+        self.max_inflight = max_inflight
+        self.retries = retries
+        self.spawn_timeout = spawn_timeout
+        self.drain_timeout = drain_timeout
+        self.ring = HashRing(workers)
+        self.handles = [WorkerHandle(self, index) for index in range(workers)]
+        self._supervisors: List[asyncio.Task] = []
+        self._sessions: Dict[int, _PooledSession] = {}
+        self._by_config: Dict[SessionConfig, int] = {}
+        self._next_id = 1
+        # Serialises the reserve-id -> worker-open -> commit sequence:
+        # without it two concurrent opens read the same next id and race
+        # conflicting OP_W_OPENs into the workers.
+        self._open_lock = asyncio.Lock()
+        self._closed = False
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.handles)
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> "WorkerPool":
+        """Spawn every worker and begin supervising them."""
+        for handle in self.handles:
+            await handle.spawn()
+            handle.ready.set()
+        self._supervisors = [
+            asyncio.ensure_future(self._supervise(handle))
+            for handle in self.handles
+        ]
+        return self
+
+    async def close(self) -> None:
+        """Stop supervision and terminate every worker."""
+        self._closed = True
+        for task in self._supervisors:
+            task.cancel()
+        if self._supervisors:
+            await asyncio.gather(*self._supervisors, return_exceptions=True)
+        self._supervisors = []
+        for handle in self.handles:
+            handle.ready.clear()
+            await handle.cleanup()
+
+    async def _supervise(self, handle: WorkerHandle) -> None:
+        """Respawn ``handle`` whenever its current generation dies."""
+        while True:
+            await handle.died.wait()
+            if self._closed:
+                return
+            handle.ready.clear()
+            handle.restarts += 1
+            logger.warning(
+                "decode worker %d died (restart #%d); respawning",
+                handle.index,
+                handle.restarts,
+            )
+            try:
+                await handle.cleanup()
+                if self._closed:
+                    return
+                await handle.spawn()
+                await self._replay_sessions(handle)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # Spawn or replay failed (e.g. the replacement died
+                # instantly under a stuck fault); back off and let the
+                # fresh generation's death event drive another attempt.
+                logger.exception(
+                    "decode worker %d respawn failed; retrying", handle.index
+                )
+                await asyncio.sleep(0.05)
+                continue
+            handle.ready.set()
+
+    async def _replay_sessions(self, handle: WorkerHandle) -> None:
+        """Rebuild every session the ring assigns to ``handle``.
+
+        Replayed under the original wire ids, so clients keep using the
+        session ids they already hold.  Sessions with error injection
+        restart their seeded streams from the seed (documented caveat).
+        """
+        for session_id, entry in sorted(self._sessions.items()):
+            if self.ring.lookup(entry.key) != handle.index:
+                continue
+            body = protocol.build_json_body(
+                {"session_id": session_id, "config": entry.config.to_dict()}
+            )
+            response = await handle.request(
+                protocol.OP_W_OPEN, body, timeout=self.spawn_timeout
+            )
+            if response.status != protocol.ST_OK:
+                logger.error(
+                    "worker %d refused replay of session %d: %s",
+                    handle.index,
+                    session_id,
+                    response.body.decode("utf-8", "replace"),
+                )
+
+    # -- routing and data plane ----------------------------------------
+    def handle_for_key(self, key: str) -> WorkerHandle:
+        """The handle of the worker owning routing key ``key``."""
+        return self.handles[self.ring.lookup(key)]
+
+    def session(self, session_id: int) -> _PooledSession:
+        """The pooled session record, or :class:`SessionError`."""
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"unknown session id {session_id}")
+
+    async def open_session(self, config: SessionConfig) -> Dict:
+        """Open (or rejoin) a session on its ring-assigned worker.
+
+        The front end assigns the wire id and records the config before
+        asking the worker to build the session, mirroring the dedup
+        semantics of :meth:`SessionRegistry.open`.
+        """
+        async with self._open_lock:
+            existing = self._by_config.get(config)
+            if existing is not None:
+                return self._sessions[existing].info
+            if len(self._sessions) >= self.max_sessions:
+                raise SessionError(
+                    f"session limit reached ({self.max_sessions}); "
+                    "close the server"
+                )
+            session_id = self._next_id
+            if session_id > MAX_SESSION_ID:
+                raise SessionError(
+                    "session id space exhausted (uint16 on the wire)"
+                )
+            key = config.routing_key()
+            body = protocol.build_json_body(
+                {"session_id": session_id, "config": config.to_dict()}
+            )
+            response_body = await self._request_routed(
+                key, protocol.OP_W_OPEN, body
+            )
+            info = protocol.parse_json_body(response_body)
+            info["worker"] = self.ring.lookup(key)
+            self._next_id += 1
+            self._sessions[session_id] = _PooledSession(
+                session_id, config, key, info
+            )
+            self._by_config[config] = session_id
+            return info
+
+    async def forward(self, session_id: int, opcode: int, body: bytes) -> bytes:
+        """Forward a preserialized data-plane body to the owning worker."""
+        entry = self.session(session_id)
+        return await self._request_routed(entry.key, opcode, body)
+
+    async def _request_routed(self, key: str, opcode: int, body: bytes) -> bytes:
+        """Send to the key's worker, retrying across worker deaths.
+
+        Retries are sound because every pooled opcode is a deterministic
+        function of the request bytes and the session config — a decode
+        retried on the respawned worker returns the bit-identical answer
+        the dead worker never sent.
+        """
+        last_error: Optional[WorkerDied] = None
+        for _ in range(self.retries):
+            handle = self.handle_for_key(key)
+            try:
+                await asyncio.wait_for(handle.ready.wait(), self.spawn_timeout)
+            except asyncio.TimeoutError:
+                raise ServiceError(
+                    f"decode worker {handle.index} unavailable for "
+                    f"{self.spawn_timeout}s"
+                )
+            try:
+                async with handle.limiter:
+                    response = await handle.request(opcode, body)
+            except WorkerDied as exc:
+                last_error = exc
+                # Yield once so the supervisor (woken by the same death)
+                # gets to clear `ready` before the next attempt checks it.
+                await asyncio.sleep(0)
+                continue
+            if response.status != protocol.ST_OK:
+                raise ServiceError(response.body.decode("utf-8", "replace"))
+            return response.body
+        raise ServiceError(
+            f"request failed after {self.retries} attempts across worker "
+            f"restarts: {last_error}"
+        )
+
+    # -- admin plane ----------------------------------------------------
+    def _handle_at(self, index) -> WorkerHandle:
+        if not isinstance(index, int) or isinstance(index, bool):
+            raise ServiceError("admin action needs an integer 'worker' index")
+        if not 0 <= index < self.n_workers:
+            raise ServiceError(
+                f"worker index {index} out of range (pool has "
+                f"{self.n_workers} workers)"
+            )
+        return self.handles[index]
+
+    async def restart_worker(self, index: int) -> Dict:
+        """Gracefully drain worker ``index``, then respawn it.
+
+        New requests are held (``ready`` cleared) while the worker
+        finishes everything already in flight, flushes its lanes and
+        exits; the supervisor respawns it and replays its sessions.  No
+        session and no admitted request is lost.
+        """
+        handle = self._handle_at(index)
+        await asyncio.wait_for(handle.ready.wait(), self.spawn_timeout)
+        handle.ready.clear()
+        try:
+            await handle.request(protocol.OP_W_DRAIN, timeout=self.drain_timeout)
+        except WorkerDied:
+            # It crashed instead of draining; the supervisor's recovery
+            # path is the same either way.
+            pass
+        await asyncio.wait_for(handle.ready.wait(), self.spawn_timeout)
+        return {"restarted": index, "restarts": handle.restarts, "pid": handle.pid}
+
+    async def kill_worker(self, index: int) -> Dict:
+        """SIGKILL worker ``index`` (chaos drill for crash recovery)."""
+        handle = self._handle_at(index)
+        pid = handle.pid
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.kill()
+        return {"killed": index, "pid": pid}
+
+    # -- telemetry ------------------------------------------------------
+    async def collect_stats(self) -> List[Dict]:
+        """Per-worker telemetry snapshots (placeholders while down)."""
+        snapshots = []
+        for handle in self.handles:
+            liveness = {
+                "index": handle.index,
+                "pid": handle.pid,
+                "restarts": handle.restarts,
+                "ready": handle.ready.is_set(),
+            }
+            if handle.ready.is_set():
+                try:
+                    response = await handle.request(
+                        protocol.OP_W_STATS, timeout=self.drain_timeout
+                    )
+                except WorkerDied:
+                    response = None
+                if response is not None and response.status == protocol.ST_OK:
+                    snapshot = protocol.parse_json_body(response.body)
+                    snapshot.update(liveness)
+                    snapshots.append(snapshot)
+                    continue
+            liveness.update(
+                {"sessions": {}, "frames_total": 0, "throughput_fps": 0.0}
+            )
+            snapshots.append(liveness)
+        return snapshots
+
+    def status(self) -> Dict:
+        """Synchronous pool summary for the admin ``status`` action."""
+        return {
+            "mode": "pool",
+            "start_method": self.start_method,
+            "sessions": len(self._sessions),
+            "workers": [
+                {
+                    "index": handle.index,
+                    "pid": handle.pid,
+                    "ready": handle.ready.is_set(),
+                    "restarts": handle.restarts,
+                    "spawns": handle.spawns,
+                    "sessions": sorted(
+                        sid
+                        for sid, entry in self._sessions.items()
+                        if self.ring.lookup(entry.key) == handle.index
+                    ),
+                }
+                for handle in self.handles
+            ],
+        }

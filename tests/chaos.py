@@ -1,0 +1,112 @@
+"""Deterministic chaos helpers for the worker-pool service tests.
+
+Everything here is seed- or count-driven, never wall-clock-driven: a
+worker dies after serving exactly K requests
+(:class:`repro.service.WorkerFaults`), corrupted words come from a
+seeded RNG, and waits are bounded polls on *externally observable*
+state (a respawned worker's restart counter) rather than sleeps of a
+guessed length.  That is what lets the chaos suite assert exact
+bit-identity and run the same way on every machine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import time
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.coding.decoders import default_decoder_for
+from repro.coding.registry import get_code
+from repro.service import protocol
+
+
+def seeded_words(
+    code_name: str, frames: int, seed: int, p: float = 0.05
+) -> Tuple[np.ndarray, object]:
+    """Seeded corrupted codewords plus the direct-decode reference.
+
+    Encodes random messages with ``code_name``, flips bits i.i.d. with
+    probability ``p`` from the same seeded stream, and returns
+    ``(words, reference)`` where ``reference`` is the
+    ``decode_batch_detailed`` result the service must match bit for bit.
+    """
+    rng = np.random.default_rng(seed)
+    code = get_code(code_name)
+    messages = rng.integers(0, 2, size=(frames, code.k), dtype=np.uint8)
+    words = code.encode_batch(messages)
+    flips = rng.random(words.shape) < p
+    words = (words ^ flips.astype(np.uint8)).astype(np.uint8)
+    reference = default_decoder_for(code).decode_batch_detailed(words)
+    return words, reference
+
+
+async def eventually(
+    predicate: Callable[[], bool], timeout: float = 10.0, interval: float = 0.01
+) -> None:
+    """Await ``predicate()`` turning true, failing hard at ``timeout``.
+
+    For conditions that live in *another process* (a worker's respawn)
+    there is no event to await in this loop; a bounded poll against the
+    condition itself is the deterministic substitute for a guessed
+    sleep — it returns the moment the condition holds and fails with an
+    AssertionError (not a silent pass) if it never does.
+    """
+    deadline = time.monotonic() + timeout
+    while True:
+        if predicate():
+            return
+        if time.monotonic() >= deadline:
+            raise AssertionError(
+                f"condition not reached within {timeout:g}s: {predicate}"
+            )
+        await asyncio.sleep(interval)
+
+
+def garbage_wires() -> List[bytes]:
+    """Malformed wire byte strings, each of which may only cost one connection.
+
+    Covers the framing attack surface: wrong magic, an unknown opcode,
+    a request header cut short, a batch body whose frame count promises
+    more bits than the body carries, and a length prefix past the frame
+    cap (the one violation that never even reaches a parser).
+    """
+    bad_magic = bytes([0x00]) + protocol.build_request(protocol.OP_STATS, 1)[1:]
+    unknown_opcode = protocol.build_request(0x7F, 2)
+    truncated_header = protocol.build_request(protocol.OP_DECODE, 3)[:3]
+    lying_batch = protocol.build_request(
+        protocol.OP_DECODE, 4, struct.pack("!HI", 1, 1000) + b"\x01"
+    )
+    oversized_prefix = struct.pack("!I", protocol.MAX_FRAME_BYTES + 1)
+    return [
+        protocol.frame_bytes(bad_magic),
+        protocol.frame_bytes(unknown_opcode),
+        protocol.frame_bytes(truncated_header),
+        protocol.frame_bytes(lying_batch),
+        oversized_prefix,
+    ]
+
+
+async def send_raw(host: str, port: int, wire: bytes) -> bytes:
+    """Fire raw wire bytes at the server, returning any reply bytes.
+
+    Opens a throwaway connection (malformed traffic kills its own
+    connection, so each payload needs a fresh one) and reads whatever
+    the server sends back before closing — possibly nothing.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(wire)
+        await writer.drain()
+        try:
+            return await asyncio.wait_for(reader.read(4096), timeout=2.0)
+        except asyncio.TimeoutError:
+            return b""
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

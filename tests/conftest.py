@@ -1,6 +1,21 @@
-"""Shared fixtures: paper codes, decoders and encoder designs."""
+"""Shared fixtures and a per-test timeout for the whole suite.
+
+The timeout is a dependency-free stand-in for ``pytest-timeout`` (which
+this environment does not ship): a SIGALRM interval timer armed around
+every test's call phase, so a hung asyncio test fails with a traceback
+pointing at the await it was stuck on instead of wedging the run.  The
+default comes from ``REPRO_TEST_TIMEOUT_S`` (120 s); individual tests
+override it with ``@pytest.mark.timeout(seconds)``.  If the real
+``pytest-timeout`` plugin is installed and active, it wins and this
+hook stands down.  POSIX resets interval timers in forked children, so
+the worker-pool tests' child processes never inherit a pending alarm.
+"""
 
 from __future__ import annotations
+
+import os
+import signal
+import threading
 
 import pytest
 
@@ -12,6 +27,42 @@ from repro.encoders.designs import (
     rm13_encoder_design,
 )
 from repro.sfq.cells import coldflux_library
+
+DEFAULT_TIMEOUT_S = 120.0
+
+
+def _timeout_for(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    return float(os.environ.get("REPRO_TEST_TIMEOUT_S", DEFAULT_TIMEOUT_S))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    timeout = _timeout_for(item)
+    if (
+        timeout <= 0
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+        or item.config.pluginmanager.hasplugin("timeout")
+    ):
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the {timeout:g}s per-test timeout "
+            "(REPRO_TEST_TIMEOUT_S / @pytest.mark.timeout)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -569,7 +569,9 @@ class TestServerEndToEnd:
             client = await CodecClient.connect(port=server.port)
             session = await client.open_session("hamming84")
             await server.stop()
-            await asyncio.sleep(0.05)  # let the client's reader see EOF
+            # Event-driven: fires exactly when the reader loop has torn
+            # down, i.e. when new requests are guaranteed to fail fast.
+            await client.wait_disconnected(timeout=5.0)
             # A *new* request on the dead connection must raise, not
             # await a response that can never arrive.
             with pytest.raises(ConnectionResetError):

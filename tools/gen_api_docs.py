@@ -1,7 +1,9 @@
 #!/usr/bin/env python
-"""Generate docs/api.md from the public repro.coding / repro.link surface.
+"""Generate docs/api.md from the public package surfaces.
 
-Walks ``__all__`` of the two packages, emitting for every exported name
+Walks ``__all__`` of the packages in ``MODULES`` (currently
+``repro.coding``, ``repro.link`` and ``repro.service``), emitting for
+every exported name
 its kind, signature, summary (first docstring paragraph) and — for
 classes — the public methods and properties defined on the class
 itself.  The output is deterministic, so the committed ``docs/api.md``
@@ -21,6 +23,7 @@ import argparse
 import importlib
 import inspect
 import os
+import re
 import sys
 import textwrap
 
@@ -28,12 +31,12 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 #: The packages whose ``__all__`` constitutes the documented surface.
-MODULES = ["repro.coding", "repro.link"]
+MODULES = ["repro.coding", "repro.link", "repro.service"]
 
 OUTPUT = os.path.join(REPO_ROOT, "docs", "api.md")
 
 HEADER = """\
-# API reference — `repro.coding` and `repro.link`
+# API reference — `repro.coding`, `repro.link` and `repro.service`
 
 [Documentation index](index.md)
 
@@ -95,7 +98,9 @@ def _render_entry(module_name: str, name: str, obj) -> list:
     else:
         lines.append(f"### `{name}`")
         lines.append("")
-        value = repr(obj)
+        # Strip memory addresses so the output stays deterministic when
+        # a constant's repr embeds function/object identities.
+        value = re.sub(r" at 0x[0-9a-f]+", "", repr(obj))
         if len(value) > 120:
             value = value[:117] + "..."
         lines.append(f"Constant: `{value}`")
