@@ -20,12 +20,12 @@ from __future__ import annotations
 
 import argparse
 import os
-import sys
-import time
-from typing import Callable, List
+from typing import List
 
 import numpy as np
 
+from conftest import fail as _fail
+from conftest import time_best as _time
 from repro.coding import get_code, get_decoder
 
 FULL_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
@@ -35,26 +35,6 @@ ACCEPTANCE_BATCH = 4096
 #: lower it via the environment instead of flaking.
 ACCEPTANCE_SPEEDUP = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "10.0"))
 CODES = ["hamming74", "hamming84", "rm13"]
-
-
-def _time(fn: Callable[[], object], min_seconds: float = 0.02) -> float:
-    """Best-of-k wall time of ``fn`` with an adaptive repeat count."""
-    fn()  # warm caches (coset tables, packed matmuls, ...)
-    start = time.perf_counter()
-    fn()
-    once = max(time.perf_counter() - start, 1e-9)
-    repeats = max(1, min(50, int(min_seconds / once)))
-    best = once
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _fail(message: str) -> None:
-    print(f"FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
 
 
 def bench_code(name: str, sizes: List[int], assert_speedup: bool = True) -> None:

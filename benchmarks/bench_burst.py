@@ -26,12 +26,12 @@ from __future__ import annotations
 
 import argparse
 import os
-import sys
-import time
-from typing import Callable, List
+from typing import List
 
 import numpy as np
 
+from conftest import fail as _fail
+from conftest import time_best as _time
 from repro.coding import get_code, get_decoder
 from repro.link.burst import (
     BurstyFluxChannel,
@@ -53,26 +53,6 @@ CHANNEL = GilbertElliottChannel(p_good=0.01, p_bad=0.5, p_g2b=0.08, p_b2g=0.25)
 SOFT_CHANNEL = BurstyFluxChannel(
     sigma_good=0.08, sigma_bad=0.55, p_g2b=0.08, p_b2g=0.25
 )
-
-
-def _time(fn: Callable[[], object], min_seconds: float = 0.02) -> float:
-    """Best-of-k wall time of ``fn`` with an adaptive repeat count."""
-    fn()  # warm caches
-    start = time.perf_counter()
-    fn()
-    once = max(time.perf_counter() - start, 1e-9)
-    repeats = max(1, min(50, int(min_seconds / once)))
-    best = once
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _fail(message: str) -> None:
-    print(f"FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
 
 
 def bench_hard_channel(sizes: List[int], assert_speedup: bool = True) -> None:

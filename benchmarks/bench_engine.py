@@ -22,22 +22,17 @@ from __future__ import annotations
 
 import argparse
 import os
-import sys
 import tempfile
 import time
 from typing import List
 
 import numpy as np
 
+from conftest import fail as _fail
 from repro.runtime import MonteCarloEngine, ResultCache
 from repro.system.experiment import Fig5Config, scheme_specs
 
 DEFAULT_MIN_SPEEDUP = 2.5
-
-
-def _fail(message: str) -> None:
-    print(f"FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
 
 
 def _run(specs, jobs: int, shard_size: int, cache=None):

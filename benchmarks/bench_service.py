@@ -34,12 +34,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import os
-import sys
 import time
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from conftest import fail as _fail
 from repro.coding import get_code, get_decoder
 from repro.link.channel import BinaryChannel
 from repro.service import BatchPolicy, CodecClient, CodecServer, MicroBatcher
@@ -48,11 +48,6 @@ from repro.service.session import CodecSession, SessionConfig
 DEFAULT_MIN_SPEEDUP = 10.0
 CODE = "hamming84"
 ERROR_RATE = 0.02  # give the decoder real corrections to perform
-
-
-def _fail(message: str) -> None:
-    print(f"FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
 
 
 def _workload(clients: int, requests: int, n: int, seed: int) -> np.ndarray:

@@ -33,12 +33,12 @@ import argparse
 import asyncio
 import itertools
 import os
-import sys
 import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from conftest import fail as _fail
 from repro.coding.decoders import default_decoder_for
 from repro.coding.registry import get_code
 from repro.service import BatchPolicy, CodecServer, SessionConfig, protocol
@@ -47,11 +47,6 @@ CODE = "interleaved:hamming84:16"
 ERROR_RATE = 0.02  # give every worker real corrections to perform
 DEFAULT_MIN_SPEEDUP = 2.5
 DEFAULT_P99_MS = 2000.0
-
-
-def _fail(message: str) -> None:
-    print(f"FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
 
 
 def _workload(

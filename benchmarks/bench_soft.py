@@ -23,12 +23,13 @@ from __future__ import annotations
 
 import argparse
 import os
-import sys
-import time
-from typing import Callable, List
+from typing import List
 
 import numpy as np
 
+from conftest import fail as _fail
+from conftest import noisy_confidences
+from conftest import time_best as _time
 from repro.coding import get_code, get_decoder
 
 FULL_SIZES = [1, 4, 16, 64, 256, 1024, 4096, 16384]
@@ -42,31 +43,9 @@ CODES = ["hamming74", "hamming84", "rm13"]
 NOISE_SIGMA = 0.35
 
 
-def _time(fn: Callable[[], object], min_seconds: float = 0.02) -> float:
-    """Best-of-k wall time of ``fn`` with an adaptive repeat count."""
-    fn()  # warm caches (codebook signs, Hadamard matrices, ...)
-    start = time.perf_counter()
-    fn()
-    once = max(time.perf_counter() - start, 1e-9)
-    repeats = max(1, min(50, int(min_seconds / once)))
-    best = once
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
-
-
-def _fail(message: str) -> None:
-    print(f"FAIL: {message}", file=sys.stderr)
-    raise SystemExit(1)
-
-
 def _confidences(code, size: int, rng: np.random.Generator) -> np.ndarray:
     """Noisy BPSK confidences for ``size`` random codewords."""
-    msgs = rng.integers(0, 2, size=(size, code.k)).astype(np.uint8)
-    symbols = 1.0 - 2.0 * code.encode_batch(msgs).astype(np.float64)
-    return symbols + rng.normal(0.0, NOISE_SIGMA, symbols.shape)
+    return noisy_confidences(code, size, rng, sigma=NOISE_SIGMA)
 
 
 def bench_code(name: str, sizes: List[int], assert_speedup: bool = True) -> None:

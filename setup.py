@@ -1,10 +1,54 @@
-"""Setup shim.
+"""Package metadata for the repro distribution.
 
-The metadata lives in pyproject.toml; this file exists so the legacy
-editable-install path (``pip install -e . --no-use-pep517``) works in
-offline environments where the ``wheel`` package is unavailable.
+Plain ``setup.py`` (no pyproject.toml) so the legacy editable-install
+path (``pip install -e . --no-use-pep517``) works in offline
+environments where the ``wheel`` package is unavailable.
+
+Extras
+------
+``native``
+    Pulls in numba, enabling the JIT kernel backend
+    (:mod:`repro.backends.numba_backend`).  Without it the package
+    still accelerates via the compiled-C backend when a system ``cc``
+    exists, falling back to the NumPy reference otherwise — numba is
+    never imported unless installed (``pip install -e .[native]``).
 """
 
-from setuptools import setup
+import os
+import re
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _version() -> str:
+    here = os.path.dirname(os.path.abspath(__file__))
+    with open(os.path.join(here, "src", "repro", "_version.py")) as handle:
+        match = re.search(r'__version__\s*=\s*"([^"]+)"', handle.read())
+    if match is None:
+        raise RuntimeError("cannot find __version__ in src/repro/_version.py")
+    return match.group(1)
+
+
+setup(
+    name="repro",
+    version=_version(),
+    description=(
+        "Reproduction of 'Lightweight Error-Correction Code Encoders in "
+        "Superconducting Electronic Systems' (SOCC 2025)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=[
+        "numpy>=1.26",
+        "scipy>=1.11",
+    ],
+    extras_require={
+        "native": ["numba>=0.59"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
+        ],
+    },
+)

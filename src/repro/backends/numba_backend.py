@@ -1,0 +1,357 @@
+"""Numba JIT kernel backend (optional; install with ``pip install .[native]``).
+
+Everything numba-related is gated behind an import guard: when numba is
+absent (the default environment — it is deliberately *not* a runtime
+dependency) this module still imports cleanly and the backend reports
+itself unavailable with the import error as the reason, so the rest of
+the repo keeps running on the ``numpy``/``native`` backends.
+
+The kernels mirror the C backend's algorithms one for one:
+
+* integer kernels use explicit loops with a SWAR popcount (all
+  constants wrapped in ``np.uint64`` — numba follows NumPy's
+  uint64+int64 -> float64 promotion, which would silently corrupt the
+  bit math otherwise);
+* float kernels reduce through ``_pw_sum_prod``, the same port of
+  NumPy's pairwise summation the C backend uses; numba's default
+  (non-fastmath) codegen does not contract mul+add into FMA, so the
+  roundings match the reference bit for bit.
+
+Compilation is lazy (first call per process) and the capability probe
+verifies every kernel against the NumPy reference before the backend
+can be selected, so a numba regression degrades to a reasoned
+"unavailable" instead of wrong numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.backends.base import KernelBackend
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba import njit
+
+    _IMPORT_ERROR = None
+except Exception as exc:  # ImportError, or a broken install
+    numba = None
+    njit = None
+    _IMPORT_ERROR = f"numba not importable: {exc}"
+
+
+if numba is not None:  # pragma: no cover - exercised in the CI native leg
+    _M1 = np.uint64(0x5555555555555555)
+    _M2 = np.uint64(0x3333333333333333)
+    _M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+    _H01 = np.uint64(0x0101010101010101)
+    _U1 = np.uint64(1)
+    _U2 = np.uint64(2)
+    _U4 = np.uint64(4)
+    _U56 = np.uint64(56)
+
+    @njit(cache=False)
+    def _popcnt64(x):
+        x = x - ((x >> _U1) & _M1)
+        x = (x & _M2) + ((x >> _U2) & _M2)
+        x = (x + (x >> _U4)) & _M4
+        return np.int64((x * _H01) >> _U56)
+
+    @njit(cache=False)
+    def _pw_sum_prod(a, b, start_a, start_b, n):
+        # NumPy's pairwise sum-of-products; see native_backend.pw_sum_prod.
+        if n < 8:
+            res = 0.0
+            for i in range(n):
+                res += a[start_a + i] * b[start_b + i]
+            return res
+        elif n <= 128:
+            r0 = a[start_a + 0] * b[start_b + 0]
+            r1 = a[start_a + 1] * b[start_b + 1]
+            r2 = a[start_a + 2] * b[start_b + 2]
+            r3 = a[start_a + 3] * b[start_b + 3]
+            r4 = a[start_a + 4] * b[start_b + 4]
+            r5 = a[start_a + 5] * b[start_b + 5]
+            r6 = a[start_a + 6] * b[start_b + 6]
+            r7 = a[start_a + 7] * b[start_b + 7]
+            lim = n - (n % 8)
+            i = 8
+            while i < lim:
+                r0 += a[start_a + i + 0] * b[start_b + i + 0]
+                r1 += a[start_a + i + 1] * b[start_b + i + 1]
+                r2 += a[start_a + i + 2] * b[start_b + i + 2]
+                r3 += a[start_a + i + 3] * b[start_b + i + 3]
+                r4 += a[start_a + i + 4] * b[start_b + i + 4]
+                r5 += a[start_a + i + 5] * b[start_b + i + 5]
+                r6 += a[start_a + i + 6] * b[start_b + i + 6]
+                r7 += a[start_a + i + 7] * b[start_b + i + 7]
+                i += 8
+            res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+            for j in range(lim, n):
+                res += a[start_a + j] * b[start_b + j]
+            return res
+        else:
+            n2 = n // 2
+            n2 -= n2 % 8
+            return _pw_sum_prod(a, b, start_a, start_b, n2) + _pw_sum_prod(
+                a, b, start_a + n2, start_b + n2, n - n2
+            )
+
+    @njit(cache=False)
+    def _pack_rows(bits, out):
+        rows, n = bits.shape
+        words = out.shape[1]
+        for i in range(rows):
+            for w in range(words):
+                acc = np.uint64(0)
+                base = w * 64
+                top = min(n - base, 64)
+                for t in range(top):
+                    acc |= np.uint64(bits[i, base + t]) << np.uint64(t)
+                out[i, w] = acc
+
+    @njit(cache=False)
+    def _pack_cols(bits, out):
+        rows, n = bits.shape
+        words = out.shape[1]
+        for j in range(n):
+            for w in range(words):
+                acc = np.uint64(0)
+                base = w * 64
+                top = min(rows - base, 64)
+                for t in range(top):
+                    acc |= np.uint64(bits[base + t, j]) << np.uint64(t)
+                out[j, w] = acc
+
+    @njit(cache=False)
+    def _popcount_rows(packed, out):
+        rows, words = packed.shape
+        for i in range(rows):
+            acc = np.int64(0)
+            for w in range(words):
+                acc += _popcnt64(packed[i, w])
+            out[i] = acc
+
+    @njit(cache=False)
+    def _hamming_rows(a, b, out):
+        rows, words = a.shape
+        for i in range(rows):
+            acc = np.int64(0)
+            for w in range(words):
+                acc += _popcnt64(a[i, w] ^ b[i, w])
+            out[i] = acc
+
+    @njit(cache=False)
+    def _gf2_matmul(slices, indptr, indices, out):
+        n_out, words = out.shape
+        for j in range(n_out):
+            for w in range(words):
+                out[j, w] = np.uint64(0)
+            for s in range(indptr[j], indptr[j + 1]):
+                row = indices[s]
+                for w in range(words):
+                    out[j, w] ^= slices[row, w]
+
+    @njit(cache=False)
+    def _nearest_codeword(words_, codebook, best_index, best_dist, ties):
+        batch, nw = words_.shape
+        n_codes = codebook.shape[0]
+        for i in range(batch):
+            best = np.int64(np.iinfo(np.int64).max)
+            idx = np.int64(0)
+            cnt = np.int64(0)
+            for c in range(n_codes):
+                d = np.int64(0)
+                for t in range(nw):
+                    d += _popcnt64(words_[i, t] ^ codebook[c, t])
+                if d < best:
+                    best = d
+                    idx = c
+                    cnt = 1
+                elif d == best:
+                    cnt += 1
+            best_index[i] = idx
+            best_dist[i] = best
+            ties[i] = cnt > 1
+
+    @njit(cache=False)
+    def _syndrome_decode(
+        words_, parity, leader_table, leader_weight, max_weight,
+        codewords, corrected, flagged,
+    ):
+        batch, n = words_.shape
+        r = parity.shape[0]
+        for i in range(batch):
+            idx = np.int64(0)
+            for row in range(r):
+                acc = np.uint8(0)
+                for t in range(n):
+                    acc ^= parity[row, t] & words_[i, t]
+                idx = (idx << 1) | np.int64(acc & 1)
+            wt = leader_weight[idx]
+            if max_weight >= 0 and wt > max_weight:
+                for t in range(n):
+                    codewords[i, t] = words_[i, t]
+                corrected[i] = 0
+                flagged[i] = 1
+            else:
+                for t in range(n):
+                    codewords[i, t] = words_[i, t] ^ leader_table[idx, t]
+                corrected[i] = wt
+                flagged[i] = 0
+
+    @njit(cache=False)
+    def _correlation_decode(values, signs, best_index, ties):
+        batch, n = values.shape
+        n_codes = signs.shape[0]
+        flat_values = values.reshape(batch * n)
+        flat_signs = signs.reshape(n_codes * n)
+        for i in range(batch):
+            idx = np.int64(0)
+            cnt = np.int64(1)
+            best = _pw_sum_prod(flat_values, flat_signs, i * n, 0, n)
+            for c in range(1, n_codes):
+                s = _pw_sum_prod(flat_values, flat_signs, i * n, c * n, n)
+                if s > best:
+                    best = s
+                    idx = c
+                    cnt = 1
+                elif s == best:
+                    cnt += 1
+            best_index[i] = idx
+            ties[i] = cnt > 1
+
+    @njit(cache=False)
+    def _soft_spectrum_decode(values, hadamard, best_index, best_value, ties):
+        batch, n = values.shape
+        flat_values = values.reshape(batch * n)
+        flat_h = hadamard.reshape(n * n)
+        for i in range(batch):
+            idx = np.int64(0)
+            cnt = np.int64(0)
+            best_mag = -1.0
+            bv = 0.0
+            for a in range(n):
+                s = _pw_sum_prod(flat_values, flat_h, i * n, a * n, n)
+                mag = abs(s)
+                if mag > best_mag:
+                    best_mag = mag
+                    idx = a
+                    bv = s
+                    cnt = 1
+                elif mag == best_mag:
+                    cnt += 1
+            best_index[i] = idx
+            best_value[i] = bv
+            ties[i] = (cnt > 1) or (best_mag == 0.0)
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled kernels; unavailable (with a reason) without numba."""
+
+    name = "numba"
+    priority = 30
+    summary = "Numba JIT kernels (requires the 'native' extra)"
+
+    def availability(self) -> Tuple[bool, str]:
+        if numba is None:
+            return False, _IMPORT_ERROR or "numba not importable"
+        return True, ""
+
+    # ------------------------------------------------------------------
+    def pack_rows(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(bits, dtype=np.uint8)
+        rows, n = arr.shape
+        if n == 0:
+            return np.zeros((rows, 0), dtype=np.uint64)
+        out = np.empty((rows, -(-n // 64)), dtype=np.uint64)
+        _pack_rows(arr, out)
+        return out
+
+    def pack_cols(self, bits: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(bits, dtype=np.uint8)
+        rows, n = arr.shape
+        if rows == 0:
+            return np.zeros((n, 0), dtype=np.uint64)
+        out = np.empty((n, -(-rows // 64)), dtype=np.uint64)
+        _pack_cols(arr, out)
+        return out
+
+    def popcount(
+        self, packed: np.ndarray, axis: Union[int, None] = -1
+    ) -> Union[np.ndarray, np.int64]:
+        arr = np.asarray(packed, dtype=np.uint64)
+        if axis is None:
+            flat = np.ascontiguousarray(arr).reshape(1, -1)
+            out = np.empty(1, dtype=np.int64)
+            _popcount_rows(flat, out)
+            return np.int64(out[0])
+        if arr.ndim >= 2 and axis in (-1, arr.ndim - 1):
+            flat = np.ascontiguousarray(arr).reshape(-1, arr.shape[-1])
+            out = np.empty(flat.shape[0], dtype=np.int64)
+            _popcount_rows(flat, out)
+            return out.reshape(arr.shape[:-1])
+        return super().popcount(arr, axis=axis)
+
+    def hamming_distance(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        aa = np.asarray(a, dtype=np.uint64)
+        bb = np.asarray(b, dtype=np.uint64)
+        if aa.shape != bb.shape or aa.ndim < 2:
+            return super().hamming_distance(aa, bb)
+        fa = np.ascontiguousarray(aa).reshape(-1, aa.shape[-1])
+        fb = np.ascontiguousarray(bb).reshape(fa.shape)
+        out = np.empty(fa.shape[0], dtype=np.int64)
+        _hamming_rows(fa, fb, out)
+        return out.reshape(aa.shape[:-1])
+
+    def gf2_matmul(self, slices, indptr, indices):
+        sl = np.ascontiguousarray(slices, dtype=np.uint64)
+        out = np.empty((indptr.size - 1, sl.shape[1]), dtype=np.uint64)
+        _gf2_matmul(sl, indptr, indices, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def nearest_codeword(self, packed_words, packed_codebook):
+        words = np.ascontiguousarray(packed_words, dtype=np.uint64)
+        codebook = np.ascontiguousarray(packed_codebook, dtype=np.uint64)
+        batch = words.shape[0]
+        indices = np.empty(batch, dtype=np.int64)
+        distances = np.empty(batch, dtype=np.int64)
+        ties = np.empty(batch, dtype=np.uint8)
+        _nearest_codeword(words, codebook, indices, distances, ties)
+        return indices, distances, ties.astype(bool)
+
+    def syndrome_decode(self, words, parity, leader_table, leader_weight, max_weight):
+        w = np.ascontiguousarray(words, dtype=np.uint8)
+        h = np.ascontiguousarray(parity, dtype=np.uint8)
+        table = np.ascontiguousarray(leader_table, dtype=np.uint8)
+        weight = np.ascontiguousarray(leader_weight, dtype=np.int64)
+        batch, n = w.shape
+        codewords = np.empty((batch, n), dtype=np.uint8)
+        corrected = np.empty(batch, dtype=np.int64)
+        flagged = np.empty(batch, dtype=np.uint8)
+        _syndrome_decode(
+            w, h, table, weight, np.int64(max_weight), codewords, corrected, flagged
+        )
+        return codewords, corrected, flagged.astype(bool)
+
+    def correlation_decode(self, values, signs):
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        s = np.ascontiguousarray(signs, dtype=np.float64)
+        batch = v.shape[0]
+        best_index = np.empty(batch, dtype=np.int64)
+        ties = np.empty(batch, dtype=np.uint8)
+        _correlation_decode(v, s, best_index, ties)
+        return best_index, ties.astype(bool)
+
+    def soft_spectrum_decode(self, values, hadamard):
+        v = np.ascontiguousarray(values, dtype=np.float64)
+        h = np.ascontiguousarray(hadamard, dtype=np.float64)
+        batch = v.shape[0]
+        best_index = np.empty(batch, dtype=np.int64)
+        best_value = np.empty(batch, dtype=np.float64)
+        ties = np.empty(batch, dtype=np.uint8)
+        _soft_spectrum_decode(v, h, best_index, best_value, ties)
+        return best_index, best_value, ties.astype(bool)

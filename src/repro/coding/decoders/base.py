@@ -8,6 +8,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.coding.linear import LinearBlockCode
 from repro.errors import DimensionError
 from repro.gf2.bitpack import pack_rows, packed_hamming_distance
@@ -126,6 +127,11 @@ class Decoder(ABC):
     #: Short identifier used in reports and the decoder-policy ablation.
     strategy_name: str = "abstract"
 
+    #: Kernel backend this decoder's batched paths dispatch to.  ``None``
+    #: (the default) resolves the ambient backend at each call; set a
+    #: name (``get_decoder(..., backend="native")``) to pin one.
+    backend: Optional[str] = None
+
     def __init__(self, code: LinearBlockCode):
         self.code = code
         self._codebook_signs: Optional[np.ndarray] = None
@@ -228,8 +234,10 @@ class Decoder(ABC):
             correction counts are also needed.
         """
         values = self._check_soft_batch(confidences)
-        scores = self._correlation_scores(values)
-        return self.code.all_messages[scores.argmax(axis=1)]
+        best_index, _ = resolve_backend(self.backend).correlation_decode(
+            values, self._soft_codebook_signs()
+        )
+        return self.code.all_messages[best_index]
 
     def decode_soft_batch_detailed(self, confidences: np.ndarray) -> BatchDecodeResult:
         """Vectorised correlation (soft-ML) decoding of a whole batch.
@@ -254,14 +262,17 @@ class Decoder(ABC):
             counts and tie flags.
         """
         values = self._check_soft_batch(confidences)
-        scores = self._correlation_scores(values)
-        best_index = scores.argmax(axis=1)
-        best = scores[np.arange(len(values)), best_index]
-        ties = (scores == best[:, None]).sum(axis=1) > 1
+        best_index, ties = resolve_backend(self.backend).correlation_decode(
+            values, self._soft_codebook_signs()
+        )
         messages = self.code.all_messages[best_index]
         codewords = self.code.all_codewords[best_index]
         hard = (values < 0).astype(np.uint8)
-        corrected = packed_hamming_distance(pack_rows(codewords), pack_rows(hard))
+        corrected = packed_hamming_distance(
+            pack_rows(codewords, backend=self.backend),
+            pack_rows(hard, backend=self.backend),
+            backend=self.backend,
+        )
         return BatchDecodeResult(
             messages=messages,
             codewords=codewords,

@@ -25,10 +25,11 @@ ambiguous.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.coding.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.coding.linear import LinearBlockCode
 from repro.gf2.bitpack import pack_rows, packed_hamming_distance
@@ -73,7 +74,9 @@ def hadamard_matrix(n: int) -> np.ndarray:
     return hadamard
 
 
-def soft_spectrum_messages(values: np.ndarray, m: int):
+def soft_spectrum_messages(
+    values: np.ndarray, m: int, backend: Optional[str] = None
+):
     """Batched soft Hadamard decoding: ``(messages, ties)`` for RM(1, m).
 
     ``values`` is a ``(batch, 2^m)`` float array of BPSK confidences.
@@ -83,21 +86,19 @@ def soft_spectrum_messages(values: np.ndarray, m: int):
     spectrum) are reported per row, matching the scalar tie-break:
     smallest spectrum index wins, positive sign preferred.
 
-    The product is an elementwise multiply + axis sum rather than a
-    BLAS matmul so the floating-point reduction order is identical for
-    every batch size — a 1-row call and a 4096-row call are
-    bit-identical per row (``bench_soft.py`` asserts exactly that).
+    The spectrum kernel (:meth:`soft_spectrum_decode
+    <repro.backends.base.KernelBackend.soft_spectrum_decode>`) is an
+    elementwise multiply + axis sum rather than a BLAS matmul so the
+    floating-point reduction order is identical for every batch size —
+    a 1-row call and a 4096-row call are bit-identical per row
+    (``bench_soft.py`` asserts exactly that), and every backend must
+    reproduce that order.
     """
     batch, n = values.shape
     hadamard = hadamard_matrix(n).astype(np.float64)
-    spectra = (values[:, None, :] * hadamard[None, :, :]).sum(axis=2)
-    magnitudes = np.abs(spectra)
-    best = magnitudes.max(axis=1, initial=0.0)
-    best_index = (
-        magnitudes.argmax(axis=1) if batch else np.zeros(0, dtype=np.int64)
+    best_index, best_value, ties = resolve_backend(backend).soft_spectrum_decode(
+        np.ascontiguousarray(values), hadamard
     )
-    best_value = spectra[np.arange(batch), best_index]
-    ties = ((magnitudes == best[:, None]).sum(axis=1) > 1) | (best == 0.0)
     messages = np.empty((batch, m + 1), dtype=np.uint8)
     messages[:, 0] = (best_value < 0).astype(np.uint8)
     for j in range(m):
@@ -106,7 +107,10 @@ def soft_spectrum_messages(values: np.ndarray, m: int):
 
 
 def soft_spectrum_detailed(
-    code: LinearBlockCode, values: np.ndarray, m: int
+    code: LinearBlockCode,
+    values: np.ndarray,
+    m: int,
+    backend: Optional[str] = None,
 ) -> BatchDecodeResult:
     """Full :class:`BatchDecodeResult` for a validated confidence batch.
 
@@ -116,10 +120,14 @@ def soft_spectrum_detailed(
     from the sign-sliced input, aligning soft telemetry with the hard
     path's.
     """
-    messages, ties = soft_spectrum_messages(values, m)
+    messages, ties = soft_spectrum_messages(values, m, backend=backend)
     codewords = code.encode_batch(messages)
     hard = (values < 0).astype(np.uint8)
-    corrected = packed_hamming_distance(pack_rows(codewords), pack_rows(hard))
+    corrected = packed_hamming_distance(
+        pack_rows(codewords, backend=backend),
+        pack_rows(hard, backend=backend),
+        backend=backend,
+    )
     return BatchDecodeResult(
         messages=messages,
         codewords=codewords,
@@ -265,10 +273,11 @@ class FhtDecoder(Decoder):
         hard :meth:`decode_batch` fast path.
         """
         values = self._check_soft_batch(confidences)
-        return soft_spectrum_messages(values, self.m)[0]
+        return soft_spectrum_messages(values, self.m, backend=self.backend)[0]
 
     def decode_soft_batch_detailed(self, confidences: np.ndarray) -> BatchDecodeResult:
         """Batched soft decoding keeping codewords, counts and tie flags."""
         return soft_spectrum_detailed(
-            self.code, self._check_soft_batch(confidences), self.m
+            self.code, self._check_soft_batch(confidences), self.m,
+            backend=self.backend,
         )

@@ -13,8 +13,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.coding.decoders.base import BatchDecodeResult, DecodeResult, Decoder
-from repro.gf2.bitpack import pack_rows, packed_hamming_distance
+from repro.gf2.bitpack import pack_rows
 
 
 class MaximumLikelihoodDecoder(Decoder):
@@ -67,13 +68,9 @@ class MaximumLikelihoodDecoder(Decoder):
             index and raise ``detected_uncorrectable``.
         """
         words = self._check_received_batch(received)
-        packed_words_ = pack_rows(words)
-        distances = packed_hamming_distance(
-            packed_words_[:, None, :], self._packed_codebook[None, :, :]
+        indices, best, ties = resolve_backend(self.backend).nearest_codeword(
+            pack_rows(words, backend=self.backend), self._packed_codebook
         )
-        best = distances.min(axis=1) if len(words) else np.zeros(0, dtype=np.int64)
-        indices = distances.argmin(axis=1)
-        ties = (distances == best[:, None]).sum(axis=1) > 1
         return BatchDecodeResult(
             messages=self.code.all_messages[indices].copy(),
             codewords=self.code.all_codewords[indices].copy(),

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.coding.decoders.base import BatchDecodeResult, DecodeResult, Decoder
 from repro.coding.linear import LinearBlockCode
 
@@ -39,6 +40,7 @@ class SyndromeDecoder(Decoder):
         self.max_correctable_weight = max_correctable_weight
         # Precompute a dense syndrome-indexed table for the batch path.
         r = code.redundancy
+        self._parity = np.ascontiguousarray(code.parity_check.to_array())
         self._syndrome_weights = 1 << np.arange(r - 1, -1, -1, dtype=np.int64)
         self._leader_table = np.zeros((1 << r, code.n), dtype=np.uint8)
         self._leader_weight = np.zeros(1 << r, dtype=np.int64)
@@ -93,24 +95,22 @@ class SyndromeDecoder(Decoder):
         Returns
         -------
         BatchDecodeResult
-            Bit-identical to scalar :meth:`decode` per row: syndromes
-            are computed in the bit-packed domain, leaders gathered from
-            the dense table, and (in bounded-distance mode) heavy-leader
-            rows flagged and left uncorrected.
+            Bit-identical to scalar :meth:`decode` per row: one fused
+            backend kernel computes syndromes, gathers leaders from the
+            dense table and applies them, flagging (in bounded-distance
+            mode) heavy-leader rows instead of correcting them.
         """
         words = self._check_received_batch(received)
-        syndromes = self.code.syndrome_batch(words)
-        indices = syndromes.astype(np.int64) @ self._syndrome_weights
-        leaders = self._leader_table[indices]
-        corrected = self._leader_weight[indices].copy()
-        flagged = np.zeros(words.shape[0], dtype=bool)
-        if self.max_correctable_weight is not None:
-            heavy = corrected > self.max_correctable_weight
-            leaders = leaders.copy()
-            leaders[heavy] = 0  # flagged words fall back to raw extraction
-            corrected[heavy] = 0
-            flagged = heavy
-        codewords = words ^ leaders
+        max_weight = (
+            -1 if self.max_correctable_weight is None else self.max_correctable_weight
+        )
+        codewords, corrected, flagged = resolve_backend(self.backend).syndrome_decode(
+            np.ascontiguousarray(words),
+            self._parity,
+            self._leader_table,
+            self._leader_weight,
+            max_weight,
+        )
         messages = self.code.extract_message_batch(codewords)
         self._apply_fallback_messages(messages, words, flagged)
         return BatchDecodeResult(

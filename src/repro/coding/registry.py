@@ -151,17 +151,31 @@ def available_decoders() -> List[str]:
     return sorted(_DECODER_FACTORIES)
 
 
-def get_decoder(code: LinearBlockCode, strategy: Optional[str] = None) -> Decoder:
+def get_decoder(
+    code: LinearBlockCode,
+    strategy: Optional[str] = None,
+    backend: Optional[str] = None,
+) -> Decoder:
     """Build a decoder for ``code``.
 
     ``strategy=None`` picks the paper's pairing via
-    :func:`~repro.coding.decoders.default_decoder_for`.
+    :func:`~repro.coding.decoders.default_decoder_for`.  ``backend``
+    pins the decoder's batched kernels to a named compute backend
+    (validated immediately — an unknown or unusable name raises the
+    :mod:`repro.backends` errors here, not mid-decode); ``None`` keeps
+    the ambient resolution.
     """
     if strategy is None:
-        return default_decoder_for(code)
-    key = strategy.lower()
-    if key not in _DECODER_FACTORIES:
-        raise KeyError(
-            f"unknown decoder {strategy!r}; available: {available_decoders()}"
-        )
-    return _DECODER_FACTORIES[key](code)
+        decoder = default_decoder_for(code)
+    else:
+        key = strategy.lower()
+        if key not in _DECODER_FACTORIES:
+            raise KeyError(
+                f"unknown decoder {strategy!r}; available: {available_decoders()}"
+            )
+        decoder = _DECODER_FACTORIES[key](code)
+    if backend is not None:
+        from repro.backends import resolve_backend
+
+        decoder.backend = resolve_backend(backend).name
+    return decoder

@@ -26,14 +26,22 @@ Two packing orientations are provided:
 Bits are packed LSB-first: bit ``t`` of word ``w`` holds logical index
 ``64 * w + t``.  All functions accept and return ``uint8`` 0/1 arrays at
 the boundary, so callers never need to know the packed layout.
+
+The packing, popcount, Hamming-distance and matmul kernels dispatch
+through the pluggable backend layer (:mod:`repro.backends`): every
+public function takes an optional ``backend=`` name, defaulting to the
+ambient resolution (``use_backend`` scope, ``set_default_backend``,
+``REPRO_BACKEND``, then the capability probe's pick).  All backends are
+bit-identical by contract, so the choice never changes results.
 """
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.backends import resolve_backend
 from repro.errors import DimensionError, NotBinaryError
 
 #: Number of logical bits carried per packed word.
@@ -71,7 +79,7 @@ def _as_bit_matrix(bits: np.ndarray) -> np.ndarray:
     return arr
 
 
-def pack_rows(bits: np.ndarray) -> np.ndarray:
+def pack_rows(bits: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
     """Pack a ``(rows, n)`` 0/1 array along its last axis into ``uint64``.
 
     Parameters
@@ -79,6 +87,8 @@ def pack_rows(bits: np.ndarray) -> np.ndarray:
     bits : numpy.ndarray
         ``(rows, n)`` (or 1-D ``(n,)``, treated as one row) array of 0/1
         values.
+    backend : str, optional
+        Kernel backend name; ``None`` uses the ambient default.
 
     Returns
     -------
@@ -87,15 +97,7 @@ def pack_rows(bits: np.ndarray) -> np.ndarray:
         bit ``t`` of word ``w`` is column ``64 * w + t``.
     """
     arr = _as_bit_matrix(bits)
-    rows, n = arr.shape
-    words = packed_words(n)
-    if n == 0:
-        return np.zeros((rows, 0), dtype=np.uint64)
-    packed_bytes = np.packbits(arr, axis=1, bitorder="little")
-    pad = words * _WORD_BYTES - packed_bytes.shape[1]
-    if pad:
-        packed_bytes = np.pad(packed_bytes, ((0, 0), (0, pad)))
-    return np.ascontiguousarray(packed_bytes).view(np.uint64)
+    return resolve_backend(backend).pack_rows(np.ascontiguousarray(arr))
 
 
 def unpack_rows(packed: np.ndarray, n: int) -> np.ndarray:
@@ -129,13 +131,15 @@ def unpack_rows(packed: np.ndarray, n: int) -> np.ndarray:
     return bits[:, :n]
 
 
-def pack_cols(bits: np.ndarray) -> np.ndarray:
+def pack_cols(bits: np.ndarray, backend: Optional[str] = None) -> np.ndarray:
     """Bit-slice a ``(batch, n)`` array: pack the *batch* axis.
 
     Parameters
     ----------
     bits : numpy.ndarray
         ``(batch, n)`` array of 0/1 values.
+    backend : str, optional
+        Kernel backend name; ``None`` uses the ambient default.
 
     Returns
     -------
@@ -144,7 +148,7 @@ def pack_cols(bits: np.ndarray) -> np.ndarray:
         is the bit-slice of column ``j`` across the whole batch.
     """
     arr = _as_bit_matrix(bits)
-    return pack_rows(np.ascontiguousarray(arr.T))
+    return resolve_backend(backend).pack_cols(np.ascontiguousarray(arr))
 
 
 def unpack_cols(packed: np.ndarray, batch: int) -> np.ndarray:
@@ -165,7 +169,11 @@ def unpack_cols(packed: np.ndarray, batch: int) -> np.ndarray:
     return np.ascontiguousarray(unpack_rows(packed, batch).T)
 
 
-def popcount(packed: np.ndarray, axis: Union[int, None] = -1) -> np.ndarray:
+def popcount(
+    packed: np.ndarray,
+    axis: Union[int, None] = -1,
+    backend: Optional[str] = None,
+) -> np.ndarray:
     """Population count of packed words, summed along ``axis``.
 
     Parameters
@@ -175,16 +183,22 @@ def popcount(packed: np.ndarray, axis: Union[int, None] = -1) -> np.ndarray:
     axis : int or None, optional
         Axis to sum bit counts over (default: last).  ``None`` sums over
         the whole array.
+    backend : str, optional
+        Kernel backend name; ``None`` uses the ambient default.
 
     Returns
     -------
     numpy.ndarray or int
         Integer bit counts.
     """
-    return np.bitwise_count(np.asarray(packed, dtype=np.uint64)).sum(axis=axis, dtype=np.int64)
+    return resolve_backend(backend).popcount(
+        np.asarray(packed, dtype=np.uint64), axis=axis
+    )
 
 
-def packed_hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+def packed_hamming_distance(
+    a: np.ndarray, b: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
     """Hamming distance between packed rows (broadcasting allowed).
 
     Parameters
@@ -192,13 +206,17 @@ def packed_hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     a, b : numpy.ndarray
         Packed ``uint64`` arrays with broadcastable shapes whose last
         axis is the word axis.
+    backend : str, optional
+        Kernel backend name; ``None`` uses the ambient default.
 
     Returns
     -------
     numpy.ndarray
         Distances with the broadcast shape minus the word axis.
     """
-    return popcount(np.bitwise_xor(a, b), axis=-1)
+    return resolve_backend(backend).hamming_distance(
+        np.asarray(a, dtype=np.uint64), np.asarray(b, dtype=np.uint64)
+    )
 
 
 class PackedGF2Matmul:
@@ -216,6 +234,9 @@ class PackedGF2Matmul:
     ----------
     matrix : array_like
         ``(k, n)`` matrix over GF(2) (values reduced mod 2).
+    backend : str, optional
+        Kernel backend this instance dispatches to; ``None`` (the
+        default) resolves the ambient backend at each call.
 
     Examples
     --------
@@ -225,17 +246,26 @@ class PackedGF2Matmul:
     [[1, 1, 0]]
     """
 
-    def __init__(self, matrix: np.ndarray):
+    def __init__(self, matrix: np.ndarray, backend: Optional[str] = None):
         m = np.asarray(matrix, dtype=np.uint8) % 2
         if m.ndim != 2:
             raise DimensionError(f"expected a 2-D matrix, got shape {m.shape}")
         self.k, self.n = m.shape
         self.matrix = m.copy()
         self.matrix.flags.writeable = False
+        self.backend = backend
         #: Per-output-column row supports (indices of ones in column j).
         self._supports: List[np.ndarray] = [
             np.flatnonzero(m[:, j]) for j in range(self.n)
         ]
+        # CSR form of the supports, the layout the backend kernels take.
+        self._indptr = np.zeros(self.n + 1, dtype=np.int64)
+        self._indptr[1:] = np.cumsum([s.size for s in self._supports])
+        self._indices = (
+            np.concatenate(self._supports).astype(np.int64)
+            if self._indptr[-1]
+            else np.zeros(0, dtype=np.int64)
+        )
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         """Multiply a batch of bit vectors by the compiled matrix.
@@ -258,7 +288,7 @@ class PackedGF2Matmul:
             )
         if batch == 0:
             return np.zeros((0, self.n), dtype=np.uint8)
-        slices = pack_cols(arr)  # (k, words)
+        slices = pack_cols(arr, backend=self.backend)  # (k, words)
         out = self.multiply_packed(slices)
         return unpack_cols(out, batch)
 
@@ -280,19 +310,17 @@ class PackedGF2Matmul:
             raise DimensionError(
                 f"expected ({self.k}, words) bit-slices, got {slices.shape}"
             )
-        out = np.zeros((self.n, slices.shape[1]), dtype=np.uint64)
-        for j, support in enumerate(self._supports):
-            if support.size == 1:
-                out[j] = slices[support[0]]
-            elif support.size:
-                np.bitwise_xor.reduce(slices[support], axis=0, out=out[j])
-        return out
+        return resolve_backend(self.backend).gf2_matmul(
+            np.ascontiguousarray(slices), self._indptr, self._indices
+        )
 
     def __repr__(self) -> str:
         return f"<PackedGF2Matmul {self.k}x{self.n}>"
 
 
-def packed_matmul(x: np.ndarray, matrix: np.ndarray) -> np.ndarray:
+def packed_matmul(
+    x: np.ndarray, matrix: np.ndarray, backend: Optional[str] = None
+) -> np.ndarray:
     """One-shot ``(x @ matrix) % 2`` via bit-slicing.
 
     Convenience wrapper around :class:`PackedGF2Matmul` for callers that
@@ -304,10 +332,12 @@ def packed_matmul(x: np.ndarray, matrix: np.ndarray) -> np.ndarray:
         ``(batch, k)`` array of 0/1 values.
     matrix : array_like
         ``(k, n)`` GF(2) matrix.
+    backend : str, optional
+        Kernel backend name; ``None`` uses the ambient default.
 
     Returns
     -------
     numpy.ndarray
         ``(batch, n)`` ``uint8`` product.
     """
-    return PackedGF2Matmul(matrix)(x)
+    return PackedGF2Matmul(matrix, backend=backend)(x)

@@ -114,6 +114,22 @@ class SessionTelemetry:
         }
 
 
+def _active_backend_name() -> Optional[str]:
+    """The kernel backend an unqualified decode resolves to right now.
+
+    Reported in STATS so operators can confirm which engine a server
+    (or each pool worker — the env round-trips through the fork) is
+    actually decoding with.  ``None`` if resolution itself fails (e.g.
+    ``REPRO_BACKEND`` names an unusable backend).
+    """
+    try:
+        from repro.backends import default_backend
+
+        return default_backend().name
+    except Exception:
+        return None
+
+
 class ServiceTelemetry:
     """Aggregates per-session telemetry into the stats-endpoint payload."""
 
@@ -155,6 +171,7 @@ class ServiceTelemetry:
             "protocol_errors": self.protocol_errors,
             "frames_total": total_frames,
             "throughput_fps": round(total_frames / elapsed, 1),
+            "backend": _active_backend_name(),
             "sessions": sessions,
         }
 
@@ -188,6 +205,7 @@ def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
             "uptime_s": snap.get("uptime_s", 0.0),
             "frames_total": snap.get("frames_total", 0),
             "throughput_fps": snap.get("throughput_fps", 0.0),
+            "backend": snap.get("backend"),
             "sessions": sorted(int(sid) for sid in snap.get("sessions", {})),
         }
         workers.append(summary)

@@ -14,6 +14,12 @@ through three decoder entry points:
 This pins the kernels' behaviour over the *entire* low-weight input
 space rather than a random sample, so a refactor that changes any
 decode decision — even on a single pattern — fails loudly.
+
+The whole module is parametrized over every *available* kernel backend
+(:func:`repro.backends.available_backends`): each test runs once per
+backend under :func:`repro.backends.use_backend`, so the exhaustive
+matrix pins the accelerated kernels to the same decisions as the NumPy
+reference — on a numpy-only runner it simply runs once.
 """
 
 import itertools
@@ -21,8 +27,16 @@ import itertools
 import numpy as np
 import pytest
 
+from repro.backends import available_backends, use_backend
 from repro.coding import get_code, get_decoder
 from repro.coding.registry import PAPER_SCHEMES, available_codes
+
+
+@pytest.fixture(params=available_backends(), autouse=True)
+def kernel_backend(request):
+    """Run every conformance test under each available kernel backend."""
+    with use_backend(request.param):
+        yield request.param
 
 #: (code, decoder strategy) pairs covering every soft-capable decoder.
 CODE_DECODER_PAIRS = [
