@@ -44,6 +44,39 @@ _DEFAULT_OVERRIDE: Optional[str] = None
 _CONTEXT_STACK: List[str] = []
 _AUTO_NAME: Optional[str] = None
 
+# Kernel-profiling hook (see repro.obs.profiling).  ``None`` + unresolved
+# means "consult REPRO_PROFILE_KERNELS once on first resolution"; the env
+# check is deferred so merely importing the registry never pays for it.
+_PROFILER = None
+_PROFILER_RESOLVED = False
+
+
+def set_backend_profiler(profiler) -> None:
+    """Install (or with ``None`` remove) the kernel-profiling wrapper.
+
+    ``profiler`` is a callable mapping a resolved
+    :class:`~repro.backends.base.KernelBackend` to the backend actually
+    handed to kernel callers — e.g. the timing proxy built by
+    :func:`repro.obs.profiling.kernel_profiler`.  Explicit installation
+    overrides the ``REPRO_PROFILE_KERNELS`` environment default.
+    """
+    global _PROFILER, _PROFILER_RESOLVED
+    _PROFILER = profiler
+    _PROFILER_RESOLVED = True
+
+
+def _apply_profiler(backend: KernelBackend) -> KernelBackend:
+    global _PROFILER, _PROFILER_RESOLVED
+    if not _PROFILER_RESOLVED:
+        _PROFILER_RESOLVED = True
+        from repro.obs.profiling import kernel_profiler, profiling_requested
+
+        if profiling_requested():
+            _PROFILER = kernel_profiler()
+    if _PROFILER is None:
+        return backend
+    return _PROFILER(backend)
+
 
 def register_backend(backend: KernelBackend) -> None:
     """Register (or replace) a backend under ``backend.name``.
@@ -119,17 +152,23 @@ def _auto_backend() -> KernelBackend:
 
 
 def resolve_backend(name: Optional[str] = None) -> KernelBackend:
-    """Resolve the backend for one kernel call (see the module docstring)."""
+    """Resolve the backend for one kernel call (see the module docstring).
+
+    When kernel profiling is enabled (``REPRO_PROFILE_KERNELS`` or
+    :func:`set_backend_profiler`) the resolved backend is returned
+    wrapped in the timing proxy; the registry itself always holds the
+    bare backends, so the self-check and probe never measure the proxy.
+    """
     if name is not None:
-        return _require(name)
+        return _apply_profiler(_require(name))
     if _CONTEXT_STACK:
-        return _require(_CONTEXT_STACK[-1])
+        return _apply_profiler(_require(_CONTEXT_STACK[-1]))
     if _DEFAULT_OVERRIDE is not None:
-        return _require(_DEFAULT_OVERRIDE)
+        return _apply_profiler(_require(_DEFAULT_OVERRIDE))
     env = os.environ.get(BACKEND_ENV_VAR, "").strip()
     if env:
-        return _require(env)
-    return _auto_backend()
+        return _apply_profiler(_require(env))
+    return _apply_profiler(_auto_backend())
 
 
 def default_backend() -> KernelBackend:

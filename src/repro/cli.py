@@ -244,6 +244,36 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="kernel backend for all decoding (exported as "
                             "REPRO_BACKEND so pool workers inherit it; "
                             "default: auto-selected, see 'repro backends')")
+    serve.add_argument("--trace", default=None, metavar="FILE",
+                       help="append sampled request traces to FILE as JSONL "
+                            "(exported as REPRO_TRACE_FILE so pool workers "
+                            "share the sink); inspect with 'repro trace'")
+    serve.add_argument("--trace-sample", type=_nonnegative_float, default=None,
+                       metavar="FRAC",
+                       help="fraction of requests to trace, 0..1 "
+                            "(default 1.0; only meaningful with --trace)")
+    serve.add_argument("--profile-kernels", action="store_true",
+                       help="time every backend kernel call into the "
+                            "repro_kernel_time_us histogram (exported as "
+                            "REPRO_PROFILE_KERNELS; scrape with 'repro metrics')")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="scrape a running codec service's metrics (Prometheus text format)",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=_port_number, default=7350)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect a JSONL trace file written by 'serve --trace'",
+    )
+    trace.add_argument("action", choices=["tail", "summarize"],
+                       help="tail: print the last events; summarize: per-span "
+                            "count/p50/p99/max table")
+    trace.add_argument("file", metavar="FILE", help="the JSONL trace file")
+    trace.add_argument("--count", type=_positive_int, default=20,
+                       help="events shown by 'tail' (default 20)")
 
     admin = sub.add_parser(
         "admin",
@@ -510,6 +540,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             _os.environ[BACKEND_ENV_VAR] = backend_name
             set_default_backend(backend_name)
 
+        if args.trace_sample is not None and args.trace is None:
+            print(
+                "repro serve: error: --trace-sample only makes sense with --trace",
+                file=sys.stderr,
+            )
+            return 2
+        if args.trace is not None:
+            from repro.obs.tracing import (
+                TRACE_FILE_ENV,
+                TRACE_SAMPLE_ENV,
+                reset_tracer,
+            )
+
+            # Env vars again: the front reads them on first use and pool
+            # workers inherit them through the fork.
+            _os.environ[TRACE_FILE_ENV] = args.trace
+            if args.trace_sample is not None:
+                _os.environ[TRACE_SAMPLE_ENV] = str(args.trace_sample)
+            reset_tracer()
+        if args.profile_kernels:
+            from repro.obs.profiling import PROFILE_ENV
+
+            _os.environ[PROFILE_ENV] = "1"
+
         async def _serve() -> None:
             server = CodecServer(
                 host=args.host,
@@ -537,6 +591,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             if args.backend is not None:
                 print(f"  kernel backend: {args.backend}", flush=True)
+            if args.trace is not None:
+                sample = args.trace_sample if args.trace_sample is not None else 1.0
+                print(
+                    f"  tracing: {args.trace} (sample={sample:g}, "
+                    "'repro trace' inspects it)",
+                    flush=True,
+                )
+            if args.profile_kernels:
+                print("  kernel profiling: on (see 'repro metrics')", flush=True)
             try:
                 await server.serve_forever()
             finally:
@@ -551,6 +614,59 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"repro serve: error: cannot bind {args.host}:{args.port} ({exc})",
                 file=sys.stderr,
             )
+            return 1
+    elif args.command == "metrics":
+        import asyncio
+
+        from repro.service import CodecClient, ProtocolError
+
+        async def _metrics() -> str:
+            client = await CodecClient.connect(args.host, args.port)
+            try:
+                return await client.metrics()
+            finally:
+                await client.close()
+
+        try:
+            text = asyncio.run(_metrics())
+        except OSError as exc:
+            print(
+                f"repro metrics: error: cannot reach a codec service at "
+                f"{args.host}:{args.port} ({exc}); start one with 'repro serve'",
+                file=sys.stderr,
+            )
+            return 1
+        except ProtocolError as exc:
+            print(f"repro metrics: error: {exc}", file=sys.stderr)
+            return 1
+        print(text, end="")
+    elif args.command == "trace":
+        import json as _json
+
+        from repro.obs.tracing import read_events, summarize_events, tail_events
+
+        try:
+            if args.action == "tail":
+                for event in tail_events(args.file, args.count):
+                    print(_json.dumps(event, sort_keys=True))
+            else:
+                summary = summarize_events(read_events(args.file))
+                if not summary:
+                    print("no trace events found")
+                else:
+                    print(
+                        f"{'span':<20} {'count':>8} {'traces':>8} "
+                        f"{'p50_us':>10} {'p99_us':>10} {'max_us':>12}"
+                    )
+                    for span, row in summary.items():
+                        print(
+                            f"{span:<20} {row['count']:>8} {row['traces']:>8} "
+                            f"{row['p50_us']:>10g} {row['p99_us']:>10g} "
+                            f"{row['max_us']:>12g}"
+                        )
+        except OSError as exc:
+            print(f"repro trace: error: cannot read {args.file}: {exc}",
+                  file=sys.stderr)
             return 1
     elif args.command == "admin":
         import asyncio

@@ -34,6 +34,7 @@ from repro.service.session import (
 )
 from repro.service.telemetry import (
     LatencyReservoir,
+    MergedLatencyView,
     ServiceTelemetry,
     SessionTelemetry,
     rollup_worker_snapshots,
@@ -64,6 +65,7 @@ __all__ = [
     "SessionRegistry",
     "catalog",
     "LatencyReservoir",
+    "MergedLatencyView",
     "ServiceTelemetry",
     "SessionTelemetry",
     "rollup_worker_snapshots",

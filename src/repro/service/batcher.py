@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.coding.decoders.base import BatchDecodeResult
 from repro.errors import BackpressureError
+from repro.obs.tracing import current_trace_id, get_tracer, trace_scope
 from repro.service.session import CodecSession
 
 from collections import deque
@@ -92,7 +93,7 @@ class _Lane:
         self.telemetry = telemetry
         self.op = op
         self.loop = loop
-        self.items: Deque[Tuple[np.ndarray, asyncio.Future, float]] = deque()
+        self.items: Deque[Tuple[np.ndarray, asyncio.Future, float, Optional[str]]] = deque()
         self.pending_frames = 0
         self.timer: Optional[asyncio.TimerHandle] = None
         self.capacity_waiters: Deque[asyncio.Future] = deque()
@@ -115,13 +116,16 @@ class _Lane:
 
     # -- enqueue + flush ------------------------------------------------
     def enqueue(
-        self, frames: np.ndarray, arrival: Optional[float] = None
+        self,
+        frames: np.ndarray,
+        arrival: Optional[float] = None,
+        trace: Optional[str] = None,
     ) -> asyncio.Future:
         future = self.loop.create_future()
         # Latency is measured from *arrival* (before any backpressure
         # wait), so a saturated lane shows up in the percentiles.
         self.items.append(
-            (frames, future, time.perf_counter() if arrival is None else arrival)
+            (frames, future, time.perf_counter() if arrival is None else arrival, trace)
         )
         self.pending_frames += len(frames)
         if self.pending_frames >= self.policy.max_batch:
@@ -144,30 +148,59 @@ class _Lane:
         self.pending_frames = 0
         self._release_capacity()
 
+        traced = [trace for _, _, _, trace in items if trace is not None]
+        flush_started = time.perf_counter()
         try:
-            blocks = [frames for frames, _, _ in items]
+            blocks = [frames for frames, _, _, _ in items]
             batch = blocks[0] if len(blocks) == 1 else np.concatenate(blocks, axis=0)
-            result = self.kernel(batch)
+            kernel_started = time.perf_counter()
+            # The scope makes the batch's trace ambient for the kernel
+            # call, so the backend-profiling wrapper can tag its spans.
+            with trace_scope(traced[0] if traced else None):
+                result = self.kernel(batch)
         except Exception as exc:
             # Covers concatenation too: a malformed block must fail its
             # whole cohort's futures, never strand them (this runs from
             # timer callbacks, where an escaping exception would only
             # reach the event-loop exception handler).
-            for _, future, _ in items:
+            for _, future, _, _ in items:
                 if not future.done():
                     future.set_exception(exc)
             return
         if self.telemetry is not None:
             self.telemetry.record_batch(self.op, len(batch), reason)
         completed = time.perf_counter()
+        if traced:
+            tracer = get_tracer()
+            kernel_us = (completed - kernel_started) * 1e6
+            assemble_us = (kernel_started - flush_started) * 1e6
+            for frames, _, enqueued, trace in items:
+                if trace is None:
+                    continue
+                tracer.emit(
+                    trace, "batch.queue_wait", enqueued,
+                    (flush_started - enqueued) * 1e6,
+                    op=self.op, frames=len(frames),
+                )
+                tracer.emit(
+                    trace, "batch.assemble", flush_started, assemble_us,
+                    op=self.op, reason=reason, batch_frames=len(batch),
+                    cohort=len(items),
+                )
+                tracer.emit(
+                    trace, "batch.kernel", kernel_started, kernel_us,
+                    op=self.op, reason=reason, batch_frames=len(batch),
+                )
         offset = 0
-        for frames, future, enqueued in items:
+        for frames, future, enqueued, _ in items:
             rows = slice(offset, offset + len(frames))
             offset += len(frames)
             if not future.done():
                 future.set_result(_slice_result(result, rows))
             if self.telemetry is not None:
-                self.telemetry.record_latency_us((completed - enqueued) * 1e6)
+                self.telemetry.record_latency_us(
+                    (completed - enqueued) * 1e6, self.op
+                )
 
 
 def _slice_result(result: object, rows: slice) -> object:
@@ -257,15 +290,16 @@ class MicroBatcher:
         # admitted in one piece; feed it through in capacity-sized chunks
         # (each a normal batch) and reassemble row-for-row.
         arrival = time.perf_counter()
+        trace = current_trace_id()
         step = self.policy.max_pending_frames
         if len(frames) <= step:
             await lane.wait_for_capacity(len(frames))
-            return await lane.enqueue(frames, arrival)
+            return await lane.enqueue(frames, arrival, trace)
         parts = []
         for start in range(0, len(frames), step):
             chunk = frames[start:start + step]
             await lane.wait_for_capacity(len(chunk))
-            parts.append(await lane.enqueue(chunk, arrival))
+            parts.append(await lane.enqueue(chunk, arrival, trace))
         return _concat_results(parts)
 
     async def try_submit(

@@ -198,6 +198,16 @@ class CodecClient:
         response = await self.request(protocol.OP_STATS)
         return protocol.parse_json_body(response.body)
 
+    async def metrics(self) -> str:
+        """Scrape the server's metrics in Prometheus text format.
+
+        Against a pooled server the text is the exact merge of the
+        front end's and every worker's registries, with a ``worker``
+        label distinguishing the sources.
+        """
+        response = await self.request(protocol.OP_METRICS)
+        return response.body.decode("utf-8")
+
     async def admin(self, action: str, worker: Optional[int] = None) -> Dict:
         """Run a worker-pool admin action: ``status``/``restart``/``kill``.
 

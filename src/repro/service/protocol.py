@@ -40,6 +40,7 @@ OP_STATS = 0x04   #: JSON telemetry snapshot
 OP_CODES = 0x05   #: JSON listing of registered codes/decoders
 OP_DECODE_SOFT = 0x06  #: decode n float32 confidences/frame -> messages + flags
 OP_ADMIN = 0x07   #: worker-pool admin plane (JSON action body)
+OP_METRICS = 0x08  #: Prometheus text exposition of the metrics registry
 
 # Worker-plane opcodes (front end <-> decode worker pipes; never sent by
 # clients).  They reuse the same framing so a worker pipe is just another
@@ -48,6 +49,8 @@ OP_ADMIN = 0x07   #: worker-pool admin plane (JSON action body)
 OP_W_OPEN = 0x10   #: open a session under a *front-assigned* id (JSON body)
 OP_W_STATS = 0x11  #: per-worker telemetry snapshot (JSON response)
 OP_W_DRAIN = 0x12  #: finish in-flight work, flush, reply, then exit
+OP_W_METRICS = 0x13  #: per-worker metrics-registry snapshot (JSON response)
+OP_W_TRACED = 0x14   #: trace-id wrapper around a forwarded data-plane body
 
 # Response status bytes ----------------------------------------------
 ST_OK = 0x00
@@ -260,6 +263,32 @@ def parse_encode_response_body(body: bytes, n: int) -> np.ndarray:
         raise ProtocolError("encode response body too short")
     (n_frames,) = struct.unpack_from("!I", body)
     return unpack_bits(body[4:], n_frames, n)
+
+
+def build_traced_body(trace_id: str, opcode: int, body: bytes) -> bytes:
+    """OP_W_TRACED body: [id length][trace id][inner opcode][inner body].
+
+    Sampled requests reach their pool worker in this wrapper so the
+    trace id survives the pipe; *unsampled* requests are forwarded as
+    the untouched original bytes — the tracing-off hot path stays
+    byte-identical to the pre-tracing protocol.
+    """
+    encoded = trace_id.encode("ascii")
+    if not 0 < len(encoded) < 256:
+        raise ProtocolError(f"trace id {trace_id!r} does not fit one length byte")
+    return bytes((len(encoded),)) + encoded + bytes((opcode,)) + body
+
+
+def parse_traced_body(body: bytes) -> Tuple[str, int, bytes]:
+    """Inverse of :func:`build_traced_body`: (trace_id, opcode, body)."""
+    if len(body) < 3:
+        raise ProtocolError(f"traced body too short ({len(body)} bytes)")
+    id_len = body[0]
+    if len(body) < 2 + id_len:
+        raise ProtocolError("traced body truncated inside the trace id")
+    trace_id = body[1 : 1 + id_len].decode("ascii", "replace")
+    opcode = body[1 + id_len]
+    return trace_id, opcode, body[2 + id_len :]
 
 
 def build_json_body(payload: Dict[str, Any]) -> bytes:

@@ -29,9 +29,12 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import time
 from typing import Optional, Set
 
 from repro.errors import ServiceError
+from repro.obs.metrics import merge_snapshots, render_prometheus
+from repro.obs.tracing import current_trace_id, get_tracer, trace_scope
 from repro.service import protocol
 from repro.service.batcher import BatchPolicy
 from repro.service.session import SessionConfig, catalog
@@ -44,6 +47,13 @@ logger = logging.getLogger(__name__)
 _FORWARDED_OPS = frozenset(
     {protocol.OP_ENCODE, protocol.OP_DECODE, protocol.OP_DECODE_SOFT}
 )
+
+#: Span-event op names of the traceable (data-plane) opcodes.
+_TRACED_OP_NAMES = {
+    protocol.OP_ENCODE: "encode",
+    protocol.OP_DECODE: "decode",
+    protocol.OP_DECODE_SOFT: "decode_soft",
+}
 
 
 class CodecServer:
@@ -159,14 +169,14 @@ class CodecServer:
                     payload = await protocol.read_frame(reader)
                 except protocol.ProtocolError:
                     # Framing-level violation (oversized prefix, torn frame).
-                    self.telemetry.protocol_errors += 1
+                    self.telemetry.record_protocol_error()
                     raise
                 if payload is None:
                     break
                 try:
                     request = protocol.parse_request(payload)
                 except protocol.ProtocolError:
-                    self.telemetry.protocol_errors += 1
+                    self.telemetry.record_protocol_error()
                     raise
                 # Dispatch concurrently: a request awaiting its batch
                 # must not stall the read loop, or pipelined requests
@@ -199,16 +209,32 @@ class CodecServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
     ) -> None:
+        tracer = get_tracer()
+        trace_id = (
+            tracer.sample() if request.opcode in _TRACED_OP_NAMES else None
+        )
+        started = time.perf_counter()
         try:
-            status, body = protocol.ST_OK, await self.dispatch(request)
+            with trace_scope(trace_id):
+                status, body = protocol.ST_OK, await self.dispatch(request)
         except (ServiceError, protocol.ProtocolError) as exc:
-            self.telemetry.protocol_errors += isinstance(exc, protocol.ProtocolError)
+            if isinstance(exc, protocol.ProtocolError):
+                self.telemetry.record_protocol_error()
             status, body = protocol.ST_ERROR, str(exc).encode("utf-8")
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # defensive: never kill the connection task
             logger.exception("internal error serving opcode 0x%02x", request.opcode)
             status, body = protocol.ST_ERROR, f"internal error: {exc}".encode("utf-8")
+        if trace_id is not None:
+            tracer.emit(
+                trace_id,
+                "front.request",
+                started,
+                (time.perf_counter() - started) * 1e6,
+                op=_TRACED_OP_NAMES[request.opcode],
+                status=status,
+            )
         try:
             response = protocol.frame_bytes(
                 protocol.build_response(request.opcode, request.request_id, status, body)
@@ -216,7 +242,7 @@ class CodecServer:
         except protocol.ProtocolError as exc:
             # The success body itself is over the frame cap; the client
             # must still get *a* response or it awaits this id forever.
-            self.telemetry.protocol_errors += 1
+            self.telemetry.record_protocol_error()
             response = protocol.frame_bytes(
                 protocol.build_response(
                     request.opcode,
@@ -253,7 +279,25 @@ class CodecServer:
             )
         if request.opcode == protocol.OP_CODES:
             return protocol.build_json_body(catalog())
+        if request.opcode == protocol.OP_METRICS:
+            return await self._op_metrics()
         raise protocol.ProtocolError(f"unknown opcode 0x{request.opcode:02x}")
+
+    async def _op_metrics(self) -> bytes:
+        """Pooled METRICS: merge the front and every worker's registries.
+
+        Each worker snapshot arrives tagged with its index (see
+        :meth:`WorkerPool.collect_metrics`); the tag becomes the
+        ``worker`` label so pooled scrapes stay per-worker attributable
+        while bucket sums across workers remain exact.
+        """
+        snapshots = [self.telemetry.metrics_snapshot()]
+        extra = [{"worker": "front"}]
+        for worker_snapshot in await self.pool.collect_metrics():
+            extra.append({"worker": worker_snapshot.pop("worker", "")})
+            snapshots.append(worker_snapshot)
+        merged = merge_snapshots(snapshots, extra_labels=extra)
+        return render_prometheus(merged).encode("utf-8")
 
     async def _forward(self, request: protocol.Request) -> bytes:
         """Route a data-plane body to its worker, bytes in, bytes out.
@@ -270,6 +314,15 @@ class CodecServer:
         else:
             bytes_per_frame = (int(info["k"]) + 7) // 8 + 2
         DispatchCore.check_response_fits(n_frames, bytes_per_frame)
+        trace_id = current_trace_id()
+        if trace_id is not None:
+            # Sampled requests ride an OP_W_TRACED envelope so the worker
+            # can continue the trace; unsampled forwards stay byte-identical.
+            return await self.pool.forward(
+                session_id,
+                protocol.OP_W_TRACED,
+                protocol.build_traced_body(trace_id, request.opcode, request.body),
+            )
         return await self.pool.forward(session_id, request.opcode, request.body)
 
     async def _op_admin(self, body: bytes) -> bytes:

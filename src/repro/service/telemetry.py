@@ -3,18 +3,49 @@
 Counters follow the decoder's own vocabulary: a frame is *corrected*
 when the decoder repaired at least one bit, *detected* when it raised
 the detected-uncorrectable flag, and *accepted* otherwise (delivered
-with no anomaly).  Latency is sampled per request into a bounded
-reservoir, so percentile queries stay O(reservoir) regardless of how
-long the server has been up.
+with no anomaly).
+
+Since the observability layer landed, every counter lives as a labelled
+series on a :class:`~repro.obs.metrics.MetricsRegistry` — the same
+registry the ``OP_METRICS`` Prometheus scrape renders — and latency is
+recorded into fixed-log-bucket histograms, which (unlike the older
+reservoir percentiles) merge *exactly* across pool workers: the rollup
+sums bucket counts instead of averaging percentiles.  The legacy STATS
+JSON shape is preserved verbatim; per-session latency entries
+additionally carry their raw bucket counts so the rollup can merge them.
+
+Each :class:`ServiceTelemetry` owns its registry (``registry=None``
+builds a private one), so many servers can coexist in one test process
+without cross-contaminating counters; process-global metrics (engine,
+cache, kernel profiles) live on :func:`repro.obs.metrics.default_registry`
+and are merged in at scrape time.
+
+:class:`LatencyReservoir` remains for exact small-window percentiles
+(the load generator's client-side measurements still use one).
 """
 
 from __future__ import annotations
 
 import time
-from collections import Counter, deque
-from typing import Deque, Dict, Optional
+from collections import Counter as TallyCounter
+from collections import deque
+from typing import Deque, Dict, List, Optional
 
 import numpy as np
+
+from repro.errors import BackendError
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS_US,
+    MetricsRegistry,
+    bucket_percentile,
+    default_registry,
+    merge_snapshots,
+)
+
+#: Bucket layout of every request-latency histogram (µs upper edges).
+#: Part of the wire contract: the pool rollup merges per-worker latency
+#: by summing these buckets, so every process must agree on the layout.
+LATENCY_BUCKETS_US = DEFAULT_TIME_BUCKETS_US
 
 
 class LatencyReservoir:
@@ -43,33 +74,138 @@ class LatencyReservoir:
         }
 
 
-class SessionTelemetry:
-    """Counters and latency percentiles for one codec session."""
+class MergedLatencyView:
+    """Reservoir-shaped read view over a session's latency histograms.
 
-    def __init__(self, clock=time.monotonic):
+    Merges the per-op histogram children (bucket sums are exact), so
+    ``session.telemetry.latency`` keeps its old percentile/snapshot
+    surface while the underlying data became mergeable buckets.
+    """
+
+    def __init__(self, children: List):
+        self._children = list(children)
+
+    def _merged_counts(self) -> List[int]:
+        counts = [0] * (len(LATENCY_BUCKETS_US) + 1)
+        for child in self._children:
+            for i, c in enumerate(child.counts):
+                counts[i] += c
+        return counts
+
+    def __len__(self) -> int:
+        return sum(self._merged_counts())
+
+    def percentile(self, q: float) -> float:
+        return bucket_percentile(self._merged_counts(), LATENCY_BUCKETS_US, q)
+
+    def snapshot(self) -> Dict:
+        counts = self._merged_counts()
+        return {
+            "samples": sum(counts),
+            "p50_us": round(bucket_percentile(counts, LATENCY_BUCKETS_US, 50.0), 1),
+            "p99_us": round(bucket_percentile(counts, LATENCY_BUCKETS_US, 99.0), 1),
+            "buckets": counts,
+        }
+
+
+class SessionTelemetry:
+    """Counters and latency histograms for one codec session.
+
+    Mutations land on labelled registry series (labels: ``session``,
+    ``code``, ``backend``, plus ``op``/``reason``/``outcome`` where
+    applicable); the pre-registry attribute surface (``requests``,
+    ``frames_corrected``, ``flush_reasons``, ...) is preserved as read
+    properties computed from those series.
+    """
+
+    def __init__(
+        self,
+        clock=time.monotonic,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, str]] = None,
+    ):
         self._clock = clock
         self.started_at = clock()
-        self.requests: Counter = Counter()        # per op: "encode"/"decode"
-        self.frames: Counter = Counter()          # per op
-        self.frames_corrected = 0                 # decoder repaired >= 1 bit
-        self.frames_detected = 0                  # detected-uncorrectable flag
-        self.frames_accepted = 0                  # no anomaly at all
-        self.bits_corrected = 0
-        self.soft_frames_decoded = 0              # frames through the soft path
-        self.soft_frames_corrected = 0            # soft path repaired >= 1 bit
-        self.batches = 0
-        self.batch_frames_max = 0
-        self.flush_reasons: Counter = Counter()   # "size" / "deadline" / "drain"
-        self.latency = LatencyReservoir()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        base = {"session": "", "code": "", "backend": ""}
+        base.update(labels or {})
+        self._base = base
+        reg = self.registry
+        session_labels = ("session", "code", "backend")
+        self._requests_family = reg.counter(
+            "repro_service_requests_total",
+            "Requests received, by operation.",
+            session_labels + ("op",),
+        )
+        self._frames_family = reg.counter(
+            "repro_service_frames_total",
+            "Frames received, by operation.",
+            session_labels + ("op",),
+        )
+        self._batches_family = reg.counter(
+            "repro_service_batches_total",
+            "Micro-batch flushes, by operation and flush reason.",
+            session_labels + ("op", "reason"),
+        )
+        self._latency_family = reg.histogram(
+            "repro_service_request_latency_us",
+            "Per-request latency from arrival to batch completion (µs).",
+            session_labels + ("op",),
+            buckets=LATENCY_BUCKETS_US,
+        )
+        self._outcomes_family = reg.counter(
+            "repro_service_decoded_frames_total",
+            "Decoded frames by outcome (corrected/detected/accepted).",
+            session_labels + ("outcome",),
+        )
+        self._soft_family = reg.counter(
+            "repro_service_soft_frames_total",
+            "Soft-path frames (result: decoded = all, corrected = repaired).",
+            session_labels + ("result",),
+        )
+        self._bits = reg.counter(
+            "repro_service_corrected_bits_total",
+            "Total bits repaired by the decoder.",
+            session_labels,
+        ).labels(**base)
+        self._batch_max = reg.gauge(
+            "repro_service_batch_frames_max",
+            "Largest batch flushed so far.",
+            session_labels,
+        ).labels(**base)
+        self._requests: Dict[str, object] = {}
+        self._frames: Dict[str, object] = {}
+        self._batches: Dict[tuple, object] = {}
+        self._latency: Dict[str, object] = {}
+        self._outcomes = {
+            outcome: self._outcomes_family.labels(**base, outcome=outcome)
+            for outcome in ("corrected", "detected", "accepted")
+        }
+        self._soft = {
+            result: self._soft_family.labels(**base, result=result)
+            for result in ("decoded", "corrected")
+        }
+
+    # -- recording ------------------------------------------------------
+    def _op_child(self, cache: Dict, family, op: str):
+        child = cache.get(op)
+        if child is None:
+            child = family.labels(**self._base, op=op)
+            cache[op] = child
+        return child
 
     def record_request(self, op: str, n_frames: int) -> None:
-        self.requests[op] += 1
-        self.frames[op] += n_frames
+        self._op_child(self._requests, self._requests_family, op).inc()
+        self._op_child(self._frames, self._frames_family, op).inc(n_frames)
 
     def record_batch(self, op: str, n_frames: int, reason: str) -> None:
-        self.batches += 1
-        self.batch_frames_max = max(self.batch_frames_max, n_frames)
-        self.flush_reasons[reason] += 1
+        key = (op, reason)
+        child = self._batches.get(key)
+        if child is None:
+            child = self._batches_family.labels(**self._base, op=op, reason=reason)
+            self._batches[key] = child
+        child.inc()
+        self._batch_max.set_max(n_frames)
 
     def record_decode_outcome(
         self,
@@ -80,21 +216,81 @@ class SessionTelemetry:
         corrected = np.asarray(corrected_errors)
         detected = np.asarray(detected_uncorrectable, dtype=bool)
         corrected_frames = (corrected > 0) & ~detected
-        self.frames_corrected += int(corrected_frames.sum())
-        self.frames_detected += int(detected.sum())
-        self.frames_accepted += int((~detected & (corrected == 0)).sum())
-        self.bits_corrected += int(corrected.sum())
+        self._outcomes["corrected"].inc(int(corrected_frames.sum()))
+        self._outcomes["detected"].inc(int(detected.sum()))
+        self._outcomes["accepted"].inc(int((~detected & (corrected == 0)).sum()))
+        self._bits.inc(int(corrected.sum()))
         if soft:
-            self.soft_frames_decoded += int(corrected.size)
-            self.soft_frames_corrected += int(corrected_frames.sum())
+            self._soft["decoded"].inc(int(corrected.size))
+            self._soft["corrected"].inc(int(corrected_frames.sum()))
 
-    def record_latency_us(self, latency_us: float) -> None:
-        self.latency.record(latency_us)
+    def record_latency_us(self, latency_us: float, op: str = "") -> None:
+        self._op_child(self._latency, self._latency_family, op).observe(
+            float(latency_us)
+        )
+
+    # -- back-compat attribute surface ---------------------------------
+    @property
+    def requests(self) -> TallyCounter:
+        return TallyCounter(
+            {op: child.value for op, child in self._requests.items() if child.value}
+        )
+
+    @property
+    def frames(self) -> TallyCounter:
+        return TallyCounter(
+            {op: child.value for op, child in self._frames.items() if child.value}
+        )
+
+    @property
+    def flush_reasons(self) -> TallyCounter:
+        reasons: TallyCounter = TallyCounter()
+        for (_, reason), child in self._batches.items():
+            if child.value:
+                reasons[reason] += child.value
+        return reasons
+
+    @property
+    def batches(self) -> int:
+        return sum(child.value for child in self._batches.values())
+
+    @property
+    def batch_frames_max(self) -> int:
+        return int(self._batch_max.value)
+
+    @property
+    def frames_corrected(self) -> int:
+        return self._outcomes["corrected"].value
+
+    @property
+    def frames_detected(self) -> int:
+        return self._outcomes["detected"].value
+
+    @property
+    def frames_accepted(self) -> int:
+        return self._outcomes["accepted"].value
+
+    @property
+    def bits_corrected(self) -> int:
+        return self._bits.value
+
+    @property
+    def soft_frames_decoded(self) -> int:
+        return self._soft["decoded"].value
+
+    @property
+    def soft_frames_corrected(self) -> int:
+        return self._soft["corrected"].value
+
+    @property
+    def latency(self) -> MergedLatencyView:
+        return MergedLatencyView(self._latency.values())
 
     def snapshot(self) -> Dict:
         elapsed = max(self._clock() - self.started_at, 1e-9)
         total_frames = sum(self.frames.values())
-        mean_batch = (total_frames / self.batches) if self.batches else 0.0
+        batches = self.batches
+        mean_batch = (total_frames / batches) if batches else 0.0
         return {
             "uptime_s": round(elapsed, 3),
             "requests": dict(self.requests),
@@ -106,7 +302,7 @@ class SessionTelemetry:
             "corrected_bits": self.bits_corrected,
             "soft_decoded_frames": self.soft_frames_decoded,
             "soft_corrected_frames": self.soft_frames_corrected,
-            "batches": self.batches,
+            "batches": batches,
             "mean_batch_frames": round(mean_batch, 2),
             "max_batch_frames": self.batch_frames_max,
             "flush_reasons": dict(self.flush_reasons),
@@ -120,38 +316,93 @@ def _active_backend_name() -> Optional[str]:
     Reported in STATS so operators can confirm which engine a server
     (or each pool worker — the env round-trips through the fork) is
     actually decoding with.  ``None`` if resolution itself fails (e.g.
-    ``REPRO_BACKEND`` names an unusable backend).
+    ``REPRO_BACKEND`` names an unusable backend); anything *other* than
+    a backend resolution failure — an import cycle, a real bug — is
+    allowed to propagate rather than masquerading as ``backend: null``.
     """
     try:
         from repro.backends import default_backend
 
         return default_backend().name
-    except Exception:
+    except BackendError:
         return None
 
 
 class ServiceTelemetry:
     """Aggregates per-session telemetry into the stats-endpoint payload."""
 
-    def __init__(self, clock=time.monotonic):
+    def __init__(self, clock=time.monotonic, registry: Optional[MetricsRegistry] = None):
         self._clock = clock
         self.started_at = clock()
-        self.connections_total = 0
-        self.connections_open = 0
-        self.protocol_errors = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        self._connections_total = reg.counter(
+            "repro_service_connections_total", "Client connections accepted."
+        ).labels()
+        self._connections_open = reg.gauge(
+            "repro_service_connections_open", "Client connections currently open."
+        ).labels()
+        self._protocol_errors = reg.counter(
+            "repro_service_protocol_errors_total",
+            "Malformed frames, unknown opcodes, and oversized payloads.",
+        ).labels()
+        self._backend_info = reg.gauge(
+            "repro_backend_info",
+            "Resolved kernel backend of this process (value is always 1).",
+            ("backend",),
+        )
         self._sessions: Dict[int, "SessionTelemetry"] = {}
+        self._backend_name: Optional[str] = None
+        self._backend_resolved = False
 
-    def session(self, session_id: int) -> SessionTelemetry:
+    def _backend(self) -> Optional[str]:
+        if not self._backend_resolved:
+            self._backend_name = _active_backend_name()
+            self._backend_resolved = True
+            if self._backend_name:
+                self._backend_info.labels(backend=self._backend_name).set(1)
+        return self._backend_name
+
+    def session(self, session_id: int, code: Optional[str] = None) -> SessionTelemetry:
         if session_id not in self._sessions:
-            self._sessions[session_id] = SessionTelemetry(self._clock)
+            self._sessions[session_id] = SessionTelemetry(
+                self._clock,
+                registry=self.registry,
+                labels={
+                    "session": str(session_id),
+                    "code": code or "",
+                    "backend": self._backend() or "",
+                },
+            )
         return self._sessions[session_id]
 
+    @property
+    def connections_total(self) -> int:
+        return self._connections_total.value
+
+    @property
+    def connections_open(self) -> int:
+        return int(self._connections_open.value)
+
+    @property
+    def protocol_errors(self) -> int:
+        return self._protocol_errors.value
+
     def connection_opened(self) -> None:
-        self.connections_total += 1
-        self.connections_open += 1
+        self._connections_total.inc()
+        self._connections_open.inc()
 
     def connection_closed(self) -> None:
-        self.connections_open -= 1
+        # Clamp at zero: a double-close during crash teardown (the
+        # connection handler and the server's shutdown path both
+        # reporting the same socket) must never drive the gauge negative.
+        if self._connections_open.value > 0:
+            self._connections_open.dec()
+        else:
+            self._connections_open.set(0)
+
+    def record_protocol_error(self, count: int = 1) -> None:
+        self._protocol_errors.inc(count)
 
     def snapshot(self, session_labels: Optional[Dict[int, str]] = None) -> Dict:
         sessions = {}
@@ -171,9 +422,44 @@ class ServiceTelemetry:
             "protocol_errors": self.protocol_errors,
             "frames_total": total_frames,
             "throughput_fps": round(total_frames / elapsed, 1),
-            "backend": _active_backend_name(),
+            "backend": self._backend(),
             "sessions": sessions,
         }
+
+    def metrics_snapshot(self) -> Dict:
+        """This process's full metrics view: service + process-global.
+
+        The merge is what the ``OP_METRICS`` scrape renders (and what a
+        pool worker ships to the front): the server's own registry plus
+        the process-default registry carrying engine/cache/kernel
+        metrics.  Family names are disjoint by convention, so the merge
+        is effectively a concatenation.
+        """
+        self._backend()  # ensure repro_backend_info is populated
+        return merge_snapshots(
+            [self.registry.snapshot(), default_registry().snapshot()]
+        )
+
+
+def _merge_latency_summaries(session_entries) -> Dict:
+    """Exact merge of per-session latency entries via their buckets."""
+    counts = [0] * (len(LATENCY_BUCKETS_US) + 1)
+    samples_without_buckets = 0
+    for entry in session_entries:
+        latency = entry.get("latency") or {}
+        buckets = latency.get("buckets")
+        if buckets is None:
+            samples_without_buckets += int(latency.get("samples", 0))
+            continue
+        for i, c in enumerate(buckets[: len(counts)]):
+            counts[i] += int(c)
+    merged = {
+        "samples": sum(counts) + samples_without_buckets,
+        "p50_us": round(bucket_percentile(counts, LATENCY_BUCKETS_US, 50.0), 1),
+        "p99_us": round(bucket_percentile(counts, LATENCY_BUCKETS_US, 99.0), 1),
+        "buckets": counts,
+    }
+    return merged
 
 
 def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
@@ -189,6 +475,10 @@ def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
     worker — and adds a ``workers`` array, so a STATS scraper written
     against the single-process server keeps working and tests can check
     the invariant *rollup == sum of per-worker counters* directly.
+
+    Each worker summary carries its sessions' summed ``flush_reasons``
+    and an exact bucket-merged ``latency`` summary — the counters the
+    old summary dict dropped.
     """
     merged = dict(front)
     merged["mode"] = "pool"
@@ -197,6 +487,10 @@ def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
     throughput = 0.0
     workers = []
     for snap in worker_snapshots:
+        worker_sessions = snap.get("sessions", {})
+        flush_reasons: TallyCounter = TallyCounter()
+        for entry in worker_sessions.values():
+            flush_reasons.update(entry.get("flush_reasons", {}))
         summary = {
             "index": snap.get("index"),
             "pid": snap.get("pid"),
@@ -206,12 +500,14 @@ def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
             "frames_total": snap.get("frames_total", 0),
             "throughput_fps": snap.get("throughput_fps", 0.0),
             "backend": snap.get("backend"),
-            "sessions": sorted(int(sid) for sid in snap.get("sessions", {})),
+            "flush_reasons": dict(flush_reasons),
+            "latency": _merge_latency_summaries(worker_sessions.values()),
+            "sessions": sorted(int(sid) for sid in worker_sessions),
         }
         workers.append(summary)
         frames_total += summary["frames_total"]
         throughput += summary["throughput_fps"]
-        for sid, entry in snap.get("sessions", {}).items():
+        for sid, entry in worker_sessions.items():
             tagged = dict(entry)
             tagged["worker"] = snap.get("index")
             sessions[str(sid)] = tagged

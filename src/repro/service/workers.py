@@ -48,11 +48,14 @@ import logging
 import multiprocessing
 import os
 import socket
+import time
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.errors import ServiceError, SessionError
+from repro.obs.metrics import render_prometheus
+from repro.obs.tracing import get_tracer, reset_tracer, trace_scope
 from repro.service import protocol
 from repro.service.batcher import BatchPolicy, MicroBatcher
 from repro.service.session import (
@@ -102,7 +105,9 @@ class DispatchCore:
     ) -> CodecSession:
         """Open (or rejoin) a session and wire it into the telemetry."""
         session = self.registry.open(config, session_id=session_id)
-        session.telemetry = self.telemetry.session(session.session_id)
+        session.telemetry = self.telemetry.session(
+            session.session_id, code=config.code
+        )
         return session
 
     async def dispatch(self, request: protocol.Request) -> bytes:
@@ -118,6 +123,10 @@ class DispatchCore:
         if request.opcode == protocol.OP_STATS:
             return protocol.build_json_body(
                 self.telemetry.snapshot(self.registry.labels())
+            )
+        if request.opcode == protocol.OP_METRICS:
+            return render_prometheus(self.telemetry.metrics_snapshot()).encode(
+                "utf-8"
             )
         if request.opcode == protocol.OP_CODES:
             return protocol.build_json_body(catalog())
@@ -279,6 +288,9 @@ def _worker_entry(index, conn, policy, faults):  # pragma: no cover - child proc
         asyncio.set_event_loop(None)
     except Exception:
         pass
+    # The fork may have copied a tracer built before the front end's
+    # environment was final; rebuild from the (inherited) env here.
+    reset_tracer()
     code = 0
     try:
         asyncio.run(_worker_main(index, conn, policy, faults))
@@ -311,6 +323,12 @@ async def _worker_main(index, conn, policy, faults):  # pragma: no cover - child
             await writer.drain()
 
     async def serve(request):
+        trace_id = None
+        if request.opcode == protocol.OP_W_TRACED:
+            # Sampled requests arrive wrapped; unwrap before any
+            # accounting so faults and dispatch see the real opcode.
+            trace_id, opcode, body = protocol.parse_traced_body(request.body)
+            request = protocol.Request(opcode, request.request_id, body)
         if request.opcode == protocol.OP_W_DRAIN:
             # Wait for every *other* in-flight request to finish (their
             # responses are written when their tasks are done), flush
@@ -339,7 +357,18 @@ async def _worker_main(index, conn, policy, faults):  # pragma: no cover - child
             if active.request_delay_us > 0:
                 await asyncio.sleep(active.request_delay_us * 1e-6)
         try:
-            body = await _worker_dispatch(core, index, request)
+            dispatch_started = time.perf_counter()
+            with trace_scope(trace_id):
+                body = await _worker_dispatch(core, index, request)
+            if trace_id is not None:
+                get_tracer().emit(
+                    trace_id,
+                    "worker.dispatch",
+                    dispatch_started,
+                    (time.perf_counter() - dispatch_started) * 1e6,
+                    worker=index,
+                    opcode=request.opcode,
+                )
             status = protocol.ST_OK
         except (ServiceError, protocol.ProtocolError) as exc:
             status, body = protocol.ST_ERROR, str(exc).encode("utf-8")
@@ -400,6 +429,8 @@ async def _worker_dispatch(core, index, request):  # pragma: no cover - child
         snapshot["index"] = index
         snapshot["pid"] = os.getpid()
         return protocol.build_json_body(snapshot)
+    if request.opcode == protocol.OP_W_METRICS:
+        return protocol.build_json_body(core.telemetry.metrics_snapshot())
     return await core.dispatch(request)
 
 
@@ -845,6 +876,30 @@ class WorkerPool:
                 {"sessions": {}, "frames_total": 0, "throughput_fps": 0.0}
             )
             snapshots.append(liveness)
+        return snapshots
+
+    async def collect_metrics(self) -> List[Dict]:
+        """Per-worker metrics-registry snapshots, each tagged ``worker``.
+
+        Workers that are down or mid-respawn are skipped — their series
+        reappear (with counters intact only since the respawn; restarts
+        are shared-nothing) on the next scrape.
+        """
+        snapshots = []
+        for handle in self.handles:
+            if not handle.ready.is_set():
+                continue
+            try:
+                response = await handle.request(
+                    protocol.OP_W_METRICS, timeout=self.drain_timeout
+                )
+            except WorkerDied:
+                continue
+            if response.status != protocol.ST_OK:
+                continue
+            snapshot = protocol.parse_json_body(response.body)
+            snapshot["worker"] = str(handle.index)
+            snapshots.append(snapshot)
         return snapshots
 
     def status(self) -> Dict:

@@ -138,6 +138,14 @@ class TestPoolPlumbing:
         run(scenario())
 
     def test_rollup_equals_sum_of_synthetic_snapshots(self):
+        from repro.service.telemetry import LATENCY_BUCKETS_US
+
+        def buckets(**at):
+            counts = [0] * (len(LATENCY_BUCKETS_US) + 1)
+            for index, count in at.items():
+                counts[int(index.lstrip("b"))] = count
+            return counts
+
         front = {"connections_total": 3, "protocol_errors": 1, "uptime_s": 9.0}
         workers = [
             {
@@ -145,7 +153,18 @@ class TestPoolPlumbing:
                 "pid": 100,
                 "frames_total": 40,
                 "throughput_fps": 4.0,
-                "sessions": {"1": {"frames": {"decode": 40}}},
+                "sessions": {
+                    "1": {
+                        "frames": {"decode": 40},
+                        "flush_reasons": {"size": 4, "deadline": 1},
+                        "latency": {"samples": 5, "buckets": buckets(b3=5)},
+                    },
+                    "3": {
+                        "frames": {"decode": 8},
+                        "flush_reasons": {"deadline": 2},
+                        "latency": {"samples": 2, "buckets": buckets(b7=2)},
+                    },
+                },
             },
             {
                 "index": 1,
@@ -163,6 +182,15 @@ class TestPoolPlumbing:
         assert merged["sessions"]["1"]["worker"] == 0
         assert merged["sessions"]["2"]["worker"] == 1
         assert [w["index"] for w in merged["workers"]] == [0, 1]
+        # Per-worker summaries carry the sessions' summed flush reasons
+        # and an exact bucket-merged latency view.
+        worker0 = merged["workers"][0]
+        assert worker0["flush_reasons"] == {"size": 4, "deadline": 3}
+        assert worker0["latency"]["samples"] == 7
+        assert worker0["latency"]["buckets"] == buckets(b3=5, b7=2)
+        assert worker0["latency"]["p50_us"] == LATENCY_BUCKETS_US[3]
+        assert merged["workers"][1]["flush_reasons"] == {}
+        assert merged["workers"][1]["latency"]["samples"] == 0
 
 
 # ---------------------------------------------------------------------
@@ -339,6 +367,31 @@ class TestStatsRollup:
                 w["index"] for w in stats["workers"] if int(sid) in w["sessions"]
             ]
             assert owners == [entry["worker"]]
+        # Each worker summary's flush reasons and latency are exactly the
+        # sums of its sessions' counters (bucket merging is lossless).
+        for worker in stats["workers"]:
+            owned = [
+                entry
+                for sid, entry in stats["sessions"].items()
+                if entry["worker"] == worker["index"]
+            ]
+            reasons = {}
+            for entry in owned:
+                for reason, count in entry["flush_reasons"].items():
+                    reasons[reason] = reasons.get(reason, 0) + count
+            assert worker["flush_reasons"] == reasons
+            assert worker["latency"]["samples"] == sum(
+                entry["latency"]["samples"] for entry in owned
+            )
+            merged_buckets = worker["latency"]["buckets"]
+            summed = [0] * len(merged_buckets)
+            for entry in owned:
+                for i, count in enumerate(entry["latency"]["buckets"]):
+                    summed[i] += count
+            assert merged_buckets == summed
+        assert sum(w["latency"]["samples"] for w in stats["workers"]) == sum(
+            decodes_per_session.values()
+        )
 
 
 # ---------------------------------------------------------------------

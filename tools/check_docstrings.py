@@ -29,6 +29,7 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 CHECKED_ROOTS = [
     "src/repro/link",
     "src/repro/coding/decoders",
+    "src/repro/obs",
 ]
 
 

@@ -2,8 +2,8 @@
 """Generate docs/api.md from the public package surfaces.
 
 Walks ``__all__`` of the packages in ``MODULES`` (currently
-``repro.coding``, ``repro.link``, ``repro.service`` and
-``repro.backends``), emitting for every exported name
+``repro.coding``, ``repro.link``, ``repro.service``, ``repro.backends``
+and ``repro.obs``), emitting for every exported name
 its kind, signature, summary (first docstring paragraph) and — for
 classes — the public methods and properties defined on the class
 itself.  The output is deterministic, so the committed ``docs/api.md``
@@ -31,12 +31,18 @@ REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), ".."))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 #: The packages whose ``__all__`` constitutes the documented surface.
-MODULES = ["repro.coding", "repro.link", "repro.service", "repro.backends"]
+MODULES = [
+    "repro.coding",
+    "repro.link",
+    "repro.service",
+    "repro.backends",
+    "repro.obs",
+]
 
 OUTPUT = os.path.join(REPO_ROOT, "docs", "api.md")
 
 HEADER = """\
-# API reference — `repro.coding`, `repro.link`, `repro.service` and `repro.backends`
+# API reference — `repro.coding`, `repro.link`, `repro.service`, `repro.backends` and `repro.obs`
 
 [Documentation index](index.md)
 
