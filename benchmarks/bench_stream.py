@@ -1,0 +1,194 @@
+"""Streaming decode lane: bounded decision latency over the wire.
+
+A client streams convolutionally-interleaved channel frames at a
+:class:`~repro.service.server.CodecServer` through the
+``OP_DECODE_STREAM`` lane and measures per-push *decision* latency —
+the time from putting a push on the wire to receiving its decided rows.
+Two arms, both asserted so CI can run this as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py --quick
+
+* **pipelined** (generous deadline) — the client pushes back to back,
+  so every window closes by arrival.  Asserts **zero deadline misses**,
+  **bit identity** (the streamed decisions equal one offline
+  ``deinterleave_stream`` + ``decode_soft_batch_detailed`` pass over
+  the same confidences) and **p99 decision latency <= the deadline**
+  (the latency contract, with the structural span wait included).
+* **stalled** (adversarially tight deadline) — the client pauses
+  several deadlines between pushes, so open windows *cannot* close by
+  arrival.  Asserts the service degrades instead of stalling: every
+  pushed frame is answered, forced rows appear, and the server's
+  ``repro_stream_deadline_miss_total`` counts exactly the forced rows.
+
+The generous budget is deliberately huge (default 250 ms) so the p99
+assertion measures the service, not a shared runner's scheduling
+jitter; override with ``REPRO_BENCH_STREAM_DEADLINE_US``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from conftest import fail as _fail
+from repro.coding import (
+    deinterleave_stream,
+    get_code,
+    get_decoder,
+    interleave_stream,
+)
+from repro.service import CodecClient, CodecServer
+from repro.service import protocol
+
+CODE = "hamming84"
+DEPTH = 4
+SHIFT = 2
+ERROR_RATE = 0.02  # give the soft kernel real corrections to perform
+DEFAULT_GENEROUS_US = 250_000.0
+TIGHT_US = 5_000.0
+
+
+def _workload(count: int, seed: int):
+    """Seeded corrupted stream plus its offline reference decisions."""
+    code = get_code(CODE)
+    rng = np.random.default_rng(seed)
+    messages = rng.integers(0, 2, (count, code.k)).astype(np.uint8)
+    channel = interleave_stream(code.encode_batch(messages), DEPTH, shift=SHIFT)
+    flips = (rng.random(channel.shape) < ERROR_RATE).astype(np.uint8)
+    confidences = 1.0 - 2.0 * (channel ^ flips).astype(np.float64)
+    reference = get_decoder(code).decode_soft_batch_detailed(
+        deinterleave_stream(confidences, DEPTH, shift=SHIFT)
+    )
+    return confidences, reference
+
+
+async def _stream(
+    confidences: np.ndarray,
+    chunk: int,
+    deadline_us: Optional[float],
+    pause_s: float = 0.0,
+):
+    """Drive one stream; returns (blocks, per-push decision latencies µs,
+    wall seconds, deadline-miss total scraped from the server)."""
+    server = CodecServer(port=0)
+    await server.start()
+    try:
+        client = await CodecClient.connect(port=server.port)
+        session = await client.open_session(
+            CODE, stream_depth=DEPTH, stream_shift=SHIFT,
+            stream_deadline_us=deadline_us,
+        )
+        total = len(confidences)
+        latencies: List[float] = []
+        tasks = []
+
+        def settle(sent_at: float, pending):
+            async def waiter():
+                block = await pending
+                latencies.append((time.perf_counter() - sent_at) * 1e6)
+                return block
+
+            return asyncio.ensure_future(waiter())
+
+        started = time.perf_counter()
+        for start in range(0, total, chunk):
+            stop = min(start + chunk, total)
+            if pause_s and start:
+                await asyncio.sleep(pause_s)
+            sent_at = time.perf_counter()
+            pending = await session.push_stream(
+                confidences[start:stop], start, final=stop >= total
+            )
+            tasks.append(settle(sent_at, pending))
+        blocks = await asyncio.gather(*tasks)
+        wall = time.perf_counter() - started
+        stats = await client.stats()
+        misses = sum(
+            s.get("stream", {}).get("deadline_misses", 0)
+            for s in stats["sessions"].values()
+        )
+        await client.close()
+        return blocks, np.array(latencies), wall, misses
+    finally:
+        await server.stop()
+
+
+def bench(count: int, chunk: int, seed: int) -> None:
+    generous_us = float(
+        os.environ.get("REPRO_BENCH_STREAM_DEADLINE_US", DEFAULT_GENEROUS_US)
+    )
+    confidences, reference = _workload(count, seed)
+
+    # -- arm 1: pipelined, generous deadline ---------------------------
+    blocks, latencies, wall, misses = asyncio.run(
+        _stream(confidences, chunk, generous_us)
+    )
+    status = np.concatenate([b.status for b in blocks])
+    decided = np.concatenate([b.messages for b in blocks])
+    corrected = np.concatenate([b.corrected_errors for b in blocks])
+    if misses or (status == protocol.STREAM_ROW_FORCED).any():
+        _fail(f"pipelined arm hit {misses} deadline misses at "
+              f"{generous_us:g} us — the budget should be unreachable")
+    if not (
+        np.array_equal(decided[:count], reference.messages)
+        and np.array_equal(corrected[:count], reference.corrected_errors)
+    ):
+        _fail("streamed decisions are not bit-identical to the offline decode")
+    print(f"bit identity: {count} streamed codewords == offline "
+          "deinterleave + soft decode (exact)")
+    p50, p99 = np.percentile(latencies, [50, 99])
+    frames = len(status)
+    header = (f"{'arm':>10} | {'frames':>7} | {'frames/s':>9} | "
+              f"{'p50 (us)':>9} | {'p99 (us)':>9} | {'misses':>7}")
+    print(header)
+    print("-" * len(header))
+    print(f"{'pipelined':>10} | {frames:>7} | {frames / wall:>9,.0f} | "
+          f"{p50:>9,.0f} | {p99:>9,.0f} | {misses:>7}")
+    if p99 > generous_us:
+        _fail(f"p99 decision latency {p99:,.0f} us exceeds the "
+              f"{generous_us:g} us deadline")
+
+    # -- arm 2: stalled pushes, adversarially tight deadline -----------
+    blocks, latencies, wall, misses = asyncio.run(
+        _stream(confidences, chunk, TIGHT_US, pause_s=4 * TIGHT_US * 1e-6)
+    )
+    status = np.concatenate([b.status for b in blocks])
+    forced = int((status == protocol.STREAM_ROW_FORCED).sum())
+    p50, p99 = np.percentile(latencies, [50, 99])
+    print(f"{'stalled':>10} | {len(status):>7} | {len(status) / wall:>9,.0f} | "
+          f"{p50:>9,.0f} | {p99:>9,.0f} | {misses:>7}")
+    if len(status) != len(confidences):
+        _fail(f"stalled arm dropped rows: {len(status)} answered, "
+              f"{len(confidences)} pushed")
+    if forced == 0:
+        _fail(f"stalled arm at {TIGHT_US:g} us with "
+              f"{4 * TIGHT_US:g} us pauses forced nothing — the deadline "
+              "timer is not firing")
+    if misses != forced:
+        _fail(f"deadline-miss telemetry ({misses}) disagrees with forced "
+              f"rows on the wire ({forced})")
+    print(f"\ngraceful degradation: {forced} forced decisions, every pushed "
+          "frame answered, misses counted exactly")
+    print("stream lane checks passed")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--count", type=int, default=400,
+                        help="source codewords to stream")
+    parser.add_argument("--chunk", type=int, default=8,
+                        help="channel frames per push")
+    parser.add_argument("--seed", type=int, default=20250831)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: 120 codewords")
+    args = parser.parse_args(argv)
+    bench(120 if args.quick else args.count, args.chunk, args.seed)
+
+
+if __name__ == "__main__":
+    main()

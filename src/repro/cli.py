@@ -256,6 +256,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="time every backend kernel call into the "
                             "repro_kernel_time_us histogram (exported as "
                             "REPRO_PROFILE_KERNELS; scrape with 'repro metrics')")
+    serve.add_argument("--stream-deadline-us", type=_nonnegative_float,
+                       default=None, metavar="US",
+                       help="default decision deadline for streaming sessions: "
+                            "codewords still open this long after their frame "
+                            "arrived are forced to best-effort decisions "
+                            "(sessions may override; default: no deadline)")
 
     metrics = sub.add_parser(
         "metrics",
@@ -298,7 +304,7 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--port", type=_port_number, default=7350)
     loadgen.add_argument("--scenario", default="steady",
                          choices=["steady", "bursty", "mixed", "adversarial",
-                                  "burst"])
+                                  "burst", "stream"])
     loadgen.add_argument("--clients", type=_positive_int, default=16)
     loadgen.add_argument("--connections", type=_positive_int, default=None,
                          metavar="N",
@@ -337,6 +343,25 @@ def _build_parser() -> argparse.ArgumentParser:
                          metavar="D",
                          help="interleaving depth of the 'burst' scenario's "
                               "interleaved lane (default: 8)")
+    loadgen.add_argument("--stream-depth", type=_positive_int, default=None,
+                         metavar="D",
+                         help="convolutional interleaving depth of the "
+                              "'stream' scenario (default: 4)")
+    loadgen.add_argument("--stream-shift", type=_positive_int, default=None,
+                         metavar="S",
+                         help="per-class frame shift of the 'stream' scenario "
+                              "(default: 1)")
+    loadgen.add_argument("--stream-deadline-us", type=_nonnegative_float,
+                         default=None, metavar="US",
+                         help="per-session decision deadline of the 'stream' "
+                              "scenario (default: none — pure pipelined "
+                              "decode, zero misses expected)")
+    loadgen.add_argument("--stream-interval-us", type=_nonnegative_float,
+                         default=None, metavar="US",
+                         help="pacing between the 'stream' scenario's pushes "
+                              "(default: back to back); pacing past the "
+                              "deadline deterministically drills the "
+                              "forced-decision path")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the full report (incl. server stats) as JSON")
     loadgen.add_argument("--assert-zero-residual", action="store_true",
@@ -574,6 +599,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                     max_pending_frames=args.max_pending,
                 ),
                 workers=args.workers,
+                stream_deadline_us=args.stream_deadline_us,
             )
             await server.start()
             print(f"serving codec sessions on {args.host}:{server.port}", flush=True)
@@ -600,6 +626,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                 )
             if args.profile_kernels:
                 print("  kernel profiling: on (see 'repro metrics')", flush=True)
+            if args.stream_deadline_us is not None:
+                print(
+                    f"  stream deadline: {args.stream_deadline_us:g} us "
+                    "(late windows forced to best-effort decisions)",
+                    flush=True,
+                )
             try:
                 await server.serve_forever()
             finally:
@@ -735,6 +767,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        stream_flags = (
+            args.stream_depth, args.stream_shift, args.stream_deadline_us,
+            args.stream_interval_us,
+        )
+        if args.scenario != "stream" and any(v is not None for v in stream_flags):
+            print(
+                "repro loadgen: error: --stream-depth/--stream-shift/"
+                "--stream-deadline-us/--stream-interval-us only make sense "
+                "with --scenario stream",
+                file=sys.stderr,
+            )
+            return 2
         scenario_kwargs = dict(code=args.code, decoder=args.decoder)
         if args.scenario == "burst":
             scenario_kwargs.update(
@@ -743,6 +787,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                     args.burst_density if args.burst_density is not None else 0.10
                 ),
                 depth=args.burst_depth if args.burst_depth is not None else 8,
+            )
+        if args.scenario == "stream":
+            scenario_kwargs.update(
+                depth=args.stream_depth if args.stream_depth is not None else 4,
+                shift=args.stream_shift if args.stream_shift is not None else 1,
+                deadline_us=args.stream_deadline_us,
+                interval_us=args.stream_interval_us,
             )
         try:
             scenario = loadgen_mod.make_scenario(args.scenario, **scenario_kwargs)

@@ -11,7 +11,9 @@ Public surface:
 * the exhaustive Table-I analysis in :mod:`repro.coding.analysis`;
 * the name registry in :mod:`repro.coding.registry`;
 * burst-resilience composition — interleavers and interleaved /
-  concatenated codes — in :mod:`repro.coding.interleave`.
+  concatenated codes — in :mod:`repro.coding.interleave`;
+* online sliding-window decoding of convolutionally-interleaved frame
+  streams in :mod:`repro.coding.stream`.
 """
 
 from repro.coding.linear import LinearBlockCode
@@ -23,6 +25,13 @@ from repro.coding.interleave import (
     InterleavedCode,
     InterleavedDecoder,
     StreamInterleaver,
+)
+from repro.coding.stream import (
+    SlidingWindowDecoder,
+    StreamDecisions,
+    deinterleave_stream,
+    interleave_stream,
+    stream_span,
 )
 from repro.coding.hamming import (
     hamming74_paper,
@@ -52,6 +61,11 @@ __all__ = [
     "InterleavedDecoder",
     "ConcatenatedCode",
     "ConcatenatedDecoder",
+    "SlidingWindowDecoder",
+    "StreamDecisions",
+    "interleave_stream",
+    "deinterleave_stream",
+    "stream_span",
     "hamming74_paper",
     "hamming84_paper",
     "hamming_code",

@@ -1,0 +1,305 @@
+"""Online sliding-window decoding of convolutionally-interleaved streams.
+
+The composites in :mod:`repro.coding.interleave` spread a burst *within*
+one composite word; a real link interleaves *across* frames instead: a
+convolutional (Forney/Ramsey) layout delays bit class ``j mod depth`` by
+``(j mod depth) * shift`` frames, so one obliterated channel frame
+scatters into ``depth`` different source codewords, each losing only
+``~n/depth`` bits — well inside a soft decoder's erasure tolerance.
+
+The cost of cross-frame spreading is *latency*: source codeword ``c`` is
+only fully present on the channel once frame ``c + (depth-1)*shift`` has
+arrived.  Offline that is a non-event (:func:`deinterleave_stream`
+gathers everything after the fact); online it is the whole problem — the
+superconducting decoders this repo tracks (QECOOL, NEO-QEC) must emit
+decisions under a hard latency budget.  :class:`SlidingWindowDecoder` is
+the online half: it holds the bounded soft window of still-open
+codewords, commits each one through the decoder's vectorised soft kernel
+the moment its last contribution arrives (bit-identical to the offline
+decode, because it is the same kernel on the same values), and can be
+*forced* to emit best-effort decisions for codewords whose windows have
+not closed when a deadline expires — missing contributions decode as
+zero-confidence erasures, which the correlation soft kernel handles
+natively.
+
+Frames are float confidence rows in the BPSK convention of
+:meth:`~repro.coding.decoders.base.Decoder.decode_soft_batch_detailed`
+(positive = looks like 0, magnitude = reliability); hard bits map in as
+``1 - 2*bit``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coding.decoders.base import Decoder
+from repro.errors import DimensionError
+
+__all__ = [
+    "StreamDecisions",
+    "SlidingWindowDecoder",
+    "interleave_stream",
+    "deinterleave_stream",
+    "stream_span",
+]
+
+
+def _check_layout(n: int, depth: int, shift: int) -> np.ndarray:
+    """Validate a convolutional stream layout; returns per-bit frame delays."""
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if shift < 0:
+        raise ValueError(f"shift must be non-negative, got {shift}")
+    if n < 1:
+        raise ValueError(f"frame width must be >= 1, got {n}")
+    return (np.arange(n, dtype=np.int64) % depth) * shift
+
+
+def stream_span(depth: int, shift: int = 1) -> int:
+    """Frames of lookahead the layout needs: ``(depth - 1) * shift``.
+
+    Source codeword ``c`` is complete on the channel only once channel
+    frame ``c + stream_span(depth, shift)`` has arrived; this is both
+    the interleaver's added stream length and the sliding window's
+    intrinsic decision latency (in frames).
+    """
+    if depth < 1:
+        raise ValueError(f"depth must be >= 1, got {depth}")
+    if shift < 0:
+        raise ValueError(f"shift must be non-negative, got {shift}")
+    return (depth - 1) * shift
+
+
+def interleave_stream(
+    codewords: np.ndarray, depth: int, shift: int = 1
+) -> np.ndarray:
+    """Convolutionally interleave ``(count, n)`` codewords across frames.
+
+    Channel frame ``t`` position ``j`` carries source codeword
+    ``t - (j mod depth) * shift`` position ``j`` — each of the ``depth``
+    bit classes rides its own delay line, exactly the staggered layout
+    of a :class:`~repro.coding.interleave.ConvolutionalInterleaver`
+    transposed onto the frame axis.  Positions whose source index falls
+    outside the stream (the ramp-up head and tail) are zero.
+
+    Works on any dtype (hard bits or float confidences).  Returns
+    ``(count + stream_span(depth, shift), n)`` channel frames;
+    :func:`deinterleave_stream` is the exact inverse on the in-range
+    positions.
+    """
+    words = np.asarray(codewords)
+    if words.ndim != 2:
+        raise DimensionError(
+            f"expected a (count, n) codeword array, got shape {words.shape}"
+        )
+    delays = _check_layout(words.shape[1], depth, shift)
+    count = words.shape[0]
+    span = (depth - 1) * shift
+    channel = np.zeros((count + span, words.shape[1]), dtype=words.dtype)
+    for delay in np.unique(delays):
+        mask = delays == delay
+        channel[delay : delay + count, mask] = words[:, mask]
+    return channel
+
+
+def deinterleave_stream(
+    frames: np.ndarray, depth: int, shift: int = 1
+) -> np.ndarray:
+    """Invert :func:`interleave_stream`: gather codewords from channel frames.
+
+    ``frames`` must hold at least ``stream_span(depth, shift)`` rows (a
+    shorter stream contains no complete codeword).  Returns the
+    ``(len(frames) - span, n)`` source codewords; this is the *offline*
+    reference decode path that :class:`SlidingWindowDecoder` matches
+    bit-for-bit when it is never forced.
+    """
+    arr = np.asarray(frames)
+    if arr.ndim != 2:
+        raise DimensionError(
+            f"expected a (frames, n) channel array, got shape {arr.shape}"
+        )
+    delays = _check_layout(arr.shape[1], depth, shift)
+    span = (depth - 1) * shift
+    count = arr.shape[0] - span
+    if count < 0:
+        raise DimensionError(
+            f"need at least {span} channel frames for depth={depth} "
+            f"shift={shift}, got {arr.shape[0]}"
+        )
+    words = np.empty((count, arr.shape[1]), dtype=arr.dtype)
+    for delay in np.unique(delays):
+        mask = delays == delay
+        words[:, mask] = arr[delay : delay + count, mask]
+    return words
+
+
+@dataclass(frozen=True)
+class StreamDecisions:
+    """A contiguous run of committed codeword decisions.
+
+    Attributes
+    ----------
+    first_index : int
+        Source-codeword index of row 0; row ``i`` decides codeword
+        ``first_index + i``.
+    messages : numpy.ndarray
+        ``(count, k)`` decoded message bits.
+    corrected_errors : numpy.ndarray
+        Bits the decoder repaired per codeword.
+    detected_uncorrectable : numpy.ndarray
+        Per-codeword detected-uncorrectable flags.
+    forced : bool
+        ``True`` when these decisions came from :meth:`SlidingWindowDecoder.force`
+        — i.e. the window had not closed and missing contributions were
+        treated as erasures.
+    """
+
+    first_index: int
+    messages: np.ndarray
+    corrected_errors: np.ndarray
+    detected_uncorrectable: np.ndarray
+    forced: bool = False
+
+    def __len__(self) -> int:
+        return int(self.messages.shape[0])
+
+
+class SlidingWindowDecoder:
+    """Online decoder for a convolutionally-interleaved frame stream.
+
+    Maintains the bounded soft window of *open* codewords — those that
+    have received some but not all of their channel contributions.  Each
+    :meth:`push` scatters the new frames' positions into the window,
+    commits every codeword whose window closed (their values are then
+    identical to the offline :func:`deinterleave_stream` gather, so the
+    decisions are bit-identical to offline decoding), and returns the
+    decisions in stream order.  :meth:`force` emits best-effort
+    decisions for codewords whose windows are still open, decoding the
+    missing positions as zero-confidence erasures — the graceful
+    degradation a latency deadline buys.
+
+    The window occupancy is intrinsically bounded: after any push it
+    holds exactly ``stream_span(depth, shift)`` codewords (fewer near
+    the stream head or after a force), independent of stream length.
+
+    Parameters
+    ----------
+    decoder:
+        Constituent decoder; must support
+        :meth:`~repro.coding.decoders.base.Decoder.decode_soft_batch_detailed`.
+    depth:
+        Number of cross-frame delay lines (bit classes).
+    shift:
+        Extra frame delay per class; defaults to 1.
+    """
+
+    def __init__(self, decoder: Decoder, depth: int, shift: int = 1):
+        self.decoder = decoder
+        self.depth = depth
+        self.shift = shift
+        self.n = decoder.code.n
+        self.k = decoder.code.k
+        self._delays = _check_layout(self.n, depth, shift)
+        self.span = (depth - 1) * shift
+        self._masks = [
+            (int(delay), self._delays == delay) for delay in np.unique(self._delays)
+        ]
+        # Window row i holds the soft values of codeword _next_commit + i;
+        # positions not yet arrived (or forcibly skipped) stay 0.0 and
+        # decode as erasures.
+        self._window = np.zeros((0, self.n), dtype=np.float64)
+        self._next_push = 0    # next expected channel-frame index
+        self._next_commit = 0  # oldest codeword without a decision
+
+    @property
+    def pending(self) -> int:
+        """Codewords currently open (pushed into but not yet decided)."""
+        return self._next_push - self._next_commit
+
+    @property
+    def next_frame_index(self) -> int:
+        """Channel-frame index the next :meth:`push` must start at."""
+        return self._next_push
+
+    def _check_frames(self, frames: np.ndarray) -> np.ndarray:
+        arr = np.asarray(frames, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != self.n:
+            raise DimensionError(
+                f"expected (frames, {self.n}) confidence rows, got {arr.shape}"
+            )
+        return arr
+
+    def push(self, frames: np.ndarray) -> StreamDecisions:
+        """Absorb the next channel frames; commit every closed window.
+
+        ``frames`` are the next ``m`` channel frames, in order, as float
+        confidence rows.  Each opens one codeword (its zero-delay
+        class); contributions addressed to codewords already decided by
+        an earlier :meth:`force` are dropped — those decisions are
+        final.  Returns the decisions for every codeword whose last
+        contribution arrived in this push (possibly zero of them while
+        the pipeline fills).
+        """
+        arr = self._check_frames(frames)
+        m = arr.shape[0]
+        if m:
+            self._window = np.concatenate(
+                [self._window, np.zeros((m, self.n), dtype=np.float64)]
+            )
+            # Frame t0+i lands its class-d positions in codeword t0+i-d.
+            rows = self._next_push + np.arange(m, dtype=np.int64) - self._next_commit
+            for delay, mask in self._masks:
+                target = rows - delay
+                valid = target >= 0
+                if valid.any():
+                    self._window[np.ix_(target[valid], mask)] = arr[valid][:, mask]
+            self._next_push += m
+        ready = self._next_push - self.span - self._next_commit
+        return self._commit(max(0, min(ready, self.pending)), forced=False)
+
+    def force(self, count: int) -> StreamDecisions:
+        """Decide the ``count`` oldest open codewords *now*, ready or not.
+
+        Positions whose channel frames have not arrived decode as
+        zero-confidence erasures.  Late contributions for a forced
+        codeword are discarded by subsequent pushes; the stream stays
+        consistent, the forced decisions are simply best-effort.  Used
+        by the service when a latency deadline expires.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self._commit(min(count, self.pending), forced=True)
+
+    def flush(self) -> StreamDecisions:
+        """Decide everything still open (end-of-stream drain)."""
+        return self._commit(self.pending, forced=True)
+
+    def _commit(self, count: int, forced: bool) -> StreamDecisions:
+        first = self._next_commit
+        if count == 0:
+            return StreamDecisions(
+                first_index=first,
+                messages=np.zeros((0, self.k), dtype=np.uint8),
+                corrected_errors=np.zeros(0, dtype=np.int64),
+                detected_uncorrectable=np.zeros(0, dtype=bool),
+                forced=forced,
+            )
+        block = self._window[:count]
+        self._window = self._window[count:]
+        self._next_commit += count
+        result = self.decoder.decode_soft_batch_detailed(block)
+        return StreamDecisions(
+            first_index=first,
+            messages=result.messages,
+            corrected_errors=result.corrected_errors,
+            detected_uncorrectable=result.detected_uncorrectable,
+            forced=forced,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"<SlidingWindowDecoder depth={self.depth} shift={self.shift} "
+            f"span={self.span} pending={self.pending}>"
+        )

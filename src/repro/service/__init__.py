@@ -16,7 +16,12 @@ telemetry rollup, and graceful drain/restart with crash supervision.
 """
 
 from repro.service.batcher import BatchPolicy, MicroBatcher
-from repro.service.client import CodecClient, DecodedBlock, SessionHandle
+from repro.service.client import (
+    CodecClient,
+    DecodedBlock,
+    SessionHandle,
+    StreamBlock,
+)
 from repro.service.loadgen import (
     LoadReport,
     SCENARIO_FACTORIES,
@@ -32,6 +37,7 @@ from repro.service.session import (
     SessionRegistry,
     catalog,
 )
+from repro.service.stream import StreamLane
 from repro.service.telemetry import (
     LatencyReservoir,
     MergedLatencyView,
@@ -53,6 +59,8 @@ __all__ = [
     "CodecClient",
     "DecodedBlock",
     "SessionHandle",
+    "StreamBlock",
+    "StreamLane",
     "LoadReport",
     "Scenario",
     "SCENARIO_FACTORIES",

@@ -320,9 +320,32 @@ class MicroBatcher:
             )
         return await self.submit(session, op, frames)
 
+    def close_session(self, session_id: int) -> int:
+        """Drop every lane of ``session_id``, flushing queued items first.
+
+        The session-lifecycle counterpart of lane creation: without it a
+        front end serving session churn grows ``_lanes`` without bound
+        (each closed session leaves up to one dead lane per op, timer
+        and all).  Flushing before removal answers every queued frame —
+        close never strands a future — and cancels the lane's deadline
+        timer, so no stale ``call_later`` callback can fire against a
+        recycled (session, op) key.  Returns the number of lanes
+        removed.
+        """
+        keys = [key for key in self._lanes if key[0] == session_id]
+        for key in keys:
+            self._lanes.pop(key).flush("close")
+        return len(keys)
+
     def flush_all(self) -> None:
-        """Flush every lane immediately (server drain/shutdown path)."""
-        for lane in self._lanes.values():
+        """Flush every lane immediately (server drain/shutdown path).
+
+        Iterates a snapshot of the lane map: a flush completes futures
+        synchronously, and a completion callback may open a *new* lane
+        (or close one) before the loop advances — mutating the dict
+        mid-iteration would raise ``RuntimeError`` otherwise.
+        """
+        for lane in list(self._lanes.values()):
             lane.flush("drain")
 
     async def drain(self) -> None:

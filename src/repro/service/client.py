@@ -38,6 +38,25 @@ class DecodedBlock:
         return len(self.messages)
 
 
+@dataclass(frozen=True)
+class StreamBlock:
+    """One stream push's decisions: a row per pushed channel frame.
+
+    Row ``i`` decides the codeword opened by channel frame
+    ``first_index + i`` of the push; ``status`` records how each row
+    resolved (:data:`~repro.service.protocol.STREAM_ROW_ON_TIME` /
+    ``STREAM_ROW_FORCED`` / ``STREAM_ROW_FLUSHED``).
+    """
+
+    messages: np.ndarray            #: (batch, k) message estimates
+    corrected_errors: np.ndarray    #: (batch,) bits corrected per codeword
+    detected_uncorrectable: np.ndarray  #: (batch,) error flags
+    status: np.ndarray              #: (batch,) per-row resolution status
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+
 class SessionHandle:
     """A served session bound to the client connection that opened it."""
 
@@ -101,6 +120,57 @@ class SessionHandle:
         )
         return DecodedBlock(messages, corrected, detected)
 
+    def _check_stream_frames(self, confidences: np.ndarray) -> np.ndarray:
+        values = np.asarray(confidences, dtype=np.float64)
+        if values.ndim != 2 or values.shape[1] != self.n:
+            raise DimensionError(
+                f"expected (frames, {self.n}) confidences for session "
+                f"{self.session_id}, got {values.shape}"
+            )
+        return values
+
+    async def push_stream(self, confidences, first_index: int, final: bool = False):
+        """Send one stream push; returns an awaitable for its decisions.
+
+        This completes once the push is *on the wire* — awaiting it in
+        submission order guarantees the frame-index contiguity the
+        server enforces — and returns a coroutine that resolves to the
+        push's :class:`StreamBlock` when the server decides its rows
+        (window closure, deadline, or drain).  A caller must NOT await
+        the decisions before sending the next push unless the stream is
+        final: a row only resolves once ``stream_span`` later frames
+        arrive (or the deadline fires).
+        """
+        values = self._check_stream_frames(confidences)
+        body = protocol.build_stream_push_body(
+            self.session_id, first_index, values, final=final
+        )
+        future = await self._client.send_request(protocol.OP_DECODE_STREAM, body)
+
+        async def _decisions() -> StreamBlock:
+            response = (await future).raise_for_status()
+            return StreamBlock(
+                *protocol.parse_stream_response_body(response.body, self.k)
+            )
+
+        return _decisions()
+
+    async def decode_stream(
+        self, confidences, first_index: int, final: bool = False
+    ) -> StreamBlock:
+        """Push stream frames and await their decisions in one call.
+
+        Convenience wrapper over :meth:`push_stream`; only safe when the
+        push is final or the caller relies on the deadline to resolve
+        the rows (otherwise it deadlocks awaiting frames it has not
+        sent — pipeline with :meth:`push_stream` instead).
+        """
+        return await (await self.push_stream(confidences, first_index, final=final))
+
+    async def close(self) -> Dict:
+        """Close this session server-side (see :meth:`CodecClient.close_session`)."""
+        return await self._client.close_session(self.session_id)
+
 
 class CodecClient:
     """One pipelined connection to a :class:`~repro.service.server.CodecServer`."""
@@ -154,8 +224,17 @@ class CodecClient:
         self._inflight.clear()
         self._disconnected.set()
 
-    async def request(self, opcode: int, body: bytes = b"") -> protocol.Response:
-        """Send one request and await its (status-checked) response."""
+    async def send_request(self, opcode: int, body: bytes = b"") -> asyncio.Future:
+        """Put one request on the wire; return the future for its response.
+
+        Completes when the request has been written (so two awaited
+        ``send_request`` calls are ordered on the wire) but before any
+        response arrives.  Stream pushes need this split: a push's
+        response only resolves after later pushes are sent, so awaiting
+        :meth:`request` between pushes would deadlock.  The returned
+        future resolves to the raw :class:`~repro.service.protocol.Response`
+        (not status-checked).
+        """
         if self._closed:
             raise ConnectionResetError("client is closed")
         if self._conn_error is not None:
@@ -175,7 +254,11 @@ class CodecClient:
             # reader's teardown doesn't set an exception no one retrieves.
             self._inflight.pop(request_id, None)
             raise
-        response = await future
+        return future
+
+    async def request(self, opcode: int, body: bytes = b"") -> protocol.Response:
+        """Send one request and await its (status-checked) response."""
+        response = await (await self.send_request(opcode, body))
         return response.raise_for_status()
 
     async def open_session(
@@ -185,13 +268,40 @@ class CodecClient:
         p01: float = 0.0,
         p10: float = 0.0,
         seed: Optional[int] = None,
+        stream_depth: Optional[int] = None,
+        stream_shift: int = 1,
+        stream_deadline_us: Optional[float] = None,
     ) -> SessionHandle:
-        """Open (or join) a codec session and return its handle."""
-        body = protocol.build_json_body(
-            {"code": code, "decoder": decoder, "p01": p01, "p10": p10, "seed": seed}
-        )
+        """Open (or join) a codec session and return its handle.
+
+        Passing ``stream_depth`` declares a streaming session: its
+        frames are convolutionally interleaved at ``depth``/``shift``
+        and decoded through :meth:`SessionHandle.push_stream`.
+        ``stream_deadline_us`` bounds per-frame decision latency
+        (overriding any server-wide default).
+        """
+        payload = {"code": code, "decoder": decoder, "p01": p01, "p10": p10,
+                   "seed": seed}
+        if stream_depth is not None:
+            payload["stream_depth"] = int(stream_depth)
+            payload["stream_shift"] = int(stream_shift)
+            payload["stream_deadline_us"] = stream_deadline_us
+        body = protocol.build_json_body(payload)
         response = await self.request(protocol.OP_OPEN, body)
         return SessionHandle(self, protocol.parse_json_body(response.body))
+
+    async def close_session(self, session_id: int) -> Dict:
+        """Close a session server-side, releasing its lanes and stream.
+
+        Flushes the session's micro-batch lanes, drains any open stream
+        windows (their rows resolve with status ``STREAM_ROW_FLUSHED``),
+        and removes the session's lane-map entries so long-running
+        servers don't accumulate state for sessions nobody will use
+        again.  Returns the server's JSON report.
+        """
+        body = protocol.build_json_body({"session_id": int(session_id)})
+        response = await self.request(protocol.OP_CLOSE, body)
+        return protocol.parse_json_body(response.body)
 
     async def stats(self) -> Dict:
         """Scrape the server's JSON telemetry snapshot."""

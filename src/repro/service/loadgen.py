@@ -26,6 +26,14 @@ Each scenario shapes what a fleet of concurrent clients sends at a
     back for decoding.  Residuals are expected on the bare lane; the
     interleaved lane demonstrates burst immunity against the very same
     channel model.
+``stream``
+    The online-decoding drill: each client opens its *own* streaming
+    session (convolutional interleaving, sliding-window decode), encodes
+    server-side, interleaves client-side, and pushes contiguous channel
+    frames through the ``OP_DECODE_STREAM`` lane without awaiting
+    decisions between pushes (the responses pipeline).  Rows decided
+    on time must match what was sent; deadline-forced rows are counted
+    as ``deadline_missed_frames``.
 
 Every client checks each round trip end to end: messages are generated
 from a seeded stream, encoded by the server (where the session's
@@ -38,13 +46,15 @@ from __future__ import annotations
 
 import asyncio
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.coding.registry import available_codes
+from repro.coding.stream import interleave_stream
 from repro.link.burst import GilbertElliottChannel
+from repro.service import protocol
 from repro.service.client import CodecClient
 from repro.service.session import SessionConfig
 from repro.service.telemetry import LatencyReservoir
@@ -69,6 +79,15 @@ class Scenario:
         Client-side corruption applied to every encoded word before it
         is sent back for decoding (the ``burst`` scenario's drill);
         draws come from each client's own seeded stream.
+    stream : bool
+        Streaming decode traffic: each client privatises its session
+        config (streams are stateful and cannot be shared) and drives
+        the sliding-window lane instead of batch round trips.
+    interval_s : float
+        Pacing between stream pushes (a paced source emulating a real
+        link's frame cadence); 0 pushes back to back.  An interval
+        longer than the session's deadline guarantees misses — that is
+        the CI tight-budget drill.
     """
 
     name: str
@@ -77,6 +96,8 @@ class Scenario:
     burst_len: Optional[int] = None
     idle_s: float = 0.005
     channel: Optional[GilbertElliottChannel] = None
+    stream: bool = False
+    interval_s: float = 0.0
 
 
 def steady_scenario(code: str = "hamming84", decoder: Optional[str] = None) -> Scenario:
@@ -171,12 +192,53 @@ def burst_scenario(
     )
 
 
+def stream_scenario(
+    code: str = "hamming84",
+    decoder: Optional[str] = None,
+    depth: int = 4,
+    shift: int = 1,
+    deadline_us: Optional[float] = None,
+    interval_us: Optional[float] = None,
+) -> Scenario:
+    """Sliding-window streaming decode at ``depth``/``shift``.
+
+    Every client derives a private session from this config (a stream's
+    window is per-session state; sharing one would interleave two
+    clients' frame sequences).  With ``deadline_us`` set, codewords
+    still open when the budget expires are forced to best-effort
+    decisions and counted as deadline misses; without it the run
+    asserts pure pipelined decoding (zero misses expected).
+    ``interval_us`` paces the pushes; pacing past the deadline is the
+    deterministic way to drill the forced-decision path under load.
+    """
+    deadline = "" if deadline_us is None else f", deadline {deadline_us:g} us"
+    return Scenario(
+        name="stream",
+        description=(
+            f"sliding-window streaming decode on {code} "
+            f"(depth {depth}, shift {shift}{deadline})"
+        ),
+        sessions=(
+            SessionConfig(
+                code=code,
+                decoder=decoder,
+                stream_depth=depth,
+                stream_shift=shift,
+                stream_deadline_us=deadline_us,
+            ),
+        ),
+        stream=True,
+        interval_s=0.0 if interval_us is None else interval_us * 1e-6,
+    )
+
+
 SCENARIO_FACTORIES = {
     "steady": steady_scenario,
     "bursty": bursty_scenario,
     "mixed": mixed_scenario,
     "adversarial": adversarial_scenario,
     "burst": burst_scenario,
+    "stream": stream_scenario,
 }
 
 
@@ -207,6 +269,7 @@ class LoadReport:
     residual_frames: int = 0   # delivered message != sent message
     flagged_frames: int = 0    # decoder raised detected-uncorrectable
     corrupted_frames: int = 0  # channel injected >= 1 bit error
+    deadline_missed_frames: int = 0  # stream rows forced at the deadline
     client_errors: List[str] = field(default_factory=list)  # "client i: error"
     encode_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     decode_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
@@ -234,6 +297,7 @@ class LoadReport:
             "residual_rate": self.residual_rate,
             "flagged_frames": self.flagged_frames,
             "corrupted_frames": self.corrupted_frames,
+            "deadline_missed_frames": self.deadline_missed_frames,
             "encode_latency": self.encode_latency.snapshot(),
             "decode_latency": self.decode_latency.snapshot(),
             "client_errors": list(self.client_errors),
@@ -253,6 +317,11 @@ def render(report: LoadReport) -> str:
         f"  flagged frames     {report.flagged_frames}",
         f"  residual frames    {report.residual_frames} "
         f"(rate {report.residual_rate:.2e})",
+        *(
+            [f"  deadline misses    {report.deadline_missed_frames}"]
+            if report.scenario == "stream"
+            else []
+        ),
         f"  encode latency     p50 {report.encode_latency.percentile(50):.0f} us"
         f" / p99 {report.encode_latency.percentile(99):.0f} us",
         f"  decode latency     p50 {report.decode_latency.percentile(50):.0f} us"
@@ -262,6 +331,83 @@ def render(report: LoadReport) -> str:
         lines.append(f"  FAILED clients     {len(report.client_errors)}")
         lines.extend(f"    {error}" for error in report.client_errors)
     return "\n".join(lines)
+
+
+async def _run_stream_client(
+    index: int,
+    host: str,
+    port: int,
+    scenario: Scenario,
+    requests: int,
+    frames_per_request: int,
+    rng: np.random.Generator,
+    report: LoadReport,
+    soft_sigma: float = 0.0,
+    client: Optional[CodecClient] = None,
+) -> None:
+    base = scenario.sessions[index % len(scenario.sessions)]
+    # Streams are per-session state, so each client privatises its
+    # config with a seed unique across the fleet (draw ⊕ index keeps
+    # two clients from colliding onto one session).
+    config = replace(base, seed=int(rng.integers(0, 2**20)) * 4096 + index)
+    owns_connection = client is None
+    if owns_connection:
+        client = await CodecClient.connect(host, port)
+    try:
+        session = await client.open_session(**config.to_dict())
+        depth = int(config.stream_depth)
+        shift = int(config.stream_shift)
+        count = requests * frames_per_request
+        messages = rng.integers(0, 2, (count, session.k)).astype(np.uint8)
+        words = np.empty((count, session.n), dtype=np.uint8)
+        for start in range(0, count, frames_per_request):
+            stop = start + frames_per_request
+            t0 = time.perf_counter()
+            words[start:stop] = await session.encode(messages[start:stop])
+            report.encode_latency.record((time.perf_counter() - t0) * 1e6)
+        channel_frames = interleave_stream(words, depth, shift=shift)
+        confidences = 1.0 - 2.0 * channel_frames.astype(np.float64)
+        if soft_sigma > 0:
+            confidences += rng.normal(0.0, soft_sigma, confidences.shape)
+        # Pipelined pushes: await only the *send* of each chunk (wire
+        # order is the stream order); decisions resolve span frames
+        # later and are collected after the final push drains them all.
+        total = len(channel_frames)
+        decisions = []
+        t0 = time.perf_counter()
+        for start in range(0, total, frames_per_request):
+            stop = min(start + frames_per_request, total)
+            if scenario.interval_s and start:
+                await asyncio.sleep(scenario.interval_s)
+            decisions.append(
+                await session.push_stream(
+                    confidences[start:stop], start, final=stop >= total
+                )
+            )
+        blocks = [await pending for pending in decisions]
+        # One sample per client: wall time to stream and fully drain.
+        report.decode_latency.record((time.perf_counter() - t0) * 1e6)
+        status = np.concatenate([block.status for block in blocks])
+        decided = np.concatenate([block.messages for block in blocks])
+        detected = np.concatenate(
+            [block.detected_uncorrectable for block in blocks]
+        )
+        report.frames_sent += count
+        report.deadline_missed_frames += int(
+            (status == protocol.STREAM_ROW_FORCED).sum()
+        )
+        # Only the first `count` rows carry real codewords (the tail
+        # `span` rows are the drain of partially-filled windows), and
+        # only rows decided on time promise bit-identity to offline.
+        on_time = status[:count] == protocol.STREAM_ROW_ON_TIME
+        report.residual_frames += int(
+            (decided[:count][on_time] != messages[on_time]).any(axis=1).sum()
+        )
+        report.flagged_frames += int(detected[:count][on_time].sum())
+        await session.close()
+    finally:
+        if owns_connection:
+            await client.close()
 
 
 async def _run_client(
@@ -277,6 +423,12 @@ async def _run_client(
     soft_sigma: float = 0.0,
     client: Optional[CodecClient] = None,
 ) -> None:
+    if scenario.stream:
+        await _run_stream_client(
+            index, host, port, scenario, requests, frames_per_request,
+            rng, report, soft_sigma=soft_sigma, client=client,
+        )
+        return
     config = scenario.sessions[index % len(scenario.sessions)]
     # With a shared connection the client multiplexes over it (the
     # protocol pipelines by request id); otherwise each client owns one.

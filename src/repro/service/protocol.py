@@ -41,6 +41,8 @@ OP_CODES = 0x05   #: JSON listing of registered codes/decoders
 OP_DECODE_SOFT = 0x06  #: decode n float32 confidences/frame -> messages + flags
 OP_ADMIN = 0x07   #: worker-pool admin plane (JSON action body)
 OP_METRICS = 0x08  #: Prometheus text exposition of the metrics registry
+OP_DECODE_STREAM = 0x09  #: push channel frames into a sliding-window decode
+OP_CLOSE = 0x0A   #: close a codec session (JSON body naming session_id)
 
 # Worker-plane opcodes (front end <-> decode worker pipes; never sent by
 # clients).  They reuse the same framing so a worker pipe is just another
@@ -59,7 +61,18 @@ ST_ERROR = 0x01
 _REQ_HEADER = struct.Struct("!BBI")     # magic, opcode, request_id
 _RESP_HEADER = struct.Struct("!BBIB")   # magic, opcode, request_id, status
 _BATCH_HEADER = struct.Struct("!HI")    # session_id, n_frames
+# Stream push: session_id, n_frames (same prefix as _BATCH_HEADER, so the
+# pooled front end's header peek routes both), first_index, flags.
+_STREAM_HEADER = struct.Struct("!HIQB")
 _LEN_PREFIX = struct.Struct("!I")
+
+#: Stream push flag: this push ends the stream — drain every open window.
+STREAM_FLAG_FINAL = 0x01
+
+# Per-row status bytes of a stream response ------------------------------
+STREAM_ROW_ON_TIME = 0   #: window closed normally; bit-identical to offline
+STREAM_ROW_FORCED = 1    #: deadline expired; best-effort erasure decode
+STREAM_ROW_FLUSHED = 2   #: drained by a final push or session close
 
 
 class ProtocolError(ReproError):
@@ -168,7 +181,10 @@ def parse_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarray]:
 
 
 def peek_batch_header(body: bytes) -> Tuple[int, int]:
-    """Session id and frame count of an ENCODE/DECODE/DECODE_SOFT body.
+    """Session id and frame count of a data-plane batch body.
+
+    Covers ENCODE/DECODE/DECODE_SOFT bodies and DECODE_STREAM pushes —
+    the stream header deliberately opens with the same ``!HI`` prefix.
 
     The pooled front end routes on the session id without unpacking the
     frame payload — the body is forwarded to the owning worker as the
@@ -218,6 +234,109 @@ def parse_soft_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarra
         # no error flag (NaN never ties); refuse them at the boundary.
         raise ProtocolError("confidences must be finite (got NaN or Inf)")
     return session_id, values.astype(np.float64)
+
+
+def build_stream_push_body(
+    session_id: int,
+    first_index: int,
+    confidences: np.ndarray,
+    final: bool = False,
+) -> bytes:
+    """DECODE_STREAM request body: header + big-endian float32 rows.
+
+    ``first_index`` is the channel-frame index of the first row —
+    explicit on the wire so the server can verify stream contiguity
+    instead of trusting task-scheduling order under pipelining.  The
+    ``final`` flag marks the stream's last push: the server drains every
+    still-open window after absorbing it.
+    """
+    values = np.ascontiguousarray(confidences, dtype=">f4")
+    if values.ndim != 2:
+        raise ProtocolError(
+            f"expected a (frames, width) confidence array, got {values.shape}"
+        )
+    flags = STREAM_FLAG_FINAL if final else 0
+    header = _STREAM_HEADER.pack(
+        session_id & 0xFFFF, values.shape[0], first_index, flags
+    )
+    return header + values.tobytes()
+
+
+def parse_stream_push_body(body: bytes, width_of_session):
+    """Parse a DECODE_STREAM body: (session_id, first_index, final, values)."""
+    if len(body) < _STREAM_HEADER.size:
+        raise ProtocolError(f"stream push body too short ({len(body)} bytes)")
+    session_id, n_frames, first_index, flags = _STREAM_HEADER.unpack_from(body)
+    width = width_of_session(session_id)
+    data = body[_STREAM_HEADER.size:]
+    expected = n_frames * width * 4
+    if len(data) != expected:
+        raise ProtocolError(
+            f"expected {expected} confidence bytes for {n_frames} x {width} "
+            f"float32 values, got {len(data)}"
+        )
+    if n_frames == 0:
+        values = np.zeros((0, width), dtype=np.float64)
+    else:
+        values = np.frombuffer(data, dtype=">f4").reshape(n_frames, width)
+        if not np.isfinite(values).all():
+            raise ProtocolError("confidences must be finite (got NaN or Inf)")
+        values = values.astype(np.float64)
+    return session_id, first_index, bool(flags & STREAM_FLAG_FINAL), values
+
+
+def build_stream_response_body(
+    messages: np.ndarray,
+    corrected: np.ndarray,
+    detected: np.ndarray,
+    status: np.ndarray,
+) -> bytes:
+    """DECODE_STREAM response: the decode layout plus a status byte per row.
+
+    Row ``i`` decides the codeword *opened* by channel frame
+    ``first_index + i`` of the request; its status byte records whether
+    the window closed on time (``STREAM_ROW_ON_TIME``), was forced at
+    the deadline (``STREAM_ROW_FORCED``), or was drained by a final
+    push / session close (``STREAM_ROW_FLUSHED``).
+    """
+    n = messages.shape[0]
+    corrected8 = np.minimum(corrected, 255).astype(np.uint8)
+    return (
+        struct.pack("!I", n)
+        + pack_bits(messages)
+        + corrected8.tobytes()
+        + np.asarray(detected).astype(np.uint8).tobytes()
+        + np.asarray(status).astype(np.uint8).tobytes()
+    )
+
+
+def parse_stream_response_body(body: bytes, k: int):
+    """Inverse of :func:`build_stream_response_body`.
+
+    Returns ``(messages, corrected, detected, status)`` with one row per
+    pushed channel frame.
+    """
+    if len(body) < 4:
+        raise ProtocolError("stream response body too short")
+    (n_frames,) = struct.unpack_from("!I", body)
+    row_bytes = (k + 7) // 8
+    offset = 4
+    packed = body[offset:offset + n_frames * row_bytes]
+    offset += n_frames * row_bytes
+    corrected = np.frombuffer(body[offset:offset + n_frames], dtype=np.uint8)
+    offset += n_frames
+    detected = np.frombuffer(body[offset:offset + n_frames], dtype=np.uint8)
+    offset += n_frames
+    status = np.frombuffer(body[offset:offset + n_frames], dtype=np.uint8)
+    if len(status) != n_frames:
+        raise ProtocolError("stream response body truncated")
+    messages = unpack_bits(packed, n_frames, k)
+    return (
+        messages,
+        corrected.astype(np.int64),
+        detected.astype(bool),
+        status.copy(),
+    )
 
 
 def build_decode_response_body(

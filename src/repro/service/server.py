@@ -45,7 +45,12 @@ logger = logging.getLogger(__name__)
 
 #: Data-plane opcodes the pooled front end forwards without parsing.
 _FORWARDED_OPS = frozenset(
-    {protocol.OP_ENCODE, protocol.OP_DECODE, protocol.OP_DECODE_SOFT}
+    {
+        protocol.OP_ENCODE,
+        protocol.OP_DECODE,
+        protocol.OP_DECODE_SOFT,
+        protocol.OP_DECODE_STREAM,
+    }
 )
 
 #: Span-event op names of the traceable (data-plane) opcodes.
@@ -53,6 +58,7 @@ _TRACED_OP_NAMES = {
     protocol.OP_ENCODE: "encode",
     protocol.OP_DECODE: "decode",
     protocol.OP_DECODE_SOFT: "decode_soft",
+    protocol.OP_DECODE_STREAM: "decode_stream",
 }
 
 
@@ -75,6 +81,12 @@ class CodecServer:
     start_method : str, optional
         Multiprocessing start method for the pool; defaults to ``fork``
         where available (overridable via ``REPRO_WORKER_START_METHOD``).
+    stream_deadline_us : float, optional
+        Server-wide default latency deadline of the streaming decode
+        lane (``OP_DECODE_STREAM``): codewords still open after this
+        long are forced to best-effort decisions and counted as
+        deadline misses.  A session config's own ``stream_deadline_us``
+        overrides it; ``None`` leaves streams unbounded by default.
     """
 
     def __init__(
@@ -85,18 +97,25 @@ class CodecServer:
         workers: int = 0,
         faults: Optional[WorkerFaults] = None,
         start_method: Optional[str] = None,
+        stream_deadline_us: Optional[float] = None,
     ):
         self.host = host
         self._requested_port = port
         self.telemetry = ServiceTelemetry()
-        self.core = DispatchCore(policy, telemetry=self.telemetry)
+        self.core = DispatchCore(
+            policy, telemetry=self.telemetry, stream_deadline_us=stream_deadline_us
+        )
         # Back-compat aliases: the single-process server's registry and
         # batcher remain reachable exactly where they always were.
         self.registry = self.core.registry
         self.batcher = self.core.batcher
         self.pool: Optional[WorkerPool] = (
             WorkerPool(
-                workers, policy=policy, faults=faults, start_method=start_method
+                workers,
+                policy=policy,
+                faults=faults,
+                start_method=start_method,
+                stream_deadline_us=stream_deadline_us,
             )
             if workers
             else None
@@ -272,6 +291,13 @@ class CodecServer:
             return protocol.build_json_body(await self.pool.open_session(config))
         if request.opcode in _FORWARDED_OPS:
             return await self._forward(request)
+        if request.opcode == protocol.OP_CLOSE:
+            payload = protocol.parse_json_body(request.body)
+            if "session_id" not in payload:
+                raise ServiceError("close request must name a 'session_id'")
+            return protocol.build_json_body(
+                await self.pool.close_session(int(payload["session_id"]))
+            )
         if request.opcode == protocol.OP_STATS:
             front = self.telemetry.snapshot()
             return protocol.build_json_body(
@@ -311,6 +337,9 @@ class CodecServer:
         info = entry.info
         if request.opcode == protocol.OP_ENCODE:
             bytes_per_frame = (int(info["n"]) + 7) // 8
+        elif request.opcode == protocol.OP_DECODE_STREAM:
+            # One status byte per row on top of the decode layout.
+            bytes_per_frame = (int(info["k"]) + 7) // 8 + 3
         else:
             bytes_per_frame = (int(info["k"]) + 7) // 8 + 2
         DispatchCore.check_response_fits(n_frames, bytes_per_frame)

@@ -54,6 +54,19 @@ class SessionConfig:
     seed : int, optional
         Seed of the session's injection stream; ``None`` draws fresh
         entropy per session.
+    stream_depth : int, optional
+        Enables the streaming decode lane (``OP_DECODE_STREAM``): the
+        cross-frame interleaving depth of the session's
+        :class:`~repro.coding.stream.SlidingWindowDecoder`.  ``None``
+        (the default) leaves the session batch-only.
+    stream_shift : int
+        Extra frame delay per bit class of the stream layout; only
+        meaningful with ``stream_depth``.
+    stream_deadline_us : float, optional
+        Per-session latency deadline of the streaming lane: open
+        codewords older than this are forced to best-effort decisions
+        and counted as deadline misses.  ``None`` defers to the
+        server-wide default (which may itself be unbounded).
     """
 
     code: str
@@ -61,21 +74,34 @@ class SessionConfig:
     p01: float = 0.0
     p10: float = 0.0
     seed: Optional[int] = None
+    stream_depth: Optional[int] = None
+    stream_shift: int = 1
+    stream_deadline_us: Optional[float] = None
 
     def label(self) -> str:
         parts = [self.code, self.decoder or "default"]
         if self.p01 or self.p10:
             parts.append(f"p01={self.p01:g},p10={self.p10:g}")
+        if self.stream_depth is not None:
+            parts.append(f"stream={self.stream_depth}x{self.stream_shift}")
         return ":".join(parts)
 
     def to_dict(self) -> Dict:
-        return {
+        # Stream fields appear only when streaming is enabled, keeping
+        # every pre-existing config's dict — and therefore its
+        # consistent-hash routing key — byte-identical.
+        payload = {
             "code": self.code,
             "decoder": self.decoder,
             "p01": self.p01,
             "p10": self.p10,
             "seed": self.seed,
         }
+        if self.stream_depth is not None:
+            payload["stream_depth"] = self.stream_depth
+            payload["stream_shift"] = self.stream_shift
+            payload["stream_deadline_us"] = self.stream_deadline_us
+        return payload
 
     def routing_key(self) -> str:
         """Canonical string identity used for consistent-hash routing.
@@ -94,12 +120,19 @@ class SessionConfig:
             code = payload["code"]
         except KeyError:
             raise SessionError("session config must name a 'code'")
+        stream_depth = payload.get("stream_depth")
+        stream_deadline = payload.get("stream_deadline_us")
         return cls(
             code=str(code),
             decoder=payload.get("decoder") or None,
             p01=float(payload.get("p01", 0.0)),
             p10=float(payload.get("p10", 0.0)),
             seed=None if payload.get("seed") is None else int(payload["seed"]),
+            stream_depth=None if stream_depth is None else int(stream_depth),
+            stream_shift=int(payload.get("stream_shift", 1)),
+            stream_deadline_us=(
+                None if stream_deadline is None else float(stream_deadline)
+            ),
         )
 
 
@@ -145,6 +178,19 @@ class CodecSession:
             )
         except _config_errors as exc:
             raise SessionError(str(exc)) from exc
+        if config.stream_depth is not None and config.stream_depth < 1:
+            raise SessionError(
+                f"stream_depth must be >= 1, got {config.stream_depth}"
+            )
+        if config.stream_shift < 0:
+            raise SessionError(
+                f"stream_shift must be non-negative, got {config.stream_shift}"
+            )
+        if config.stream_deadline_us is not None and config.stream_deadline_us <= 0:
+            raise SessionError(
+                f"stream_deadline_us must be positive, got "
+                f"{config.stream_deadline_us}"
+            )
         self.session_id = session_id
         self.config = config
         self.channel: Optional[BinaryChannel] = None
@@ -163,7 +209,7 @@ class CodecSession:
         return self.code.k
 
     def describe(self) -> Dict:
-        return {
+        payload = {
             "session_id": self.session_id,
             "code": self.code.name,
             "n": self.n,
@@ -173,6 +219,16 @@ class CodecSession:
             "p01": self.config.p01,
             "p10": self.config.p10,
         }
+        if self.config.stream_depth is not None:
+            from repro.coding.stream import stream_span
+
+            payload["stream_depth"] = self.config.stream_depth
+            payload["stream_shift"] = self.config.stream_shift
+            payload["stream_span"] = stream_span(
+                self.config.stream_depth, self.config.stream_shift
+            )
+            payload["stream_deadline_us"] = self.config.stream_deadline_us
+        return payload
 
     # -- kernels the scheduler dispatches to ---------------------------
     def encode_frames(self, messages: np.ndarray) -> np.ndarray:
@@ -262,6 +318,19 @@ class SessionRegistry:
             return self._sessions[session_id]
         except KeyError:
             raise SessionError(f"unknown session id {session_id}")
+
+    def close(self, session_id: int) -> CodecSession:
+        """Remove a session from the registry, freeing its id and config.
+
+        The config mapping is dropped too, so a later open of the same
+        config builds a *fresh* session (new injection stream, new
+        stream state) under a new id.  Unknown ids raise
+        :class:`~repro.errors.SessionError`.
+        """
+        session = self.get(session_id)
+        del self._sessions[session_id]
+        self._by_config.pop(session.config, None)
+        return session
 
     def __len__(self) -> int:
         return len(self._sessions)

@@ -47,6 +47,9 @@ from repro.obs.metrics import (
 #: by summing these buckets, so every process must agree on the layout.
 LATENCY_BUCKETS_US = DEFAULT_TIME_BUCKETS_US
 
+#: Bucket layout of the stream window-occupancy histogram (codewords).
+STREAM_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
 
 class LatencyReservoir:
     """Sliding window of the most recent per-request latencies (µs)."""
@@ -120,10 +123,13 @@ class SessionTelemetry:
 
     def __init__(
         self,
-        clock=time.monotonic,
+        clock=time.perf_counter,
         registry: Optional[MetricsRegistry] = None,
         labels: Optional[Dict[str, str]] = None,
     ):
+        # clock defaults to perf_counter: the batcher and tracer stamp
+        # with perf_counter, so uptime/throughput must come off the same
+        # clock or latency attributions mix two timebases.
         self._clock = clock
         self.started_at = clock()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -172,6 +178,32 @@ class SessionTelemetry:
             "repro_service_batch_frames_max",
             "Largest batch flushed so far.",
             session_labels,
+        ).labels(**base)
+        self._stream_miss = reg.counter(
+            "repro_stream_deadline_miss_total",
+            "Stream codewords forced to a best-effort decision at the deadline.",
+            session_labels,
+        ).labels(**base)
+        self._stream_decisions_family = reg.counter(
+            "repro_stream_decisions_total",
+            "Stream decode decisions by result "
+            "(ontime = window closed, forced = deadline, flushed = drain).",
+            session_labels + ("result",),
+        )
+        self._stream_decisions = {
+            result: self._stream_decisions_family.labels(**base, result=result)
+            for result in ("ontime", "forced", "flushed")
+        }
+        self._stream_pending = reg.gauge(
+            "repro_stream_window_pending",
+            "Codewords currently open in the sliding soft window.",
+            session_labels,
+        ).labels(**base)
+        self._stream_occupancy = reg.histogram(
+            "repro_stream_window_occupancy",
+            "Open-codeword window occupancy sampled after each stream push.",
+            session_labels,
+            buckets=STREAM_OCCUPANCY_BUCKETS,
         ).labels(**base)
         self._requests: Dict[str, object] = {}
         self._frames: Dict[str, object] = {}
@@ -228,6 +260,25 @@ class SessionTelemetry:
         self._op_child(self._latency, self._latency_family, op).observe(
             float(latency_us)
         )
+
+    def record_stream_decisions(self, result: str, count: int) -> None:
+        """Count ``count`` stream decisions of kind ``result``.
+
+        ``result`` is ``ontime``/``forced``/``flushed``; forced
+        decisions additionally increment the deadline-miss counter —
+        every miss is a forced decision by definition, and the mandated
+        ``repro_stream_deadline_miss_total`` series must count each one.
+        """
+        if count <= 0:
+            return
+        self._stream_decisions[result].inc(count)
+        if result == "forced":
+            self._stream_miss.inc(count)
+
+    def update_stream_window(self, pending: int) -> None:
+        """Record the window occupancy after a push (gauge + histogram)."""
+        self._stream_pending.set(pending)
+        self._stream_occupancy.observe(float(pending))
 
     # -- back-compat attribute surface ---------------------------------
     @property
@@ -286,6 +337,20 @@ class SessionTelemetry:
     def latency(self) -> MergedLatencyView:
         return MergedLatencyView(self._latency.values())
 
+    @property
+    def stream_deadline_misses(self) -> int:
+        return self._stream_miss.value
+
+    @property
+    def stream_decisions(self) -> TallyCounter:
+        return TallyCounter(
+            {
+                result: child.value
+                for result, child in self._stream_decisions.items()
+                if child.value
+            }
+        )
+
     def snapshot(self) -> Dict:
         elapsed = max(self._clock() - self.started_at, 1e-9)
         total_frames = sum(self.frames.values())
@@ -307,6 +372,11 @@ class SessionTelemetry:
             "max_batch_frames": self.batch_frames_max,
             "flush_reasons": dict(self.flush_reasons),
             "latency": self.latency.snapshot(),
+            "stream": {
+                "deadline_misses": self.stream_deadline_misses,
+                "decisions": dict(self.stream_decisions),
+                "window_pending": int(self._stream_pending.value),
+            },
         }
 
 
@@ -331,7 +401,11 @@ def _active_backend_name() -> Optional[str]:
 class ServiceTelemetry:
     """Aggregates per-session telemetry into the stats-endpoint payload."""
 
-    def __init__(self, clock=time.monotonic, registry: Optional[MetricsRegistry] = None):
+    def __init__(
+        self, clock=time.perf_counter, registry: Optional[MetricsRegistry] = None
+    ):
+        # Same clock as the batcher and tracer (perf_counter); see
+        # SessionTelemetry.__init__.
         self._clock = clock
         self.started_at = clock()
         self.registry = registry if registry is not None else MetricsRegistry()
@@ -375,6 +449,17 @@ class ServiceTelemetry:
                 },
             )
         return self._sessions[session_id]
+
+    def drop_session(self, session_id: int) -> None:
+        """Forget a closed session's telemetry wrapper.
+
+        The registry *series* stay (Prometheus counters are cumulative;
+        a scrape after close still sees the totals), but the session
+        disappears from STATS snapshots and the wrapper cache stays
+        bounded under session churn.  Reopening the same labels resumes
+        the same series — family lookup is idempotent.
+        """
+        self._sessions.pop(session_id, None)
 
     @property
     def connections_total(self) -> int:

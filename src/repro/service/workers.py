@@ -95,10 +95,15 @@ class DispatchCore:
         self,
         policy: Optional[BatchPolicy] = None,
         telemetry: Optional[ServiceTelemetry] = None,
+        stream_deadline_us: Optional[float] = None,
     ):
         self.registry = SessionRegistry()
         self.batcher = MicroBatcher(policy)
         self.telemetry = telemetry if telemetry is not None else ServiceTelemetry()
+        #: Server-wide default stream deadline; a session config's own
+        #: ``stream_deadline_us`` takes precedence.
+        self.stream_deadline_us = stream_deadline_us
+        self._streams: Dict[int, "StreamLane"] = {}
 
     def open_session(
         self, config: SessionConfig, session_id: Optional[int] = None
@@ -120,6 +125,10 @@ class DispatchCore:
             return await self._op_decode(request.body)
         if request.opcode == protocol.OP_DECODE_SOFT:
             return await self._op_decode_soft(request.body)
+        if request.opcode == protocol.OP_DECODE_STREAM:
+            return await self._op_decode_stream(request.body)
+        if request.opcode == protocol.OP_CLOSE:
+            return self._op_close(request.body)
         if request.opcode == protocol.OP_STATS:
             return protocol.build_json_body(
                 self.telemetry.snapshot(self.registry.labels())
@@ -187,6 +196,85 @@ class DispatchCore:
         result = await self.batcher.submit(session, "decode_soft", confidences)
         return protocol.build_decode_response_body(
             result.messages, result.corrected_errors, result.detected_uncorrectable
+        )
+
+    def stream_lane(self, session: CodecSession) -> "StreamLane":
+        """The session's streaming lane, created on first use.
+
+        The per-session deadline is the config's ``stream_deadline_us``
+        when set, else this core's server-wide default.
+        """
+        lane = self._streams.get(session.session_id)
+        if lane is None:
+            from repro.service.stream import StreamLane
+
+            config = session.config
+            if config.stream_depth is None:
+                raise ServiceError(
+                    f"session {session.session_id} is not configured for "
+                    "streaming; open it with stream_depth set"
+                )
+            deadline = config.stream_deadline_us
+            if deadline is None:
+                deadline = self.stream_deadline_us
+            lane = StreamLane(
+                session,
+                depth=config.stream_depth,
+                shift=config.stream_shift,
+                deadline_us=deadline,
+            )
+            self._streams[session.session_id] = lane
+        return lane
+
+    async def _op_decode_stream(self, body: bytes) -> bytes:
+        from repro.obs.tracing import current_trace_id
+
+        session_id, first_index, final, frames = protocol.parse_stream_push_body(
+            body, lambda sid: self.registry.get(sid).n
+        )
+        session = self.registry.get(session_id)
+        # One response row (+3 flag/status bytes) per pushed frame.
+        self.check_response_fits(len(frames), (session.k + 7) // 8 + 3)
+        lane = self.stream_lane(session)
+        session.telemetry.record_request("decode_stream", len(frames))
+        messages, corrected, detected, status = await lane.push(
+            first_index, frames, final=final, trace=current_trace_id()
+        )
+        return protocol.build_stream_response_body(
+            messages, corrected, detected, status
+        )
+
+    def close_session(self, session_id: int) -> Dict:
+        """Close a session: drain its stream, free its lanes and telemetry.
+
+        The lifecycle counterpart of :meth:`open_session` — without it,
+        batcher lanes keyed by (session, op) and the telemetry wrapper
+        cache grow without bound under session churn.  Pending batch
+        items are flushed (answered, not dropped) and open stream
+        windows drain with ``STREAM_ROW_FLUSHED`` status before the
+        session disappears; unknown ids raise
+        :class:`~repro.errors.SessionError`.
+        """
+        session = self.registry.get(session_id)
+        lane = self._streams.pop(session_id, None)
+        if lane is not None:
+            lane.close()
+        lanes_closed = self.batcher.close_session(session_id)
+        self.registry.close(session_id)
+        self.telemetry.drop_session(session_id)
+        return {
+            "closed": session_id,
+            "code": session.code.name,
+            "lanes_closed": lanes_closed,
+            "stream_closed": lane is not None,
+        }
+
+    def _op_close(self, body: bytes) -> bytes:
+        payload = protocol.parse_json_body(body)
+        if "session_id" not in payload:
+            raise ServiceError("close request must name a 'session_id'")
+        return protocol.build_json_body(
+            self.close_session(int(payload["session_id"]))
         )
 
 
@@ -267,14 +355,19 @@ class WorkerFaults:
 
 #: Opcodes that count as data-plane traffic for fault accounting.
 _DATA_OPS = frozenset(
-    {protocol.OP_ENCODE, protocol.OP_DECODE, protocol.OP_DECODE_SOFT}
+    {
+        protocol.OP_ENCODE,
+        protocol.OP_DECODE,
+        protocol.OP_DECODE_SOFT,
+        protocol.OP_DECODE_STREAM,
+    }
 )
 
 
 # ---------------------------------------------------------------------
 # Worker child process (runs outside the parent's coverage view)
 # ---------------------------------------------------------------------
-def _worker_entry(index, conn, policy, faults):  # pragma: no cover - child process
+def _worker_entry(index, conn, policy, faults, stream_deadline_us=None):  # pragma: no cover - child process
     """Process entry point: run the worker loop on a fresh event loop.
 
     The child may have been forked from inside a running event loop (the
@@ -293,18 +386,18 @@ def _worker_entry(index, conn, policy, faults):  # pragma: no cover - child proc
     reset_tracer()
     code = 0
     try:
-        asyncio.run(_worker_main(index, conn, policy, faults))
+        asyncio.run(_worker_main(index, conn, policy, faults, stream_deadline_us))
     except BaseException:
         code = 1
     finally:
         os._exit(code)
 
 
-async def _worker_main(index, conn, policy, faults):  # pragma: no cover - child
+async def _worker_main(index, conn, policy, faults, stream_deadline_us=None):  # pragma: no cover - child
     """One decode worker: a DispatchCore behind a protocol pipe."""
     conn.setblocking(False)
     reader, writer = await asyncio.open_connection(sock=conn)
-    core = DispatchCore(policy)
+    core = DispatchCore(policy, stream_deadline_us=stream_deadline_us)
     write_lock = asyncio.Lock()
     tasks: set = set()
     served = itertools.count(1)
@@ -475,7 +568,10 @@ class WorkerHandle:
             faults = None
         process = self.pool.mp_context.Process(
             target=_worker_entry,
-            args=(self.index, child_sock, self.pool.worker_policy, faults),
+            args=(
+                self.index, child_sock, self.pool.worker_policy, faults,
+                self.pool.stream_deadline_us,
+            ),
             name=f"repro-codec-worker-{self.index}",
             daemon=True,
         )
@@ -605,6 +701,7 @@ class WorkerPool:
         retries: int = 4,
         spawn_timeout: float = 60.0,
         drain_timeout: float = 30.0,
+        stream_deadline_us: Optional[float] = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
@@ -616,6 +713,7 @@ class WorkerPool:
         self.start_method = method
         self.worker_policy = policy if policy is not None else BatchPolicy()
         self.faults = faults
+        self.stream_deadline_us = stream_deadline_us
         self.max_sessions = max_sessions
         self.max_inflight = max_inflight
         self.retries = retries
@@ -773,6 +871,26 @@ class WorkerPool:
         """Forward a preserialized data-plane body to the owning worker."""
         entry = self.session(session_id)
         return await self._request_routed(entry.key, opcode, body)
+
+    async def close_session(self, session_id: int) -> Dict:
+        """Close a session on its owning worker and drop the front's record.
+
+        The worker drains the session's batch lanes and stream windows
+        and frees its state; the front end then forgets the id/config
+        mapping, so a closed session is never replayed into a respawned
+        worker.  Stream state is shared-nothing: if the worker crashes
+        *before* the close lands, the retry reaches its respawned
+        replacement, whose replayed session has a fresh (empty) stream —
+        the close still succeeds.
+        """
+        entry = self.session(session_id)
+        body = protocol.build_json_body({"session_id": session_id})
+        response_body = await self._request_routed(
+            entry.key, protocol.OP_CLOSE, body
+        )
+        self._sessions.pop(session_id, None)
+        self._by_config.pop(entry.config, None)
+        return protocol.parse_json_body(response_body)
 
     async def _request_routed(self, key: str, opcode: int, body: bytes) -> bytes:
         """Send to the key's worker, retrying across worker deaths.

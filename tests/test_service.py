@@ -861,3 +861,120 @@ class TestSoftOp:
             for s in report.server_stats["sessions"].values()
         )
         assert total_soft == report.frames_sent
+
+
+# ---------------------------------------------------------------------
+# Session lifecycle: lane cleanup, clocks, flush safety
+# ---------------------------------------------------------------------
+class TestServiceLifecycle:
+    def test_lane_map_stays_bounded_over_session_churn(self):
+        """Regression: closed sessions must not leak (session, op) lanes."""
+        from repro.service import DispatchCore
+
+        async def scenario():
+            core = DispatchCore(BatchPolicy(max_batch=4, max_delay_us=500))
+            msgs = np.ones((2, 4), dtype=np.uint8)
+            words = np.zeros((2, 8), dtype=np.uint8)
+            for i in range(25):
+                # Distinct seeds make distinct configs, so every cycle
+                # opens a genuinely new session (no dedup rejoin).
+                session = core.open_session(SessionConfig(code="hamming84", seed=i))
+                await core.batcher.submit(session, "encode", msgs)
+                await core.batcher.submit(session, "decode", words)
+                assert len(core.batcher._lanes) == 2
+                report = core.close_session(session.session_id)
+                assert report["lanes_closed"] == 2
+                assert len(core.batcher._lanes) == 0
+                with pytest.raises(SessionError):
+                    core.registry.get(session.session_id)
+            return len(core.batcher._lanes)
+
+        assert run(scenario()) == 0
+
+    def test_close_session_flushes_queued_frames_first(self):
+        """Close answers queued futures; it never strands them."""
+
+        async def scenario():
+            batcher = MicroBatcher(BatchPolicy(max_batch=1024, max_delay_us=60e6))
+            session = _session()
+            pending = asyncio.ensure_future(
+                batcher.submit(session, "encode", np.ones((2, 4), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)  # let submit enqueue
+            assert batcher.pending_frames() == 2
+            assert batcher.close_session(session.session_id) == 1
+            result = await asyncio.wait_for(pending, timeout=2.0)
+            return result, dict(session.telemetry.flush_reasons)
+
+        result, reasons = run(scenario())
+        assert result.shape == (2, 8)
+        assert reasons == {"close": 1}
+
+    def test_no_stale_deadline_timer_after_close_reuses_key(self):
+        """A recycled (session, op) key must not inherit a dead lane's timer."""
+
+        async def scenario():
+            batcher = MicroBatcher(BatchPolicy(max_batch=1024, max_delay_us=30_000))
+            session = _session()
+            first = asyncio.ensure_future(
+                batcher.submit(session, "encode", np.ones((1, 4), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)
+            lane = batcher._lanes[(session.session_id, "encode")]
+            assert lane.timer is not None
+            batcher.close_session(session.session_id)
+            # The old lane's timer is cancelled: when its deadline passes,
+            # it must not flush anything (the key now belongs to a new lane).
+            assert lane.timer is None
+            await first
+            second = asyncio.ensure_future(
+                batcher.submit(session, "encode", np.ones((3, 4), dtype=np.uint8))
+            )
+            await asyncio.sleep(0.06)  # past the old lane's deadline
+            result = await asyncio.wait_for(second, timeout=2.0)
+            return result, dict(session.telemetry.flush_reasons)
+
+        result, reasons = run(scenario())
+        assert result.shape == (3, 8)
+        # Exactly one close flush and one deadline flush — a stale timer
+        # would have added a spurious flush against the reused key.
+        assert reasons == {"close": 1, "deadline": 1}
+
+    def test_flush_all_survives_lane_opened_by_kernel_side_effect(self):
+        """flush_all iterates a snapshot: a kernel opening a lane mid-drain
+        must not blow up the iteration with a mutated-dict RuntimeError."""
+
+        async def scenario():
+            batcher = MicroBatcher(BatchPolicy(max_batch=1024, max_delay_us=60e6))
+            session_a = _session()
+            session_b = CodecSession(2, SessionConfig(code="hamming84", seed=99))
+            kernel = session_a.encode_frames
+
+            def opening_kernel(batch):
+                # Synchronously open a brand-new lane during the flush.
+                batcher._lane(session_b, "encode")
+                return kernel(batch)
+
+            session_a.encode_frames = opening_kernel
+            pending = asyncio.ensure_future(
+                batcher.submit(session_a, "encode", np.ones((2, 4), dtype=np.uint8))
+            )
+            await asyncio.sleep(0)
+            batcher.flush_all()
+            result = await asyncio.wait_for(pending, timeout=2.0)
+            return result, set(batcher._lanes)
+
+        result, lanes = run(scenario())
+        assert result.shape == (2, 8)
+        assert (2, "encode") in lanes
+
+    def test_telemetry_clocks_default_to_perf_counter(self):
+        """Pin the timebase: batcher/tracer stamp with perf_counter, so the
+        telemetry wrappers must too (monotonic here once skewed uptime
+        and throughput against the latency attributions)."""
+        import time as _time
+
+        from repro.service import ServiceTelemetry
+
+        assert ServiceTelemetry()._clock is _time.perf_counter
+        assert SessionTelemetry()._clock is _time.perf_counter
