@@ -1,0 +1,174 @@
+"""ECC memory frontend: transaction throughput plus exact accounting.
+
+Two arms, both asserted so CI can run this as a smoke job::
+
+    PYTHONPATH=src python benchmarks/bench_memory.py --quick
+
+* **library** — batched :class:`~repro.memory.frontend.MemoryEccFrontend`
+  write/read/RMW/scrub throughput in lines/s, with every counter in the
+  cumulative SEC/DED ledger asserted equal to a scalar
+  :class:`~repro.memory.reference.ReferenceMemory` replaying the same
+  seeded workload (identical rot draws, word-for-word stores).
+* **wire** — the ``memory`` loadgen scenario against a live
+  :class:`~repro.service.server.CodecServer` at ``workers 0`` and
+  ``workers 2``.  The scenario's built-in mirror asserts every response
+  bit-exact; this bench additionally asserts the two worker counts
+  produce **identical** memory totals (the determinism contract) and
+  that the scrubber actually repaired injected rot (``sec > 0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from conftest import fail as _fail
+from repro.coding import get_code, get_decoder
+from repro.memory import MemoryEccFrontend, ReferenceMemory, Scrubber
+from repro.service import CodecServer, make_scenario, run_scenario
+from repro.utils.rng import as_generator
+
+CODE = "hamming84"
+ROT = 0.01
+
+
+def _bench_library(lines: int, rounds: int, seed: int) -> None:
+    code = get_code(CODE)
+    frontend = MemoryEccFrontend(code, get_decoder(code), lines)
+    scrubber = Scrubber(frontend, lines_per_step=max(1, lines // 8))
+    mirror = ReferenceMemory(code, get_decoder(code), lines)
+    rng = as_generator(seed)
+    # Rot draws live on their own stream so the mirror can replay them
+    # without also replaying the workload's message/mask draws.
+    rot_rng = as_generator(seed + 1)
+    mirror_rot_rng = as_generator(seed + 1)
+    addresses = np.arange(lines, dtype=np.int64)
+
+    timings = {"write": 0.0, "rmw": 0.0, "read": 0.0, "scrub": 0.0}
+    counts = dict.fromkeys(timings, 0)
+
+    def timed(op, fn, n):
+        t0 = time.perf_counter()
+        out = fn()
+        timings[op] += time.perf_counter() - t0
+        counts[op] += n
+        return out
+
+    for _ in range(rounds):
+        messages = rng.integers(0, 2, (lines, code.k)).astype(np.uint8)
+        timed("write", lambda: frontend.write(addresses, messages), lines)
+        mirror.write(addresses, messages)
+
+        frontend.inject_rot(rot_rng, ROT)
+        mirror.inject_rot(mirror_rot_rng, ROT)
+
+        window = scrubber.window()
+        timed("scrub", scrubber.step, len(window))
+        mirror.scrub_step(len(window))
+
+        masks = rng.integers(0, 2, (lines, code.k)).astype(np.uint8)
+        partial = rng.integers(0, 2, (lines, code.k)).astype(np.uint8)
+        timed(
+            "rmw",
+            lambda: frontend.write_partial(addresses, partial, masks),
+            lines,
+        )
+        mirror.write_partial(addresses, partial, masks)
+
+        timed("read", lambda: frontend.read(addresses), lines)
+        mirror.read(addresses)
+
+    if not np.array_equal(frontend.store_snapshot(), mirror.store_snapshot()):
+        _fail("batched store diverged from the scalar reference store")
+    if frontend.counters.to_dict() != mirror.counters.to_dict():
+        _fail(
+            "SEC/DED ledger mismatch: frontend "
+            f"{frontend.counters.to_dict()} vs reference "
+            f"{mirror.counters.to_dict()}"
+        )
+    totals = frontend.counters.totals()
+    if totals["sec"] == 0:
+        _fail(f"no corrections at rot {ROT:g} — the workload is not drilling ECC")
+
+    print(f"library arm: {rounds} rounds x {lines} lines on {CODE}, "
+          f"rot {ROT:g} (ledger == scalar reference, exact)")
+    header = f"{'op':>7} | {'lines':>8} | {'lines/s':>12}"
+    print(header)
+    print("-" * len(header))
+    for op in ("write", "rmw", "read", "scrub"):
+        rate = counts[op] / timings[op] if timings[op] else 0.0
+        print(f"{op:>7} | {counts[op]:>8} | {rate:>12,.0f}")
+    print(f"ledger: sec={totals['sec']} ded={totals['ded']} "
+          f"corrected_bits={totals['corrected_bits']} "
+          f"rot_bits={frontend.counters.rot_bits}")
+
+
+async def _wire_arm(workers: int, clients: int, requests: int, seed: int):
+    server = CodecServer(port=0, workers=workers)
+    await server.start()
+    try:
+        scenario = make_scenario(
+            "memory", code=CODE, lines=64, rot=ROT, scrub_every=3
+        )
+        return await run_scenario(
+            "127.0.0.1", server.port, scenario,
+            clients=clients, requests=requests, frames_per_request=8,
+            seed=seed,
+        )
+    finally:
+        await server.stop()
+
+
+def _bench_wire(clients: int, requests: int, seed: int) -> None:
+    header = (f"{'workers':>7} | {'frames':>7} | {'frames/s':>9} | "
+              f"{'sec':>5} | {'ded':>5} | {'rot bits':>8}")
+    print(header)
+    print("-" * len(header))
+    dicts = []
+    for workers in (0, 2):
+        report = asyncio.run(_wire_arm(workers, clients, requests, seed))
+        if report.client_errors:
+            _fail(f"workers={workers}: mirror mismatches: "
+                  f"{report.client_errors}")
+        memory = report.to_dict()["memory"]
+        dicts.append(memory)
+        print(f"{workers:>7} | {report.frames_sent:>7} | "
+              f"{report.throughput_fps:>9,.0f} | {memory['sec']:>5} | "
+              f"{memory['ded']:>5} | {memory['rot_bits']:>8}")
+    if dicts[0] != dicts[1]:
+        _fail(f"workers 0 vs 2 memory totals differ: {dicts[0]} vs {dicts[1]}")
+    if dicts[0]["sec"] == 0:
+        _fail(f"wire arm corrected nothing at rot {ROT:g}")
+    print("wire arm: workers 0 == workers 2 totals (exact), scrubber repaired "
+          f"{dicts[0]['repaired_lines']} lines")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--lines", type=int, default=256,
+                        help="memory lines in the library arm")
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="write/rot/scrub/rmw/read rounds per run")
+    parser.add_argument("--clients", type=int, default=6,
+                        help="concurrent clients in the wire arm")
+    parser.add_argument("--requests", type=int, default=15,
+                        help="traffic rounds per wire client")
+    parser.add_argument("--seed", type=int, default=20250831)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: smaller store and fleet")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.lines, args.rounds = 64, 6
+        args.clients, args.requests = 3, 8
+    _bench_library(args.lines, args.rounds, args.seed)
+    print()
+    _bench_wire(args.clients, args.requests, args.seed)
+    print("memory checks passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -207,6 +207,28 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the bare/interleaved BER curves as CSV")
     _add_runtime_args(burst)
 
+    memory = sub.add_parser(
+        "memory",
+        help="scrubbed-vs-unscrubbed ECC-memory retention word-error rates",
+    )
+    memory.add_argument("--codes", nargs="+", default=None,
+                        choices=["rm13", "hamming74", "hamming84"],
+                        help="subset of registry codes (default: all)")
+    memory.add_argument("--rots", type=_spread_fraction, nargs="+", default=None,
+                        metavar="RATE",
+                        help="per-bit rot probabilities per sweep interval "
+                             "(default: 0.001 0.003 0.01 0.03)")
+    memory.add_argument("--lines", type=_positive_int, default=64,
+                        help="memory lines per chip (default: 64)")
+    memory.add_argument("--sweeps", type=_positive_int, default=16,
+                        help="rot intervals between write and final read "
+                             "(default: 16)")
+    memory.add_argument("--chips", type=_positive_int, default=200)
+    memory.add_argument("--seed", type=int, default=20250831)
+    memory.add_argument("--csv", metavar="PATH", default=None,
+                        help="write the retention WER curves as CSV")
+    _add_runtime_args(memory)
+
     josim = sub.add_parser("export-josim", help="emit a JoSIM deck for an encoder")
     josim.add_argument("scheme", choices=["rm13", "hamming74", "hamming84", "none"])
     josim.add_argument("--spread", type=float, default=0.0)
@@ -304,7 +326,7 @@ def _build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--port", type=_port_number, default=7350)
     loadgen.add_argument("--scenario", default="steady",
                          choices=["steady", "bursty", "mixed", "adversarial",
-                                  "burst", "stream"])
+                                  "burst", "stream", "memory"])
     loadgen.add_argument("--clients", type=_positive_int, default=16)
     loadgen.add_argument("--connections", type=_positive_int, default=None,
                          metavar="N",
@@ -362,6 +384,28 @@ def _build_parser() -> argparse.ArgumentParser:
                               "(default: back to back); pacing past the "
                               "deadline deterministically drills the "
                               "forced-decision path")
+    loadgen.add_argument("--memory-lines", type=_positive_int, default=None,
+                         metavar="LINES",
+                         help="addressable lines per session of the 'memory' "
+                              "scenario (default: 64)")
+    loadgen.add_argument("--memory-rot", type=_spread_fraction, default=None,
+                         metavar="RATE",
+                         help="per-bit retention-rot probability the 'memory' "
+                              "scenario's scrub steps inject (default: 0 — any "
+                              "residual read is then a service bug)")
+    loadgen.add_argument("--hot-fraction", type=_spread_fraction, default=None,
+                         metavar="FRAC",
+                         help="fraction of 'memory' scenario transactions "
+                              "aimed at the hot eighth of the address space "
+                              "(default: 0.8)")
+    loadgen.add_argument("--scrub-every", type=_positive_int, default=None,
+                         metavar="ROUNDS",
+                         help="'memory' scenario scrub cadence: one scrub step "
+                              "per this many traffic rounds (default: 4)")
+    loadgen.add_argument("--scrub-lines", type=_positive_int, default=None,
+                         metavar="LINES",
+                         help="lines swept per 'memory' scenario scrub step "
+                              "(default: 8)")
     loadgen.add_argument("--json", action="store_true",
                          help="emit the full report (incl. server stats) as JSON")
     loadgen.add_argument("--assert-zero-residual", action="store_true",
@@ -483,6 +527,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             with open(args.csv, "w") as handle:
                 handle.write(burst_mod.curves_csv(result))
             print(f"BER curves written to {args.csv}")
+    elif args.command == "memory":
+        from repro.experiments import retention
+
+        config_kwargs = dict(
+            lines=args.lines, sweeps=args.sweeps, n_chips=args.chips,
+            seed=args.seed,
+        )
+        if args.codes is not None:
+            config_kwargs["codes"] = tuple(args.codes)
+        if args.rots is not None:
+            config_kwargs["rots"] = tuple(args.rots)
+        result = retention.run(
+            retention.RetentionConfig(**config_kwargs),
+            engine=_engine_from_args(args),
+        )
+        print(retention.render(result))
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(retention.curves_csv(result))
+            print(f"retention WER curves written to {args.csv}")
     elif args.command == "export-josim":
         from repro.encoders.designs import design_for_scheme
         from repro.sfq.josim import export_josim_deck
@@ -779,6 +843,18 @@ def main(argv: Optional[List[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+        memory_flags = (
+            args.memory_lines, args.memory_rot, args.hot_fraction,
+            args.scrub_every, args.scrub_lines,
+        )
+        if args.scenario != "memory" and any(v is not None for v in memory_flags):
+            print(
+                "repro loadgen: error: --memory-lines/--memory-rot/"
+                "--hot-fraction/--scrub-every/--scrub-lines only make sense "
+                "with --scenario memory",
+                file=sys.stderr,
+            )
+            return 2
         scenario_kwargs = dict(code=args.code, decoder=args.decoder)
         if args.scenario == "burst":
             scenario_kwargs.update(
@@ -794,6 +870,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 shift=args.stream_shift if args.stream_shift is not None else 1,
                 deadline_us=args.stream_deadline_us,
                 interval_us=args.stream_interval_us,
+            )
+        if args.scenario == "memory":
+            scenario_kwargs.update(
+                lines=args.memory_lines if args.memory_lines is not None else 64,
+                rot=args.memory_rot if args.memory_rot is not None else 0.0,
+                hot_fraction=(
+                    args.hot_fraction if args.hot_fraction is not None else 0.8
+                ),
+                scrub_every=args.scrub_every if args.scrub_every is not None else 4,
+                scrub_lines=args.scrub_lines if args.scrub_lines is not None else 8,
             )
         try:
             scenario = loadgen_mod.make_scenario(args.scenario, **scenario_kwargs)

@@ -11,6 +11,7 @@ from repro.experiments import (
     fig3,
     fig5,
     report,
+    retention,
     soft_gain,
     table1,
     table2,
@@ -25,4 +26,5 @@ __all__ = [
     "report",
     "soft_gain",
     "burst",
+    "retention",
 ]

@@ -1,0 +1,42 @@
+"""Memory-controller ECC frontend: SEC-DED lines, RMW, and scrubbing.
+
+ROADMAP item 4: model the paper's encoders protecting a memory port,
+in the style of LiteDRAM's ``frontend/ecc.py``.  The pieces:
+
+* :class:`~repro.memory.frontend.MemoryEccFrontend` — whole-line
+  writes encode, partial writes take the read-modify-write path (the
+  LiteDRAM limitation), reads decode with accumulating SEC/DED
+  counters, and an injector hook + :meth:`inject_flips` /
+  :meth:`inject_rot` form the deterministic fault surface;
+* :class:`~repro.memory.scrub.Scrubber` — a position-tracking
+  background sweep repairing correctable rot, with a
+  ``lines_per_step`` traffic/scrub contention knob;
+* :class:`~repro.memory.reference.ReferenceMemory` — the scalar
+  word-at-a-time twin that pins the exact SEC/DED accounting.
+
+The service layer exposes all of this as a ``memory`` session type
+(``repro serve`` + ``repro loadgen --scenario memory``), and the
+``retention`` Monte-Carlo experiment (``repro memory``) sweeps
+retention-rot rates on the shared engine.
+"""
+
+from repro.memory.frontend import (
+    MAX_MEMORY_LINES,
+    MEMORY_PATHS,
+    MemoryCounters,
+    MemoryEccFrontend,
+    PathCounters,
+)
+from repro.memory.reference import ReferenceMemory
+from repro.memory.scrub import ScrubReport, Scrubber
+
+__all__ = [
+    "MAX_MEMORY_LINES",
+    "MEMORY_PATHS",
+    "MemoryCounters",
+    "MemoryEccFrontend",
+    "PathCounters",
+    "ReferenceMemory",
+    "ScrubReport",
+    "Scrubber",
+]

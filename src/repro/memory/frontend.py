@@ -1,0 +1,308 @@
+"""SEC-DED memory-controller frontend over the registry codes.
+
+Models the LiteDRAM-style ECC frontend (``litedram/frontend/ecc.py``):
+every stored memory line is one codeword of a registry
+:class:`~repro.coding.linear.LinearBlockCode`.  Whole-line writes
+encode straight through the batch kernel; partial (byte-enable style)
+writes cannot — the line must be read back, decoded, merged and
+re-encoded, the read-modify-write path the LiteDRAM frontend calls out
+as its limitation ("Byte enable not supported for writes").  Reads
+decode with accumulating SEC (single-error-corrected) / DED
+(detected-uncorrectable) counters, the software analogue of the
+hardware ``sec``/``ded`` status signals.
+
+Retention rot — bits decaying in the array between accesses — enters
+through :meth:`MemoryEccFrontend.inject_rot` /
+:meth:`MemoryEccFrontend.inject_flips` (the LiteDRAM frontend's
+"errors injection" feature), and the :class:`~repro.memory.scrub.Scrubber`
+sweeps it back out.  All mutation points accept an ``injector`` hook so
+the chaos tests can flip bits *between* the read and store phases of an
+RMW, reproducing the race the hardware limitation implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.decoders.base import BatchDecodeResult, Decoder
+from repro.coding.linear import LinearBlockCode
+from repro.utils.rng import bernoulli_mask
+
+#: Accounting paths a decode event can be charged to.
+MEMORY_PATHS: Tuple[str, ...] = ("read", "rmw", "scrub")
+
+#: Hard ceiling on lines per frontend, keeping stores comfortably in RAM.
+MAX_MEMORY_LINES = 1 << 20
+
+
+@dataclass
+class PathCounters:
+    """Accumulated SEC/DED accounting for one access path.
+
+    Attributes
+    ----------
+    ops : int
+        Decode events charged to this path (one per line decoded).
+    sec : int
+        Events where the decoder repaired at least one bit and did not
+        flag the word — the hardware ``sec`` pulse.
+    ded : int
+        Detected-uncorrectable events — the hardware ``ded`` pulse.
+    corrected_bits : int
+        Total bits repaired across non-flagged events.
+    """
+
+    ops: int = 0
+    sec: int = 0
+    ded: int = 0
+    corrected_bits: int = 0
+
+    def charge(self, corrected: np.ndarray, detected: np.ndarray) -> None:
+        """Accumulate one batch of decode outcomes into the counters."""
+        corrected = np.asarray(corrected, dtype=np.int64)
+        detected = np.asarray(detected, dtype=bool)
+        self.ops += int(corrected.shape[0])
+        self.sec += int(np.count_nonzero((corrected > 0) & ~detected))
+        self.ded += int(np.count_nonzero(detected))
+        self.corrected_bits += int(corrected[~detected].sum())
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict snapshot (telemetry / wire friendly)."""
+        return {
+            "ops": self.ops,
+            "sec": self.sec,
+            "ded": self.ded,
+            "corrected_bits": self.corrected_bits,
+        }
+
+
+def _fresh_counters() -> Dict[str, PathCounters]:
+    return {path: PathCounters() for path in MEMORY_PATHS}
+
+
+@dataclass
+class MemoryCounters:
+    """Full SEC/DED ledger of a frontend, one ledger row per path.
+
+    Attributes
+    ----------
+    paths : dict
+        ``path name -> `` :class:`PathCounters` for each entry of
+        :data:`MEMORY_PATHS`.
+    rot_bits : int
+        Total raw bits flipped into the store by rot injection.
+    scrubbed_lines : int
+        Lines swept by the scrubber (repaired or not).
+    repaired_lines : int
+        Lines the scrubber rewrote with a corrected codeword.
+    """
+
+    paths: Dict[str, PathCounters] = field(default_factory=_fresh_counters)
+    rot_bits: int = 0
+    scrubbed_lines: int = 0
+    repaired_lines: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """Nested plain-dict snapshot of every counter."""
+        return {
+            "paths": {name: ctr.to_dict() for name, ctr in self.paths.items()},
+            "rot_bits": self.rot_bits,
+            "scrubbed_lines": self.scrubbed_lines,
+            "repaired_lines": self.repaired_lines,
+        }
+
+    def totals(self) -> Dict[str, int]:
+        """SEC/DED/corrected-bits summed over every path."""
+        return {
+            "ops": sum(c.ops for c in self.paths.values()),
+            "sec": sum(c.sec for c in self.paths.values()),
+            "ded": sum(c.ded for c in self.paths.values()),
+            "corrected_bits": sum(c.corrected_bits for c in self.paths.values()),
+        }
+
+
+class MemoryEccFrontend:
+    """ECC frontend mapping line read/write transactions onto one code.
+
+    The store holds ``lines`` codewords of ``code`` as a ``(lines, n)``
+    uint8 bit array.  All paths run through the batched kernels
+    (:meth:`~repro.coding.linear.LinearBlockCode.encode_batch`,
+    :meth:`~repro.coding.decoders.base.Decoder.decode_batch_detailed`),
+    so throughput and bit-exactness track the rest of the repo; the
+    scalar :class:`~repro.memory.reference.ReferenceMemory` replays the
+    same transactions word-by-word and must agree exactly.
+
+    Parameters
+    ----------
+    code:
+        Any registry code; one stored line is one codeword.
+    decoder:
+        Decoder for ``code``; drives reads, RMW read phases and scrub.
+    lines:
+        Number of addressable lines, ``1 <= lines <= MAX_MEMORY_LINES``.
+    injector:
+        Optional fault hook ``injector(event, addresses)`` called with
+        ``event`` in ``{"write", "rmw"}`` *after* any read phase and
+        *before* the store phase of that transaction.  The hook may call
+        :meth:`inject_flips` to model rot racing an in-flight RMW.
+    """
+
+    def __init__(
+        self,
+        code: LinearBlockCode,
+        decoder: Decoder,
+        lines: int,
+        injector: Optional[Callable[[str, np.ndarray], None]] = None,
+    ):
+        if decoder.code is not code:
+            # Same object not required, but the geometries must agree.
+            if (decoder.code.n, decoder.code.k) != (code.n, code.k):
+                raise ValueError(
+                    f"decoder is for an ({decoder.code.n},{decoder.code.k}) code, "
+                    f"frontend stores ({code.n},{code.k}) lines"
+                )
+        if not 1 <= int(lines) <= MAX_MEMORY_LINES:
+            raise ValueError(
+                f"lines must lie in [1, {MAX_MEMORY_LINES}], got {lines}"
+            )
+        self.code = code
+        self.decoder = decoder
+        self.lines = int(lines)
+        self.injector = injector
+        self.counters = MemoryCounters()
+        # Line a holds the codeword protecting line a's message; the
+        # all-zero word is a codeword of every linear code, so a fresh
+        # array decodes clean.
+        self._store = np.zeros((self.lines, code.n), dtype=np.uint8)
+
+    # -- address / payload validation ----------------------------------
+    def _check_addresses(self, addresses) -> np.ndarray:
+        addrs = np.asarray(addresses, dtype=np.int64).reshape(-1)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self.lines):
+            raise IndexError(
+                f"addresses must lie in [0, {self.lines}), got "
+                f"[{addrs.min()}, {addrs.max()}]"
+            )
+        return addrs
+
+    def _check_payload(self, addrs: np.ndarray, rows, width: int, what: str):
+        arr = np.asarray(rows, dtype=np.uint8) & 1
+        if arr.ndim != 2 or arr.shape != (addrs.shape[0], width):
+            raise ValueError(
+                f"expected ({addrs.shape[0]}, {width}) {what} rows, "
+                f"got {np.asarray(rows).shape}"
+            )
+        return arr
+
+    # -- transactions --------------------------------------------------
+    def write(self, addresses, messages) -> None:
+        """Whole-line write: encode ``(count, k)`` messages and store.
+
+        The fast path — no decode, no SEC/DED exposure.  Duplicate
+        addresses resolve in row order (the last write wins), matching
+        a memory port serialising same-address beats.
+        """
+        addrs = self._check_addresses(addresses)
+        rows = self._check_payload(addrs, messages, self.code.k, "message")
+        codewords = self.code.encode_batch(rows)
+        if self.injector is not None:
+            self.injector("write", addrs)
+        self._store[addrs] = codewords
+
+    def write_partial(self, addresses, messages, masks) -> BatchDecodeResult:
+        """Partial write via read-modify-write: the LiteDRAM limitation.
+
+        Only the message bits where ``masks`` is 1 are replaced; the
+        rest must be recovered by decoding the stored line first, so a
+        partial write pays a full decode (and its SEC/DED exposure,
+        charged to the ``rmw`` path) plus a re-encode.  Rot arriving
+        between the read and the store phases is silently overwritten —
+        the race the ``injector`` hook exists to provoke.
+
+        Returns the read-phase decode outcomes so callers can observe
+        whether the merge was built on a corrected or poisoned line.
+        """
+        addrs = self._check_addresses(addresses)
+        rows = self._check_payload(addrs, messages, self.code.k, "message")
+        mask = self._check_payload(addrs, masks, self.code.k, "mask")
+        result = self.decoder.decode_batch_detailed(self._store[addrs])
+        self.counters.paths["rmw"].charge(
+            result.corrected_errors, result.detected_uncorrectable
+        )
+        merged = np.where(mask.astype(bool), rows, result.messages & 1)
+        codewords = self.code.encode_batch(merged)
+        if self.injector is not None:
+            self.injector("rmw", addrs)
+        self._store[addrs] = codewords
+        return result
+
+    def read(self, addresses) -> BatchDecodeResult:
+        """Decode the stored lines at ``addresses`` (non-repairing).
+
+        Charges the ``read`` path counters and returns the full batch
+        decode result.  Like the hardware frontend, a read does *not*
+        write the corrected word back — scrubbing is the
+        :class:`~repro.memory.scrub.Scrubber`'s job, which is exactly
+        the traffic/scrub contention the service models.
+        """
+        addrs = self._check_addresses(addresses)
+        result = self.decoder.decode_batch_detailed(self._store[addrs])
+        self.counters.paths["read"].charge(
+            result.corrected_errors, result.detected_uncorrectable
+        )
+        return result
+
+    # -- fault surface -------------------------------------------------
+    def inject_flips(self, addresses, flip_masks) -> int:
+        """XOR ``(count, n)`` flip masks into the stored lines.
+
+        The deterministic fault primitive: tests hand it exact masks
+        (i.i.d. rot, Gilbert–Elliott bursts, adversarial patterns) and
+        derive exact expected SEC/DED counts.  Returns the number of
+        bits flipped.  Duplicate addresses each apply in row order.
+        """
+        addrs = self._check_addresses(addresses)
+        mask = self._check_payload(addrs, flip_masks, self.code.n, "flip")
+        flipped = int(mask.sum())
+        for row, flips in zip(addrs, mask):
+            self._store[row] ^= flips
+        self.counters.rot_bits += flipped
+        return flipped
+
+    def inject_rot(
+        self, rng: np.random.Generator, rate: float, addresses=None
+    ) -> int:
+        """Flip each stored bit independently with probability ``rate``.
+
+        Models retention rot accumulating between scrub passes.  Draws
+        exactly one uniform block of the affected shape from ``rng``
+        when ``0 < rate`` (and none when ``rate == 0``), so a mirror
+        holding an identically-seeded generator reproduces the flips
+        bit-for-bit.  Returns the number of bits flipped.
+        """
+        addrs = (
+            np.arange(self.lines, dtype=np.int64)
+            if addresses is None
+            else self._check_addresses(addresses)
+        )
+        mask = bernoulli_mask(rng, rate, (addrs.shape[0], self.code.n))
+        return self.inject_flips(addrs, mask.astype(np.uint8))
+
+    # -- introspection -------------------------------------------------
+    def raw_lines(self, addresses) -> np.ndarray:
+        """Copy of the stored codeword bits at ``addresses`` (no decode)."""
+        return self._store[self._check_addresses(addresses)].copy()
+
+    def store_snapshot(self) -> np.ndarray:
+        """Copy of the whole ``(lines, n)`` stored bit array."""
+        return self._store.copy()
+
+    def __repr__(self) -> str:
+        totals = self.counters.totals()
+        return (
+            f"<MemoryEccFrontend lines={self.lines} n={self.code.n} "
+            f"k={self.code.k} sec={totals['sec']} ded={totals['ded']}>"
+        )

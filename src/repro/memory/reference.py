@@ -1,0 +1,191 @@
+"""Scalar reference model for the memory frontend's exact accounting.
+
+:class:`ReferenceMemory` replays the same transaction stream as
+:class:`~repro.memory.frontend.MemoryEccFrontend` one word at a time
+through the decoder's *scalar* :meth:`~repro.coding.decoders.base.Decoder.decode`
+path — the path every vectorised kernel in this repo is tested
+against.  Stores, decoded messages and every SEC/DED counter must
+agree bit-for-bit and count-for-count with the batched frontend; the
+fault-injection tests in ``tests/test_memory.py`` assert exactly that,
+and the ``memory`` loadgen scenario runs one as a client-side mirror to
+prove the service's accounting exact over the wire.
+
+Random draws (``inject_rot``) consume one uniform block of the affected
+shape, identical to the frontend, so a reference seeded like the
+frontend stays flip-for-flip aligned.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.decoders.base import Decoder
+from repro.coding.linear import LinearBlockCode
+from repro.memory.frontend import MemoryCounters
+from repro.utils.rng import bernoulli_mask
+
+
+class ReferenceMemory:
+    """Word-at-a-time twin of the batched memory frontend.
+
+    Implements the same operations with the same counter semantics
+    (see :class:`~repro.memory.frontend.PathCounters`), but every
+    decode is a scalar :meth:`~repro.coding.decoders.base.Decoder.decode`
+    call and every store update is an explicit Python loop.  Slow by
+    design — it exists to be obviously correct.
+
+    Parameters
+    ----------
+    code:
+        The code protecting each line.
+    decoder:
+        Decoder for ``code``; only its scalar path is used.
+    lines:
+        Number of addressable lines.
+    """
+
+    def __init__(self, code: LinearBlockCode, decoder: Decoder, lines: int):
+        if int(lines) < 1:
+            raise ValueError(f"lines must be >= 1, got {lines}")
+        self.code = code
+        self.decoder = decoder
+        self.lines = int(lines)
+        self.counters = MemoryCounters()
+        self.scrub_position = 0
+        self._store = [
+            np.zeros(code.n, dtype=np.uint8) for _ in range(self.lines)
+        ]
+
+    def _decode_line(self, address: int, path: str):
+        """Scalar-decode one stored line and charge ``path`` counters."""
+        result = self.decoder.decode(self._store[address])
+        counters = self.counters.paths[path]
+        counters.ops += 1
+        if result.detected_uncorrectable:
+            counters.ded += 1
+        else:
+            if result.corrected_errors > 0:
+                counters.sec += 1
+            counters.corrected_bits += result.corrected_errors
+        return result
+
+    # -- transactions --------------------------------------------------
+    def write(self, addresses, messages) -> None:
+        """Whole-line write: encode each message and store it."""
+        for address, message in zip(np.asarray(addresses).reshape(-1), messages):
+            self._store[int(address)] = np.asarray(
+                self.code.encode(np.asarray(message, dtype=np.uint8) & 1),
+                dtype=np.uint8,
+            )
+
+    def write_partial(self, addresses, messages, masks) -> List[Tuple[int, bool]]:
+        """Scalar RMW: decode, merge masked bits, re-encode, store.
+
+        Returns ``(corrected_errors, detected)`` per line, mirroring
+        the read-phase outcomes the frontend reports.
+        """
+        outcomes = []
+        for address, message, mask in zip(
+            np.asarray(addresses).reshape(-1), messages, masks
+        ):
+            address = int(address)
+            result = self._decode_line(address, "rmw")
+            merged = np.where(
+                np.asarray(mask, dtype=bool),
+                np.asarray(message, dtype=np.uint8) & 1,
+                np.asarray(result.message, dtype=np.uint8) & 1,
+            )
+            self._store[address] = np.asarray(
+                self.code.encode(merged), dtype=np.uint8
+            )
+            outcomes.append(
+                (int(result.corrected_errors), bool(result.detected_uncorrectable))
+            )
+        return outcomes
+
+    def read(self, addresses):
+        """Scalar decode of each line; returns the DecodeResult list."""
+        return [
+            self._decode_line(int(address), "read")
+            for address in np.asarray(addresses).reshape(-1)
+        ]
+
+    # -- fault surface -------------------------------------------------
+    def inject_flips(self, addresses, flip_masks) -> int:
+        """XOR flip rows into the store, line by line."""
+        flipped = 0
+        for address, flips in zip(np.asarray(addresses).reshape(-1), flip_masks):
+            row = np.asarray(flips, dtype=np.uint8) & 1
+            self._store[int(address)] = self._store[int(address)] ^ row
+            flipped += int(row.sum())
+        self.counters.rot_bits += flipped
+        return flipped
+
+    def inject_rot(
+        self, rng: np.random.Generator, rate: float, addresses=None
+    ) -> int:
+        """Draw-compatible i.i.d. rot: one uniform block, then flips."""
+        addrs = (
+            np.arange(self.lines, dtype=np.int64)
+            if addresses is None
+            else np.asarray(addresses, dtype=np.int64).reshape(-1)
+        )
+        mask = bernoulli_mask(rng, rate, (addrs.shape[0], self.code.n))
+        return self.inject_flips(addrs, mask.astype(np.uint8))
+
+    # -- scrubbing -----------------------------------------------------
+    def scrub_step(self, count: Optional[int] = None):
+        """Scalar twin of :meth:`~repro.memory.scrub.Scrubber.step`.
+
+        Returns a dict with the same keys as
+        :meth:`~repro.memory.scrub.ScrubReport.to_dict`.
+        """
+        if count is None:
+            count = self.lines
+        count = min(int(count), self.lines)
+        start = self.scrub_position
+        repaired_lines = corrected_bits = detected = 0
+        for offset in range(count):
+            address = (start + offset) % self.lines
+            result = self._decode_line(address, "scrub")
+            if result.detected_uncorrectable:
+                detected += 1
+                continue
+            if result.codeword is not None:
+                if result.corrected_errors > 0:
+                    repaired_lines += 1
+                    corrected_bits += int(result.corrected_errors)
+                self._store[address] = np.asarray(
+                    result.codeword, dtype=np.uint8
+                )
+        self.counters.scrubbed_lines += count
+        self.counters.repaired_lines += repaired_lines
+        self.scrub_position = (start + count) % self.lines
+        return {
+            "start": start,
+            "count": count,
+            "repaired_lines": repaired_lines,
+            "corrected_bits": corrected_bits,
+            "detected": detected,
+        }
+
+    # -- introspection -------------------------------------------------
+    def raw_lines(self, addresses) -> np.ndarray:
+        """Stored codeword bits at ``addresses`` as a ``(count, n)`` array."""
+        return np.array(
+            [self._store[int(a)] for a in np.asarray(addresses).reshape(-1)],
+            dtype=np.uint8,
+        )
+
+    def store_snapshot(self) -> np.ndarray:
+        """The whole store as a ``(lines, n)`` uint8 array."""
+        return np.array(self._store, dtype=np.uint8)
+
+    def __repr__(self) -> str:
+        totals = self.counters.totals()
+        return (
+            f"<ReferenceMemory lines={self.lines} "
+            f"sec={totals['sec']} ded={totals['ded']}>"
+        )

@@ -1,0 +1,144 @@
+"""Background scrubber: sweep stored lines and repair correctable rot.
+
+Retention rot is cumulative — a line left alone long enough collects a
+second flip and crosses from correctable (SEC) to detected-
+uncorrectable (DED) territory.  A memory controller therefore *scrubs*:
+a background walker decodes a few lines per step, rewrites any
+correctably-rotted line with its repaired codeword, and wraps around.
+``lines_per_step`` is the contention knob — how much of the port the
+scrubber steals from foreground traffic per step — which the ``memory``
+loadgen scenario sweeps against traffic interleaving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.memory.frontend import MemoryEccFrontend
+
+#: Upper bound on one step's sweep width (one full pass).
+MAX_SCRUB_STEP = 1 << 20
+
+
+@dataclass(frozen=True)
+class ScrubReport:
+    """Outcome of one scrubber step.
+
+    Attributes
+    ----------
+    start : int
+        First line index swept (pre-step scrubber position).
+    count : int
+        Lines decoded this step.
+    repaired_lines : int
+        Lines rewritten with a corrected codeword (SEC events).
+    corrected_bits : int
+        Bits repaired across those lines.
+    detected : int
+        Lines flagged detected-uncorrectable; left untouched for the
+        OS/refresh layer, exactly like the hardware ``ded`` interrupt.
+    """
+
+    start: int
+    count: int
+    repaired_lines: int
+    corrected_bits: int
+    detected: int
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-dict form (wire / JSON friendly)."""
+        return {
+            "start": self.start,
+            "count": self.count,
+            "repaired_lines": self.repaired_lines,
+            "corrected_bits": self.corrected_bits,
+            "detected": self.detected,
+        }
+
+
+class Scrubber:
+    """Position-tracking sweep over a frontend's stored lines.
+
+    Each :meth:`step` decodes the next ``lines_per_step`` lines
+    (wrapping at the end of the store), rewrites every line the decoder
+    repaired, charges the frontend's ``scrub`` path counters, and
+    advances.  Detected-uncorrectable lines are *not* rewritten — the
+    decoder holds no trustworthy codeword for them — so scrubbing is
+    idempotent: a second pass over an already-clean window repairs
+    nothing.
+
+    Parameters
+    ----------
+    frontend:
+        The :class:`~repro.memory.frontend.MemoryEccFrontend` to sweep.
+    lines_per_step:
+        Sweep width per :meth:`step`; the traffic/scrub contention
+        knob.  Must lie in ``[1, MAX_SCRUB_STEP]``.
+    """
+
+    def __init__(self, frontend: MemoryEccFrontend, lines_per_step: int = 8):
+        if not 1 <= int(lines_per_step) <= MAX_SCRUB_STEP:
+            raise ValueError(
+                f"lines_per_step must lie in [1, {MAX_SCRUB_STEP}], "
+                f"got {lines_per_step}"
+            )
+        self.frontend = frontend
+        self.lines_per_step = int(lines_per_step)
+        self.position = 0
+
+    def window(self, count: int = None) -> np.ndarray:
+        """Line indices the next step of width ``count`` would sweep."""
+        if count is None:
+            count = self.lines_per_step
+        count = min(int(count), self.frontend.lines)
+        if count < 1:
+            raise ValueError(f"scrub width must be >= 1, got {count}")
+        return (
+            self.position + np.arange(count, dtype=np.int64)
+        ) % self.frontend.lines
+
+    def step(self, count: int = None) -> ScrubReport:
+        """Sweep the next window: decode, repair, advance.
+
+        ``count`` overrides ``lines_per_step`` for this step only (the
+        service's scrub-step opcode passes it per request).  Repairs
+        write the decoder's codeword estimate back for every non-flagged
+        line; zero-error lines rewrite their own bits, so only genuinely
+        rotted lines count as repaired.
+        """
+        frontend = self.frontend
+        addrs = self.window(count)
+        stored = frontend._store[addrs]
+        result = frontend.decoder.decode_batch_detailed(stored)
+        frontend.counters.paths["scrub"].charge(
+            result.corrected_errors, result.detected_uncorrectable
+        )
+        repairable = ~result.detected_uncorrectable
+        repaired = repairable & (result.corrected_errors > 0)
+        if repairable.any():
+            frontend._store[addrs[repairable]] = result.codewords[repairable]
+        frontend.counters.scrubbed_lines += int(addrs.shape[0])
+        frontend.counters.repaired_lines += int(np.count_nonzero(repaired))
+        report = ScrubReport(
+            start=int(self.position),
+            count=int(addrs.shape[0]),
+            repaired_lines=int(np.count_nonzero(repaired)),
+            corrected_bits=int(result.corrected_errors[repairable].sum()),
+            detected=int(np.count_nonzero(result.detected_uncorrectable)),
+        )
+        self.position = int((self.position + addrs.shape[0]) % frontend.lines)
+        return report
+
+    def sweep(self) -> ScrubReport:
+        """One full pass over every line, from the current position."""
+        return self.step(self.frontend.lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Scrubber position={self.position} "
+            f"lines_per_step={self.lines_per_step} "
+            f"lines={self.frontend.lines}>"
+        )

@@ -19,9 +19,11 @@ from repro.service.batcher import BatchPolicy, MicroBatcher
 from repro.service.client import (
     CodecClient,
     DecodedBlock,
+    MemoryWriteBlock,
     SessionHandle,
     StreamBlock,
 )
+from repro.service.memory import MemoryLane
 from repro.service.loadgen import (
     LoadReport,
     SCENARIO_FACTORIES,
@@ -58,9 +60,11 @@ __all__ = [
     "MicroBatcher",
     "CodecClient",
     "DecodedBlock",
+    "MemoryWriteBlock",
     "SessionHandle",
     "StreamBlock",
     "StreamLane",
+    "MemoryLane",
     "LoadReport",
     "Scenario",
     "SCENARIO_FACTORIES",

@@ -39,6 +39,21 @@ class DecodedBlock:
 
 
 @dataclass(frozen=True)
+class MemoryWriteBlock:
+    """Per-line outcomes of a memory write (RMW read-phase flags).
+
+    Whole-line writes never decode, so both arrays are all zero; RMW
+    partial writes report what the read phase found under the merge.
+    """
+
+    corrected_errors: np.ndarray    #: (batch,) bits corrected per line
+    detected_uncorrectable: np.ndarray  #: (batch,) error flags
+
+    def __len__(self) -> int:
+        return len(self.corrected_errors)
+
+
+@dataclass(frozen=True)
 class StreamBlock:
     """One stream push's decisions: a row per pushed channel frame.
 
@@ -167,6 +182,62 @@ class SessionHandle:
         """
         return await (await self.push_stream(confidences, first_index, final=final))
 
+    def _check_addresses(self, addresses) -> np.ndarray:
+        addrs = np.asarray(addresses, dtype=np.int64).reshape(-1)
+        if addrs.size and addrs.min() < 0:
+            raise DimensionError(
+                f"memory addresses must be non-negative, got min {addrs.min()}"
+            )
+        return addrs
+
+    async def mem_write(self, addresses, messages) -> MemoryWriteBlock:
+        """Whole-line write: store ``(batch, k)`` messages at ``addresses``.
+
+        The session must have been opened with ``memory_lines``.  The
+        server encodes each message and stores the codeword — no decode,
+        so the returned flags are all zero.
+        """
+        addrs = self._check_addresses(addresses)
+        msgs = self._check_width(messages, self.k, "messages")
+        body = protocol.build_mem_write_body(self.session_id, addrs, msgs)
+        response = await self._client.request(protocol.OP_MEM_WRITE, body)
+        return MemoryWriteBlock(*protocol.parse_mem_write_response_body(response.body))
+
+    async def mem_write_partial(self, addresses, messages, masks) -> MemoryWriteBlock:
+        """Partial write: replace only the message bits where ``masks`` is 1.
+
+        Takes the server's read-modify-write path (the LiteDRAM
+        limitation): each line is decoded, merged and re-encoded, and
+        the returned block carries the read-phase SEC/DED outcomes.
+        """
+        addrs = self._check_addresses(addresses)
+        msgs = self._check_width(messages, self.k, "messages")
+        mask = self._check_width(masks, self.k, "masks")
+        body = protocol.build_mem_write_body(self.session_id, addrs, msgs, mask)
+        response = await self._client.request(protocol.OP_MEM_WRITE, body)
+        return MemoryWriteBlock(*protocol.parse_mem_write_response_body(response.body))
+
+    async def mem_read(self, addresses) -> DecodedBlock:
+        """Read lines: decode the stored words at ``addresses``."""
+        addrs = self._check_addresses(addresses)
+        body = protocol.build_mem_read_body(self.session_id, addrs)
+        response = await self._client.request(protocol.OP_MEM_READ, body)
+        return DecodedBlock(
+            *protocol.parse_decode_response_body(response.body, self.k)
+        )
+
+    async def mem_scrub(self, count: int = 0) -> Dict:
+        """Run one scrub step of ``count`` lines (0 = server default).
+
+        With ``memory_rot`` configured, the server first rots the swept
+        window from the session's seeded stream.  Returns the JSON
+        payload: the step ``report``, the ``rot_bits`` injected, the
+        cumulative ``counters`` ledger and the new scrub ``position``.
+        """
+        body = protocol.build_mem_scrub_body(self.session_id, int(count))
+        response = await self._client.request(protocol.OP_MEM_SCRUB, body)
+        return protocol.parse_json_body(response.body)
+
     async def close(self) -> Dict:
         """Close this session server-side (see :meth:`CodecClient.close_session`)."""
         return await self._client.close_session(self.session_id)
@@ -271,6 +342,8 @@ class CodecClient:
         stream_depth: Optional[int] = None,
         stream_shift: int = 1,
         stream_deadline_us: Optional[float] = None,
+        memory_lines: Optional[int] = None,
+        memory_rot: float = 0.0,
     ) -> SessionHandle:
         """Open (or join) a codec session and return its handle.
 
@@ -278,7 +351,12 @@ class CodecClient:
         frames are convolutionally interleaved at ``depth``/``shift``
         and decoded through :meth:`SessionHandle.push_stream`.
         ``stream_deadline_us`` bounds per-frame decision latency
-        (overriding any server-wide default).
+        (overriding any server-wide default).  Passing ``memory_lines``
+        declares a memory session: an ECC-protected line store driven
+        through :meth:`SessionHandle.mem_write` /
+        :meth:`SessionHandle.mem_read` / :meth:`SessionHandle.mem_scrub`,
+        with ``memory_rot`` retention rot injected per scrub step from
+        the session's seeded stream.
         """
         payload = {"code": code, "decoder": decoder, "p01": p01, "p10": p10,
                    "seed": seed}
@@ -286,6 +364,9 @@ class CodecClient:
             payload["stream_depth"] = int(stream_depth)
             payload["stream_shift"] = int(stream_shift)
             payload["stream_deadline_us"] = stream_deadline_us
+        if memory_lines is not None:
+            payload["memory_lines"] = int(memory_lines)
+            payload["memory_rot"] = float(memory_rot)
         body = protocol.build_json_body(payload)
         response = await self.request(protocol.OP_OPEN, body)
         return SessionHandle(self, protocol.parse_json_body(response.body))

@@ -34,6 +34,17 @@ Each scenario shapes what a fleet of concurrent clients sends at a
     decisions between pushes (the responses pipeline).  Rows decided
     on time must match what was sent; deadline-forced rows are counted
     as ``deadline_missed_frames``.
+``memory``
+    The ECC-memory drill: each client opens its *own* memory session
+    (the store is per-session state) and drives a hot/cold address mix
+    of whole-line writes, read-modify-write partial writes and reads,
+    interleaved with scrub steps that rot-then-repair the swept window.
+    Every response is checked bit-for-bit against a client-side
+    :class:`~repro.memory.reference.ReferenceMemory` mirror seeded like
+    the server lane — including the cumulative SEC/DED counter ledger —
+    so the scenario proves the service's accounting *exact* over the
+    wire, not just plausible.  At ``rot 0`` any residual read is a
+    service bug, which is what the CI memory-smoke job asserts.
 
 Every client checks each round trip end to end: messages are generated
 from a seeded stream, encoded by the server (where the session's
@@ -51,14 +62,15 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.coding.registry import available_codes
+from repro.coding.registry import available_codes, get_code, get_decoder
 from repro.coding.stream import interleave_stream
 from repro.link.burst import GilbertElliottChannel
+from repro.memory.reference import ReferenceMemory
 from repro.service import protocol
 from repro.service.client import CodecClient
 from repro.service.session import SessionConfig
 from repro.service.telemetry import LatencyReservoir
-from repro.utils.rng import spawn_generators
+from repro.utils.rng import as_generator, spawn_generators
 
 
 @dataclass(frozen=True)
@@ -88,6 +100,19 @@ class Scenario:
         link's frame cadence); 0 pushes back to back.  An interval
         longer than the session's deadline guarantees misses — that is
         the CI tight-budget drill.
+    memory : bool
+        Memory-session traffic: each client privatises its config (the
+        store is per-session state) and drives write/RMW/read/scrub
+        transactions against a local reference mirror instead of batch
+        round trips.
+    hot_fraction : float
+        Probability a memory transaction targets the hot set (the first
+        eighth of the address space); the remainder scatters uniformly.
+    scrub_every : int
+        Issue one scrub step every this many traffic rounds — the
+        scrub-vs-traffic contention knob.
+    scrub_lines : int
+        Lines swept per scrub step.
     """
 
     name: str
@@ -98,6 +123,10 @@ class Scenario:
     channel: Optional[GilbertElliottChannel] = None
     stream: bool = False
     interval_s: float = 0.0
+    memory: bool = False
+    hot_fraction: float = 0.8
+    scrub_every: int = 4
+    scrub_lines: int = 8
 
 
 def steady_scenario(code: str = "hamming84", decoder: Optional[str] = None) -> Scenario:
@@ -232,6 +261,51 @@ def stream_scenario(
     )
 
 
+def memory_scenario(
+    code: str = "hamming84",
+    decoder: Optional[str] = None,
+    lines: int = 64,
+    rot: float = 0.0,
+    hot_fraction: float = 0.8,
+    scrub_every: int = 4,
+    scrub_lines: int = 8,
+) -> Scenario:
+    """ECC-memory traffic: hot/cold write/RMW/read mix plus scrubbing.
+
+    Every client derives a private memory session from this config (the
+    store is per-session state; sharing one would interleave two
+    clients' transaction streams) and mirrors it with a seeded
+    :class:`~repro.memory.reference.ReferenceMemory`, asserting every
+    response and the cumulative counter ledger bit-exact.  ``rot``
+    enables seeded retention rot on the scrub window, so the report's
+    SEC/DED totals show the scrubber actually repairing damage.
+    """
+    if lines < 1:
+        raise ValueError(f"lines must be >= 1, got {lines}")
+    if scrub_every < 1:
+        raise ValueError(f"scrub_every must be >= 1, got {scrub_every}")
+    if scrub_lines < 1:
+        raise ValueError(f"scrub_lines must be >= 1, got {scrub_lines}")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    return Scenario(
+        name="memory",
+        description=(
+            f"ECC memory traffic on {code} ({lines} lines, rot {rot:g}, "
+            f"scrub {scrub_lines} lines every {scrub_every} rounds)"
+        ),
+        sessions=(
+            SessionConfig(
+                code=code, decoder=decoder, memory_lines=lines, memory_rot=rot
+            ),
+        ),
+        memory=True,
+        hot_fraction=hot_fraction,
+        scrub_every=scrub_every,
+        scrub_lines=scrub_lines,
+    )
+
+
 SCENARIO_FACTORIES = {
     "steady": steady_scenario,
     "bursty": bursty_scenario,
@@ -239,6 +313,7 @@ SCENARIO_FACTORIES = {
     "adversarial": adversarial_scenario,
     "burst": burst_scenario,
     "stream": stream_scenario,
+    "memory": memory_scenario,
 }
 
 
@@ -270,6 +345,12 @@ class LoadReport:
     flagged_frames: int = 0    # decoder raised detected-uncorrectable
     corrupted_frames: int = 0  # channel injected >= 1 bit error
     deadline_missed_frames: int = 0  # stream rows forced at the deadline
+    memory_sec: int = 0        # single-error corrections across all paths
+    memory_ded: int = 0        # detected-uncorrectable lines
+    memory_corrected_bits: int = 0
+    memory_scrub_steps: int = 0
+    memory_repaired_lines: int = 0
+    memory_rot_bits: int = 0   # retention-rot bits the server injected
     client_errors: List[str] = field(default_factory=list)  # "client i: error"
     encode_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
     decode_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
@@ -298,6 +379,14 @@ class LoadReport:
             "flagged_frames": self.flagged_frames,
             "corrupted_frames": self.corrupted_frames,
             "deadline_missed_frames": self.deadline_missed_frames,
+            "memory": {
+                "sec": self.memory_sec,
+                "ded": self.memory_ded,
+                "corrected_bits": self.memory_corrected_bits,
+                "scrub_steps": self.memory_scrub_steps,
+                "repaired_lines": self.memory_repaired_lines,
+                "rot_bits": self.memory_rot_bits,
+            },
             "encode_latency": self.encode_latency.snapshot(),
             "decode_latency": self.decode_latency.snapshot(),
             "client_errors": list(self.client_errors),
@@ -320,6 +409,17 @@ def render(report: LoadReport) -> str:
         *(
             [f"  deadline misses    {report.deadline_missed_frames}"]
             if report.scenario == "stream"
+            else []
+        ),
+        *(
+            [
+                f"  memory sec/ded     {report.memory_sec}/{report.memory_ded} "
+                f"({report.memory_corrected_bits} bits corrected)",
+                f"  scrub steps        {report.memory_scrub_steps} "
+                f"(repaired {report.memory_repaired_lines} lines, "
+                f"rot {report.memory_rot_bits} bits)",
+            ]
+            if report.scenario == "memory"
             else []
         ),
         f"  encode latency     p50 {report.encode_latency.percentile(50):.0f} us"
@@ -410,6 +510,153 @@ async def _run_stream_client(
             await client.close()
 
 
+def _memory_addresses(
+    rng: np.random.Generator, lines: int, count: int, hot_fraction: float
+) -> np.ndarray:
+    """Hot/cold address pick, deduplicated (and thereby sorted).
+
+    Duplicates are dropped rather than allowed because the batched
+    frontend applies a whole batch against one store snapshot while the
+    scalar mirror replays it line by line — with one address twice in
+    an RMW batch the two would legitimately diverge, and the mirror
+    could no longer assert bit-exactness.  The intra-batch race itself
+    is covered directly by ``tests/test_memory.py``.
+    """
+    hot_lines = max(1, lines // 8)
+    hot = rng.integers(0, hot_lines, count)
+    cold = rng.integers(0, lines, count)
+    picks = np.where(rng.random(count) < hot_fraction, hot, cold)
+    return np.unique(picks).astype(np.int64)
+
+
+async def _run_memory_client(
+    index: int,
+    host: str,
+    port: int,
+    scenario: Scenario,
+    requests: int,
+    frames_per_request: int,
+    rng: np.random.Generator,
+    report: LoadReport,
+    client: Optional[CodecClient] = None,
+) -> None:
+    base = scenario.sessions[index % len(scenario.sessions)]
+    # Memory stores are per-session state, so each client privatises
+    # its config exactly like the stream scenario does.
+    config = replace(base, seed=int(rng.integers(0, 2**20)) * 4096 + index)
+    lines = int(config.memory_lines)
+    code = get_code(config.code)
+    mirror = ReferenceMemory(code, get_decoder(code, config.decoder), lines)
+    # The server lane's only randomness is its rot stream, seeded from
+    # the session config — an identically seeded local generator replays
+    # every draw, which is what makes the mirror exact (see
+    # repro.service.memory's determinism contract).
+    rot_rng = as_generator(config.seed)
+    expected = np.zeros((lines, code.k), dtype=np.uint8)
+    scrub_count = min(scenario.scrub_lines, lines)
+
+    def check(match: bool, label: str) -> None:
+        if not match:
+            raise RuntimeError(f"memory mirror mismatch on {label}")
+
+    owns_connection = client is None
+    if owns_connection:
+        client = await CodecClient.connect(host, port)
+    try:
+        session = await client.open_session(**config.to_dict())
+        for r in range(requests):
+            addresses = _memory_addresses(
+                rng, lines, frames_per_request, scenario.hot_fraction
+            )
+            messages = rng.integers(0, 2, (len(addresses), code.k)).astype(np.uint8)
+            t0 = time.perf_counter()
+            if r % 2 == 0:
+                block = await session.mem_write(addresses, messages)
+                mirror.write(addresses, messages)
+                check(not block.corrected_errors.any(), "write corrected")
+                check(not block.detected_uncorrectable.any(), "write detected")
+                expected[addresses] = messages
+            else:
+                masks = rng.integers(0, 2, messages.shape).astype(np.uint8)
+                block = await session.mem_write_partial(addresses, messages, masks)
+                outcomes = mirror.write_partial(addresses, messages, masks)
+                check(
+                    [
+                        (int(c), bool(d))
+                        for c, d in zip(
+                            block.corrected_errors, block.detected_uncorrectable
+                        )
+                    ]
+                    == outcomes,
+                    "rmw outcomes",
+                )
+                detected = block.detected_uncorrectable
+                report.memory_sec += int(
+                    ((block.corrected_errors > 0) & ~detected).sum()
+                )
+                report.memory_ded += int(detected.sum())
+                report.memory_corrected_bits += int(
+                    block.corrected_errors[~detected].sum()
+                )
+                expected[addresses] = np.where(
+                    masks.astype(bool), messages, expected[addresses]
+                )
+            report.encode_latency.record((time.perf_counter() - t0) * 1e6)
+            report.frames_sent += len(addresses)
+
+            if r % scenario.scrub_every == scenario.scrub_every - 1:
+                if config.memory_rot > 0.0:
+                    window = (
+                        mirror.scrub_position + np.arange(scrub_count)
+                    ) % lines
+                    mirror.inject_rot(rot_rng, config.memory_rot, window)
+                payload = await session.mem_scrub(scrub_count)
+                step = mirror.scrub_step(scrub_count)
+                check(payload["report"] == step, "scrub report")
+                check(payload["position"] == mirror.scrub_position, "scrub position")
+                check(
+                    payload["counters"] == mirror.counters.to_dict(),
+                    "counter ledger",
+                )
+                report.memory_scrub_steps += 1
+                report.memory_repaired_lines += step["repaired_lines"]
+                report.memory_corrected_bits += step["corrected_bits"]
+                report.memory_sec += step["repaired_lines"]
+                report.memory_ded += step["detected"]
+                report.memory_rot_bits += int(payload["rot_bits"])
+
+            t0 = time.perf_counter()
+            decoded = await session.mem_read(addresses)
+            report.decode_latency.record((time.perf_counter() - t0) * 1e6)
+            reference = mirror.read(addresses)
+            check(
+                all(
+                    np.array_equal(decoded.messages[i], result.message)
+                    and int(decoded.corrected_errors[i]) == result.corrected_errors
+                    and bool(decoded.detected_uncorrectable[i])
+                    == result.detected_uncorrectable
+                    for i, result in enumerate(reference)
+                ),
+                "read outcomes",
+            )
+            detected = decoded.detected_uncorrectable
+            report.frames_sent += len(addresses)
+            report.memory_sec += int(((decoded.corrected_errors > 0) & ~detected).sum())
+            report.memory_ded += int(detected.sum())
+            report.memory_corrected_bits += int(
+                decoded.corrected_errors[~detected].sum()
+            )
+            report.flagged_frames += int(detected.sum())
+            # End-to-end check: the decoded line vs the last write intent.
+            report.residual_frames += int(
+                (decoded.messages != expected[addresses]).any(axis=1).sum()
+            )
+        await session.close()
+    finally:
+        if owns_connection:
+            await client.close()
+
+
 async def _run_client(
     index: int,
     host: str,
@@ -423,6 +670,12 @@ async def _run_client(
     soft_sigma: float = 0.0,
     client: Optional[CodecClient] = None,
 ) -> None:
+    if scenario.memory:
+        await _run_memory_client(
+            index, host, port, scenario, requests, frames_per_request,
+            rng, report, client=client,
+        )
+        return
     if scenario.stream:
         await _run_stream_client(
             index, host, port, scenario, requests, frames_per_request,

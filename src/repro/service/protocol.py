@@ -43,6 +43,9 @@ OP_ADMIN = 0x07   #: worker-pool admin plane (JSON action body)
 OP_METRICS = 0x08  #: Prometheus text exposition of the metrics registry
 OP_DECODE_STREAM = 0x09  #: push channel frames into a sliding-window decode
 OP_CLOSE = 0x0A   #: close a codec session (JSON body naming session_id)
+OP_MEM_WRITE = 0x0B  #: memory-lane line write (whole-line or RMW partial)
+OP_MEM_READ = 0x0C   #: memory-lane line read (decode response layout)
+OP_MEM_SCRUB = 0x0D  #: memory-lane scrub step (JSON ScrubReport + counters)
 
 # Worker-plane opcodes (front end <-> decode worker pipes; never sent by
 # clients).  They reuse the same framing so a worker pipe is just another
@@ -64,7 +67,13 @@ _BATCH_HEADER = struct.Struct("!HI")    # session_id, n_frames
 # Stream push: session_id, n_frames (same prefix as _BATCH_HEADER, so the
 # pooled front end's header peek routes both), first_index, flags.
 _STREAM_HEADER = struct.Struct("!HIQB")
+# Memory write: session_id, n_lines (the shared !HI routing prefix), flags.
+_MEM_WRITE_HEADER = struct.Struct("!HIB")
 _LEN_PREFIX = struct.Struct("!I")
+
+#: Memory write flag: partial write — mask rows follow the message rows
+#: and the store takes the read-modify-write path.
+MEM_WRITE_FLAG_PARTIAL = 0x01
 
 #: Stream push flag: this push ends the stream — drain every open window.
 STREAM_FLAG_FINAL = 0x01
@@ -183,8 +192,9 @@ def parse_batch_body(body: bytes, width_of_session) -> Tuple[int, np.ndarray]:
 def peek_batch_header(body: bytes) -> Tuple[int, int]:
     """Session id and frame count of a data-plane batch body.
 
-    Covers ENCODE/DECODE/DECODE_SOFT bodies and DECODE_STREAM pushes —
-    the stream header deliberately opens with the same ``!HI`` prefix.
+    Covers ENCODE/DECODE/DECODE_SOFT bodies, DECODE_STREAM pushes and
+    the MEM_WRITE/MEM_READ/MEM_SCRUB memory-lane bodies — every
+    data-plane header deliberately opens with the same ``!HI`` prefix.
 
     The pooled front end routes on the session id without unpacking the
     frame payload — the body is forwarded to the owning worker as the
@@ -337,6 +347,143 @@ def parse_stream_response_body(body: bytes, k: int):
         detected.astype(bool),
         status.copy(),
     )
+
+
+def build_mem_write_body(
+    session_id: int,
+    addresses: np.ndarray,
+    messages: np.ndarray,
+    masks: Optional[np.ndarray] = None,
+) -> bytes:
+    """MEM_WRITE request body: header, addresses, packed rows.
+
+    Layout: ``!HIB`` (session id, line count, flags) + one big-endian
+    uint32 line address per row + the packed k-bit message rows.  With
+    ``masks`` given the partial flag is set, packed k-bit mask rows
+    follow the messages, and the server takes the read-modify-write
+    path.  The header opens with the shared ``!HI`` prefix so
+    :func:`peek_batch_header` routes it like any other data-plane body.
+    """
+    addrs = np.ascontiguousarray(addresses, dtype=">u4").reshape(-1)
+    if addrs.shape[0] != np.asarray(messages).shape[0]:
+        raise ProtocolError(
+            f"{addrs.shape[0]} addresses for {np.asarray(messages).shape[0]} "
+            "message rows"
+        )
+    flags = 0 if masks is None else MEM_WRITE_FLAG_PARTIAL
+    body = (
+        _MEM_WRITE_HEADER.pack(session_id & 0xFFFF, addrs.shape[0], flags)
+        + addrs.tobytes()
+        + pack_bits(messages)
+    )
+    if masks is not None:
+        if np.asarray(masks).shape != np.asarray(messages).shape:
+            raise ProtocolError(
+                f"mask shape {np.asarray(masks).shape} does not match "
+                f"message shape {np.asarray(messages).shape}"
+            )
+        body += pack_bits(masks)
+    return body
+
+
+def parse_mem_write_body(body: bytes, width_of_session):
+    """Parse a MEM_WRITE body: ``(session_id, addresses, messages, masks)``.
+
+    ``masks`` is ``None`` for a whole-line write.  ``width_of_session``
+    maps the session id to the message width k, as in
+    :func:`parse_batch_body`.
+    """
+    if len(body) < _MEM_WRITE_HEADER.size:
+        raise ProtocolError(f"memory write body too short ({len(body)} bytes)")
+    session_id, n_lines, flags = _MEM_WRITE_HEADER.unpack_from(body)
+    width = width_of_session(session_id)
+    row_bytes = (width + 7) // 8
+    partial = bool(flags & MEM_WRITE_FLAG_PARTIAL)
+    offset = _MEM_WRITE_HEADER.size
+    expected = n_lines * (4 + row_bytes * (2 if partial else 1))
+    if len(body) - offset != expected:
+        raise ProtocolError(
+            f"expected {expected} memory-write payload bytes for {n_lines} "
+            f"lines of {width} bits, got {len(body) - offset}"
+        )
+    addresses = np.frombuffer(body, dtype=">u4", count=n_lines, offset=offset)
+    offset += 4 * n_lines
+    messages = unpack_bits(body[offset:offset + n_lines * row_bytes], n_lines, width)
+    offset += n_lines * row_bytes
+    masks = (
+        unpack_bits(body[offset:offset + n_lines * row_bytes], n_lines, width)
+        if partial
+        else None
+    )
+    return session_id, addresses.astype(np.int64), messages, masks
+
+
+def build_mem_write_response_body(
+    corrected: np.ndarray, detected: np.ndarray
+) -> bytes:
+    """MEM_WRITE response: line count + per-line RMW read-phase flags.
+
+    Whole-line writes report all-zero rows (no decode happened); partial
+    writes report the read-phase correction counts and detected flags so
+    a client can see when its merge was built on a poisoned line.
+    """
+    corrected8 = np.minimum(np.asarray(corrected), 255).astype(np.uint8)
+    return (
+        struct.pack("!I", corrected8.shape[0])
+        + corrected8.tobytes()
+        + np.asarray(detected).astype(np.uint8).tobytes()
+    )
+
+
+def parse_mem_write_response_body(body: bytes) -> Tuple[np.ndarray, np.ndarray]:
+    """Inverse of :func:`build_mem_write_response_body`."""
+    if len(body) < 4:
+        raise ProtocolError("memory write response body too short")
+    (n_lines,) = struct.unpack_from("!I", body)
+    if len(body) != 4 + 2 * n_lines:
+        raise ProtocolError("memory write response body truncated")
+    corrected = np.frombuffer(body, dtype=np.uint8, count=n_lines, offset=4)
+    detected = np.frombuffer(body, dtype=np.uint8, count=n_lines, offset=4 + n_lines)
+    return corrected.astype(np.int64), detected.astype(bool)
+
+
+def build_mem_read_body(session_id: int, addresses: np.ndarray) -> bytes:
+    """MEM_READ request body: the ``!HI`` prefix + uint32 line addresses."""
+    addrs = np.ascontiguousarray(addresses, dtype=">u4").reshape(-1)
+    return _BATCH_HEADER.pack(session_id & 0xFFFF, addrs.shape[0]) + addrs.tobytes()
+
+
+def parse_mem_read_body(body: bytes) -> Tuple[int, np.ndarray]:
+    """Parse a MEM_READ body into ``(session_id, addresses)``."""
+    if len(body) < _BATCH_HEADER.size:
+        raise ProtocolError(f"memory read body too short ({len(body)} bytes)")
+    session_id, n_lines = _BATCH_HEADER.unpack_from(body)
+    data = body[_BATCH_HEADER.size:]
+    if len(data) != 4 * n_lines:
+        raise ProtocolError(
+            f"expected {4 * n_lines} address bytes, got {len(data)}"
+        )
+    addresses = np.frombuffer(data, dtype=">u4")
+    return session_id, addresses.astype(np.int64)
+
+
+def build_mem_scrub_body(session_id: int, count: int) -> bytes:
+    """MEM_SCRUB request body: the ``!HI`` prefix; ``count`` lines to sweep.
+
+    The response is a JSON body carrying the step's
+    :meth:`~repro.memory.scrub.ScrubReport.to_dict` under ``"report"``,
+    the injected-rot bit count under ``"rot_bits"``, and the session's
+    cumulative counter snapshot under ``"counters"``.
+    """
+    return _BATCH_HEADER.pack(session_id & 0xFFFF, int(count))
+
+
+def parse_mem_scrub_body(body: bytes) -> Tuple[int, int]:
+    """Parse a MEM_SCRUB body into ``(session_id, count)``."""
+    if len(body) != _BATCH_HEADER.size:
+        raise ProtocolError(f"memory scrub body must be {_BATCH_HEADER.size} bytes")
+    session_id, count = _BATCH_HEADER.unpack_from(body)
+    return session_id, count
 
 
 def build_decode_response_body(

@@ -50,6 +50,9 @@ _FORWARDED_OPS = frozenset(
         protocol.OP_DECODE,
         protocol.OP_DECODE_SOFT,
         protocol.OP_DECODE_STREAM,
+        protocol.OP_MEM_WRITE,
+        protocol.OP_MEM_READ,
+        protocol.OP_MEM_SCRUB,
     }
 )
 
@@ -59,6 +62,9 @@ _TRACED_OP_NAMES = {
     protocol.OP_DECODE: "decode",
     protocol.OP_DECODE_SOFT: "decode_soft",
     protocol.OP_DECODE_STREAM: "decode_stream",
+    protocol.OP_MEM_WRITE: "mem_write",
+    protocol.OP_MEM_READ: "mem_read",
+    protocol.OP_MEM_SCRUB: "mem_scrub",
 }
 
 
@@ -340,6 +346,10 @@ class CodecServer:
         elif request.opcode == protocol.OP_DECODE_STREAM:
             # One status byte per row on top of the decode layout.
             bytes_per_frame = (int(info["k"]) + 7) // 8 + 3
+        elif request.opcode in (protocol.OP_MEM_WRITE, protocol.OP_MEM_SCRUB):
+            # Write replies carry two flag bytes per line; scrub replies
+            # are small JSON reports independent of the line count.
+            bytes_per_frame = 2 if request.opcode == protocol.OP_MEM_WRITE else 0
         else:
             bytes_per_frame = (int(info["k"]) + 7) // 8 + 2
         DispatchCore.check_response_fits(n_frames, bytes_per_frame)

@@ -67,6 +67,16 @@ class SessionConfig:
         codewords older than this are forced to best-effort decisions
         and counted as deadline misses.  ``None`` defers to the
         server-wide default (which may itself be unbounded).
+    memory_lines : int, optional
+        Enables the memory lane (``OP_MEM_*``): the session becomes a
+        :class:`~repro.memory.frontend.MemoryEccFrontend` of this many
+        ECC-protected lines plus a :class:`~repro.memory.scrub.Scrubber`.
+        ``None`` (the default) leaves the session memory-less.
+    memory_rot : float
+        Retention-rot rate: before each scrub step, every bit of the
+        swept window flips independently with this probability, drawn
+        from the session's seeded stream.  Only meaningful with
+        ``memory_lines``; ``0.0`` injects nothing and consumes no draws.
     """
 
     code: str
@@ -77,6 +87,8 @@ class SessionConfig:
     stream_depth: Optional[int] = None
     stream_shift: int = 1
     stream_deadline_us: Optional[float] = None
+    memory_lines: Optional[int] = None
+    memory_rot: float = 0.0
 
     def label(self) -> str:
         parts = [self.code, self.decoder or "default"]
@@ -84,6 +96,8 @@ class SessionConfig:
             parts.append(f"p01={self.p01:g},p10={self.p10:g}")
         if self.stream_depth is not None:
             parts.append(f"stream={self.stream_depth}x{self.stream_shift}")
+        if self.memory_lines is not None:
+            parts.append(f"mem={self.memory_lines}@{self.memory_rot:g}")
         return ":".join(parts)
 
     def to_dict(self) -> Dict:
@@ -101,6 +115,9 @@ class SessionConfig:
             payload["stream_depth"] = self.stream_depth
             payload["stream_shift"] = self.stream_shift
             payload["stream_deadline_us"] = self.stream_deadline_us
+        if self.memory_lines is not None:
+            payload["memory_lines"] = self.memory_lines
+            payload["memory_rot"] = self.memory_rot
         return payload
 
     def routing_key(self) -> str:
@@ -122,6 +139,7 @@ class SessionConfig:
             raise SessionError("session config must name a 'code'")
         stream_depth = payload.get("stream_depth")
         stream_deadline = payload.get("stream_deadline_us")
+        memory_lines = payload.get("memory_lines")
         return cls(
             code=str(code),
             decoder=payload.get("decoder") or None,
@@ -133,6 +151,8 @@ class SessionConfig:
             stream_deadline_us=(
                 None if stream_deadline is None else float(stream_deadline)
             ),
+            memory_lines=None if memory_lines is None else int(memory_lines),
+            memory_rot=float(payload.get("memory_rot", 0.0)),
         )
 
 
@@ -191,6 +211,20 @@ class CodecSession:
                 f"stream_deadline_us must be positive, got "
                 f"{config.stream_deadline_us}"
             )
+        if config.memory_lines is not None:
+            from repro.memory.frontend import MAX_MEMORY_LINES
+
+            if not 1 <= config.memory_lines <= MAX_MEMORY_LINES:
+                raise SessionError(
+                    f"memory_lines must lie in [1, {MAX_MEMORY_LINES}], "
+                    f"got {config.memory_lines}"
+                )
+            if not 0.0 <= config.memory_rot <= 1.0:
+                raise SessionError(
+                    f"memory_rot must lie in [0, 1], got {config.memory_rot}"
+                )
+        elif config.memory_rot:
+            raise SessionError("memory_rot requires memory_lines")
         self.session_id = session_id
         self.config = config
         self.channel: Optional[BinaryChannel] = None
@@ -228,6 +262,9 @@ class CodecSession:
                 self.config.stream_depth, self.config.stream_shift
             )
             payload["stream_deadline_us"] = self.config.stream_deadline_us
+        if self.config.memory_lines is not None:
+            payload["memory_lines"] = self.config.memory_lines
+            payload["memory_rot"] = self.config.memory_rot
         return payload
 
     # -- kernels the scheduler dispatches to ---------------------------

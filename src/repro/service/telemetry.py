@@ -50,6 +50,10 @@ LATENCY_BUCKETS_US = DEFAULT_TIME_BUCKETS_US
 #: Bucket layout of the stream window-occupancy histogram (codewords).
 STREAM_OCCUPANCY_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
+#: Memory-lane access paths mirrored from :data:`repro.memory.MEMORY_PATHS`
+#: (kept literal here so importing telemetry never pulls the memory stack).
+MEMORY_PATH_LABELS = ("read", "rmw", "scrub")
+
 
 class LatencyReservoir:
     """Sliding window of the most recent per-request latencies (µs)."""
@@ -205,6 +209,57 @@ class SessionTelemetry:
             session_labels,
             buckets=STREAM_OCCUPANCY_BUCKETS,
         ).labels(**base)
+        self._memory_ops_family = reg.counter(
+            "repro_memory_ops_total",
+            "Memory-lane decode events, by access path (read/rmw/scrub).",
+            session_labels + ("path",),
+        )
+        self._memory_sec_family = reg.counter(
+            "repro_memory_sec_total",
+            "Memory lines corrected (SEC events), by access path.",
+            session_labels + ("path",),
+        )
+        self._memory_ded_family = reg.counter(
+            "repro_memory_ded_total",
+            "Memory lines detected uncorrectable (DED events), by access path.",
+            session_labels + ("path",),
+        )
+        self._memory_bits_family = reg.counter(
+            "repro_memory_corrected_bits_total",
+            "Memory bits repaired by decode, by access path.",
+            session_labels + ("path",),
+        )
+        self._memory_ops = {
+            path: self._memory_ops_family.labels(**base, path=path)
+            for path in MEMORY_PATH_LABELS
+        }
+        self._memory_sec = {
+            path: self._memory_sec_family.labels(**base, path=path)
+            for path in MEMORY_PATH_LABELS
+        }
+        self._memory_ded = {
+            path: self._memory_ded_family.labels(**base, path=path)
+            for path in MEMORY_PATH_LABELS
+        }
+        self._memory_bits = {
+            path: self._memory_bits_family.labels(**base, path=path)
+            for path in MEMORY_PATH_LABELS
+        }
+        self._memory_scrubbed = reg.counter(
+            "repro_memory_scrubbed_lines_total",
+            "Memory lines swept by the scrubber.",
+            session_labels,
+        ).labels(**base)
+        self._memory_repaired = reg.counter(
+            "repro_memory_repaired_lines_total",
+            "Memory lines the scrubber rewrote with a corrected codeword.",
+            session_labels,
+        ).labels(**base)
+        self._memory_rot = reg.counter(
+            "repro_memory_rot_bits_total",
+            "Raw bits flipped into the store by rot injection.",
+            session_labels,
+        ).labels(**base)
         self._requests: Dict[str, object] = {}
         self._frames: Dict[str, object] = {}
         self._batches: Dict[tuple, object] = {}
@@ -279,6 +334,45 @@ class SessionTelemetry:
         """Record the window occupancy after a push (gauge + histogram)."""
         self._stream_pending.set(pending)
         self._stream_occupancy.observe(float(pending))
+
+    def record_memory_path(
+        self,
+        path: str,
+        corrected_errors: np.ndarray,
+        detected_uncorrectable: np.ndarray,
+    ) -> None:
+        """Charge one memory-lane decode batch to path ``path``.
+
+        Uses the same SEC/DED classification as the frontend's
+        :meth:`~repro.memory.frontend.PathCounters.charge`, so the
+        telemetry series sum to exactly the frontend's own ledger.
+        """
+        corrected = np.asarray(corrected_errors)
+        detected = np.asarray(detected_uncorrectable, dtype=bool)
+        self.record_memory_counts(
+            path,
+            ops=int(corrected.shape[0]),
+            sec=int(np.count_nonzero((corrected > 0) & ~detected)),
+            ded=int(np.count_nonzero(detected)),
+            corrected_bits=int(corrected[~detected].sum()),
+        )
+
+    def record_memory_counts(
+        self, path: str, ops: int, sec: int, ded: int, corrected_bits: int
+    ) -> None:
+        """Charge pre-classified SEC/DED counts to path ``path``."""
+        self._memory_ops[path].inc(int(ops))
+        self._memory_sec[path].inc(int(sec))
+        self._memory_ded[path].inc(int(ded))
+        self._memory_bits[path].inc(int(corrected_bits))
+
+    def record_memory_scrub(
+        self, scrubbed_lines: int, repaired_lines: int, rot_bits: int
+    ) -> None:
+        """Record one scrub step's sweep width, repairs and injected rot."""
+        self._memory_scrubbed.inc(int(scrubbed_lines))
+        self._memory_repaired.inc(int(repaired_lines))
+        self._memory_rot.inc(int(rot_bits))
 
     # -- back-compat attribute surface ---------------------------------
     @property
@@ -376,6 +470,25 @@ class SessionTelemetry:
                 "deadline_misses": self.stream_deadline_misses,
                 "decisions": dict(self.stream_decisions),
                 "window_pending": int(self._stream_pending.value),
+            },
+            "memory": {
+                "paths": {
+                    path: {
+                        "ops": self._memory_ops[path].value,
+                        "sec": self._memory_sec[path].value,
+                        "ded": self._memory_ded[path].value,
+                        "corrected_bits": self._memory_bits[path].value,
+                    }
+                    for path in MEMORY_PATH_LABELS
+                },
+                "sec_total": sum(c.value for c in self._memory_sec.values()),
+                "ded_total": sum(c.value for c in self._memory_ded.values()),
+                "corrected_bits_total": sum(
+                    c.value for c in self._memory_bits.values()
+                ),
+                "scrubbed_lines": self._memory_scrubbed.value,
+                "repaired_lines": self._memory_repaired.value,
+                "rot_bits": self._memory_rot.value,
             },
         }
 
@@ -574,8 +687,19 @@ def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
     for snap in worker_snapshots:
         worker_sessions = snap.get("sessions", {})
         flush_reasons: TallyCounter = TallyCounter()
+        memory_totals: TallyCounter = TallyCounter()
         for entry in worker_sessions.values():
             flush_reasons.update(entry.get("flush_reasons", {}))
+            memory = entry.get("memory") or {}
+            for field_name in (
+                "sec_total",
+                "ded_total",
+                "corrected_bits_total",
+                "scrubbed_lines",
+                "repaired_lines",
+                "rot_bits",
+            ):
+                memory_totals[field_name] += int(memory.get(field_name, 0))
         summary = {
             "index": snap.get("index"),
             "pid": snap.get("pid"),
@@ -586,6 +710,7 @@ def rollup_worker_snapshots(front: Dict, worker_snapshots) -> Dict:
             "throughput_fps": snap.get("throughput_fps", 0.0),
             "backend": snap.get("backend"),
             "flush_reasons": dict(flush_reasons),
+            "memory": dict(memory_totals),
             "latency": _merge_latency_summaries(worker_sessions.values()),
             "sessions": sorted(int(sid) for sid in worker_sessions),
         }

@@ -104,6 +104,7 @@ class DispatchCore:
         #: ``stream_deadline_us`` takes precedence.
         self.stream_deadline_us = stream_deadline_us
         self._streams: Dict[int, "StreamLane"] = {}
+        self._memories: Dict[int, "MemoryLane"] = {}
 
     def open_session(
         self, config: SessionConfig, session_id: Optional[int] = None
@@ -127,6 +128,12 @@ class DispatchCore:
             return await self._op_decode_soft(request.body)
         if request.opcode == protocol.OP_DECODE_STREAM:
             return await self._op_decode_stream(request.body)
+        if request.opcode == protocol.OP_MEM_WRITE:
+            return self._op_mem_write(request.body)
+        if request.opcode == protocol.OP_MEM_READ:
+            return self._op_mem_read(request.body)
+        if request.opcode == protocol.OP_MEM_SCRUB:
+            return self._op_mem_scrub(request.body)
         if request.opcode == protocol.OP_CLOSE:
             return self._op_close(request.body)
         if request.opcode == protocol.OP_STATS:
@@ -226,6 +233,60 @@ class DispatchCore:
             self._streams[session.session_id] = lane
         return lane
 
+    def memory_lane(self, session: CodecSession) -> "MemoryLane":
+        """The session's memory lane, created on first use.
+
+        Mirrors :meth:`stream_lane`: the lane is rebuilt deterministically
+        from the session config (store zeroed, rot stream reseeded), so
+        a respawned pool worker replaying OP_W_OPEN recovers an
+        identical lane for an identical transaction history.
+        """
+        lane = self._memories.get(session.session_id)
+        if lane is None:
+            from repro.service.memory import MemoryLane
+
+            lane = MemoryLane(session)
+            self._memories[session.session_id] = lane
+        return lane
+
+    def _op_mem_write(self, body: bytes) -> bytes:
+        session_id, addresses, messages, masks = protocol.parse_mem_write_body(
+            body, lambda sid: self.registry.get(sid).k
+        )
+        session = self.registry.get(session_id)
+        # Response carries two flag bytes per line (plus the count word).
+        self.check_response_fits(len(addresses), 2)
+        lane = self.memory_lane(session)
+        op = "mem_write" if masks is None else "mem_rmw"
+        session.telemetry.record_request(op, len(addresses))
+        try:
+            corrected, detected = lane.write(addresses, messages, masks)
+        except (IndexError, ValueError) as exc:
+            # Out-of-range addresses / malformed rows are client mistakes.
+            raise ServiceError(str(exc)) from exc
+        return protocol.build_mem_write_response_body(corrected, detected)
+
+    def _op_mem_read(self, body: bytes) -> bytes:
+        session_id, addresses = protocol.parse_mem_read_body(body)
+        session = self.registry.get(session_id)
+        self.check_response_fits(len(addresses), (session.k + 7) // 8 + 2)
+        lane = self.memory_lane(session)
+        session.telemetry.record_request("mem_read", len(addresses))
+        try:
+            result = lane.read(addresses)
+        except (IndexError, ValueError) as exc:
+            raise ServiceError(str(exc)) from exc
+        return protocol.build_decode_response_body(
+            result.messages, result.corrected_errors, result.detected_uncorrectable
+        )
+
+    def _op_mem_scrub(self, body: bytes) -> bytes:
+        session_id, count = protocol.parse_mem_scrub_body(body)
+        session = self.registry.get(session_id)
+        lane = self.memory_lane(session)
+        session.telemetry.record_request("mem_scrub", count)
+        return protocol.build_json_body(lane.scrub_step(count))
+
     async def _op_decode_stream(self, body: bytes) -> bytes:
         from repro.obs.tracing import current_trace_id
 
@@ -259,6 +320,7 @@ class DispatchCore:
         lane = self._streams.pop(session_id, None)
         if lane is not None:
             lane.close()
+        memory_lane = self._memories.pop(session_id, None)
         lanes_closed = self.batcher.close_session(session_id)
         self.registry.close(session_id)
         self.telemetry.drop_session(session_id)
@@ -267,6 +329,7 @@ class DispatchCore:
             "code": session.code.name,
             "lanes_closed": lanes_closed,
             "stream_closed": lane is not None,
+            "memory_closed": memory_lane is not None,
         }
 
     def _op_close(self, body: bytes) -> bytes:
@@ -360,6 +423,9 @@ _DATA_OPS = frozenset(
         protocol.OP_DECODE,
         protocol.OP_DECODE_SOFT,
         protocol.OP_DECODE_STREAM,
+        protocol.OP_MEM_WRITE,
+        protocol.OP_MEM_READ,
+        protocol.OP_MEM_SCRUB,
     }
 )
 

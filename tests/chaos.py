@@ -65,6 +65,73 @@ async def eventually(
         await asyncio.sleep(interval)
 
 
+def rot_masks(
+    lines: int, n_bits: int, seed: int, rate: float
+) -> np.ndarray:
+    """Seeded i.i.d. retention-rot flip masks as a ``(lines, n)`` array.
+
+    Deterministic by construction: the memory tests hand the same masks
+    to the batched frontend and the scalar reference, then compute the
+    *exact* expected SEC/DED counts from the per-line flip weights.
+    """
+    rng = np.random.default_rng(seed)
+    return (rng.random((lines, n_bits)) < rate).astype(np.uint8)
+
+
+def burst_rot_masks(
+    lines: int,
+    n_bits: int,
+    seed: int,
+    burst_len: float = 3.0,
+    density: float = 0.15,
+) -> np.ndarray:
+    """Seeded Gilbert–Elliott burst-rot flip masks, ``(lines, n)``.
+
+    Clustered (word-line failure style) rot: transmitting all-zero
+    lines through a burst channel with ``p_bad = 1`` makes the output
+    *be* the flip mask — every bad-state bit flips, so the masks carry
+    the channel's burst geometry exactly and reproducibly.
+    """
+    from repro.link.burst import GilbertElliottChannel
+
+    channel = GilbertElliottChannel.from_burst_profile(
+        burst_len, density, p_bad=1.0
+    )
+    zeros = np.zeros((lines, n_bits), dtype=np.uint8)
+    return channel.transmit_batch(zeros, np.random.default_rng(seed)).astype(
+        np.uint8
+    )
+
+
+class RmwRaceInjector:
+    """Rot that races an in-flight RMW: flips land between read and store.
+
+    Installed as a :class:`~repro.memory.frontend.MemoryEccFrontend`
+    ``injector`` hook.  On every RMW it flips ``weight`` bits into each
+    target line *after* the read phase decoded them and *before* the
+    store phase overwrites them — the lost-update race the LiteDRAM
+    byte-enable limitation implies.  The store must win: the test
+    asserts the re-encoded merge lands clean, as if the rot never
+    happened (except in the ``rot_bits`` ledger, which counts it).
+    """
+
+    def __init__(self, weight: int = 1):
+        self.weight = weight
+        self.frontend = None   # bound by the test after construction
+        self.rmw_events = 0
+        self.bits_injected = 0
+
+    def __call__(self, event: str, addresses: np.ndarray) -> None:
+        if event != "rmw" or self.frontend is None:
+            return
+        self.rmw_events += 1
+        masks = np.zeros(
+            (addresses.shape[0], self.frontend.code.n), dtype=np.uint8
+        )
+        masks[:, : self.weight] = 1
+        self.bits_injected += self.frontend.inject_flips(addresses, masks)
+
+
 def garbage_wires() -> List[bytes]:
     """Malformed wire byte strings, each of which may only cost one connection.
 

@@ -4,6 +4,8 @@ import asyncio
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.coding import (
     SlidingWindowDecoder,
@@ -215,6 +217,81 @@ class TestSlidingWindowDecoder:
             sw.force(-1)
         with pytest.raises(ValueError):
             SlidingWindowDecoder(get_decoder(get_code("hamming84")), 0)
+
+
+# ---------------------------------------------------------------------
+# Forced-erasure properties (hypothesis)
+# ---------------------------------------------------------------------
+#: An interleaved plan step: push this many frames, then force this many.
+_plan_steps = st.lists(
+    st.tuples(st.integers(0, 10), st.integers(0, 6)), min_size=1, max_size=10
+)
+
+
+class TestStreamForceProperties:
+    @given(st.integers(1, 6), st.integers(1, 3), _plan_steps,
+           st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_no_index_dropped_or_duplicated(self, depth, shift, plan, seed):
+        # Whatever the push/force interleaving, the concatenated
+        # decisions (with a final flush) cover codeword indices
+        # 0..N-1 contiguously — forcing can degrade a decision, never
+        # lose or re-emit one.
+        online = SlidingWindowDecoder(get_decoder(get_code("hamming84")),
+                                      depth, shift)
+        total = sum(push_count for push_count, _ in plan)
+        rng = np.random.default_rng(seed)
+        confidences = rng.uniform(-1.0, 1.0, (total, online.n))
+        cursor = 0
+        runs = []
+        for push_count, force_count in plan:
+            decisions = online.push(confidences[cursor:cursor + push_count])
+            cursor += push_count
+            assert not decisions.forced
+            runs.append(decisions)
+            before = online.pending
+            forced = online.force(force_count)
+            assert forced.forced
+            assert len(forced) == min(force_count, before)
+            runs.append(forced)
+        runs.append(online.flush())
+        assert online.pending == 0
+        assert online.next_frame_index == total
+        indices = []
+        for decisions in runs:
+            assert (
+                len(decisions)
+                == len(decisions.corrected_errors)
+                == len(decisions.detected_uncorrectable)
+            )
+            indices.extend(
+                range(decisions.first_index, decisions.first_index + len(decisions))
+            )
+        assert indices == list(range(total))
+
+    @given(st.integers(2, 6), st.integers(1, 2), st.integers(1, 20),
+           st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_force_is_final_under_late_contributions(self, depth, shift,
+                                                     forced_count, seed):
+        # Forcing the head of the stream, then pushing the frames that
+        # would have completed those codewords, must neither revisit the
+        # forced indices nor disturb the indices that follow.
+        _, _, _, confidences = _case(count=20, depth=depth, shift=shift,
+                                     seed=seed % 1000)
+        online = SlidingWindowDecoder(get_decoder(get_code("hamming84")),
+                                      depth, shift)
+        head = online.push(confidences[:depth])
+        forced = online.force(forced_count)
+        expected_forced = min(forced_count, depth - len(head))
+        assert len(forced) == expected_forced
+        tail = online.push(confidences[depth:])
+        drained = online.flush()
+        first_after_force = forced.first_index + len(forced)
+        assert tail.first_index == len(head) + expected_forced
+        assert drained.first_index + len(drained) == len(confidences)
+        assert tail.first_index >= first_after_force
+        assert online.pending == 0
 
 
 # ---------------------------------------------------------------------

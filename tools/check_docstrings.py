@@ -30,6 +30,7 @@ CHECKED_ROOTS = [
     "src/repro/link",
     "src/repro/coding/decoders",
     "src/repro/obs",
+    "src/repro/memory",
 ]
 
 

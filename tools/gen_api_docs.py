@@ -37,12 +37,13 @@ MODULES = [
     "repro.service",
     "repro.backends",
     "repro.obs",
+    "repro.memory",
 ]
 
 OUTPUT = os.path.join(REPO_ROOT, "docs", "api.md")
 
 HEADER = """\
-# API reference — `repro.coding`, `repro.link`, `repro.service`, `repro.backends` and `repro.obs`
+# API reference — `repro.coding`, `repro.link`, `repro.service`, `repro.backends`, `repro.obs` and `repro.memory`
 
 [Documentation index](index.md)
 
